@@ -1,0 +1,69 @@
+"""Shared infrastructure for the experiment benchmarks.
+
+Each benchmark module reproduces one table/figure-equivalent from the
+paper (see DESIGN.md's experiment index): it sweeps the relevant
+parameters, prints a paper-vs-measured table, saves it under
+``benchmarks/results/``, asserts the claimed *shape* (bounded, flat
+ratios; fitted exponents), and times one representative configuration
+through pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+class Reporter:
+    """Collects table rows, prints them and persists them per experiment."""
+
+    def __init__(self, experiment: str):
+        self.experiment = experiment
+        self.lines: list[str] = []
+
+    def title(self, text: str) -> None:
+        self.lines.append("")
+        self.lines.append(text)
+        self.lines.append("-" * len(text))
+
+    def table(self, headers: list[str], rows: list[list]) -> None:
+        widths = [
+            max(len(str(h)), *(len(_fmt(r[i])) for r in rows)) if rows else len(str(h))
+            for i, h in enumerate(headers)
+        ]
+        self.lines.append(
+            "  ".join(str(h).rjust(w) for h, w in zip(headers, widths))
+        )
+        for row in rows:
+            self.lines.append(
+                "  ".join(_fmt(cell).rjust(w) for cell, w in zip(row, widths))
+            )
+
+    def note(self, text: str) -> None:
+        self.lines.append(text)
+
+    def flush(self) -> None:
+        text = "\n".join(self.lines) + "\n"
+        print(text)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{self.experiment}.txt").write_text(text)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1e5 or abs(cell) < 1e-2:
+            return f"{cell:.3g}"
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+@pytest.fixture
+def reporter(request):
+    rep = Reporter(request.node.name)
+    yield rep
+    rep.flush()

@@ -1,0 +1,50 @@
+"""E1 (Fact 1): touching n cells on f(x)-HMM costs Theta(n f(n)).
+
+Regenerates the HMM baseline that motivates the whole paper: without block
+transfer, scanning memory pays the access function at every cell.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.fitting import bounded_ratio, fit_loglog_slope
+from repro.functions import LogarithmicAccess, PolynomialAccess
+from repro.hmm.algorithms import hmm_touching_bound
+from repro.hmm.machine import HMMMachine
+from repro.hmm.touching import hmm_touch_all
+
+SIZES = [1 << k for k in range(8, 19, 2)]
+FUNCTIONS = [PolynomialAccess(0.5), LogarithmicAccess()]
+
+
+def measure(f, n):
+    machine = HMMMachine(f, n)
+    machine.mem[:n] = [1] * n
+    return hmm_touch_all(machine, n)
+
+
+@pytest.mark.parametrize("f", FUNCTIONS, ids=lambda f: f.name)
+def test_fact1_touching_shape(benchmark, reporter, f):
+    rows = []
+    measured, bounds = [], []
+    for n in SIZES:
+        cost = measure(f, n)
+        bound = hmm_touching_bound(f, n)
+        measured.append(cost)
+        bounds.append(bound)
+        rows.append([n, cost, bound, cost / bound])
+    reporter.title(f"Fact 1 — HMM touching, f = {f.name} (paper: Theta(n f(n)))")
+    reporter.table(["n", "measured", "n*f(n)", "ratio"], rows)
+
+    check = bounded_ratio(measured, bounds)
+    reporter.note(f"ratio band: [{check.min_ratio:.3f}, {check.max_ratio:.3f}] "
+                  f"(spread {check.spread:.2f})")
+    assert check.is_bounded(1.5)
+
+    if isinstance(f, PolynomialAccess):
+        slope = fit_loglog_slope(SIZES, measured)
+        reporter.note(f"fitted exponent {slope:.3f} (paper: {1 + f.alpha})")
+        assert slope == pytest.approx(1 + f.alpha, abs=0.1)
+
+    benchmark.pedantic(measure, args=(f, SIZES[-1]), rounds=1, iterations=1)

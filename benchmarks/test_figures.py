@@ -1,0 +1,75 @@
+"""F2-F4: regenerate the paper's illustrative figures from live simulator state.
+
+* Figure 2 — snapshots of HMM memory during a cycle sweeping the b = 8
+  sibling clusters of a coarser cluster;
+* Figure 3 — the assignment of submatrices to the four 2-clusters in the
+  two rounds of the matrix-multiplication algorithm;
+* Figure 4 — snapshots of BT memory during UNPACK(0) on 8 processors.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.matmul import mm_assignment_rounds
+from repro.analysis.figures import (
+    render_cluster_movements,
+    render_mm_assignment,
+    render_unpack_layout,
+)
+from repro.functions import PolynomialAccess
+from repro.sim.bt_sim import BTSimulator
+from repro.sim.hmm_sim import HMMSimulator
+from repro.testing import random_program
+
+
+def test_fig2_cluster_movements(benchmark, reporter):
+    """Figure 2: a b = 8 cycle (labels 3 -> 0 on v = 64)."""
+    f = PolynomialAccess(0.5)
+    prog = random_program(64, labels=[3, 0], seed=0)
+
+    def run():
+        return HMMSimulator(
+            f, record_trace=True, check_invariants="full"
+        ).simulate(prog, label_set=[0, 3, 6])
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    # phases of the label-3 superstep: the 8 3-clusters each reach the top
+    phase_snaps = [s for s in res.trace if s.label == 3]
+    assert len(phase_snaps) == 8
+    top_clusters = [s.slot_to_pid[0] // 8 for s in phase_snaps]
+    assert top_clusters == list(range(8))  # C0, C1, ..., C7 in turn
+    # while cluster j is on top, C0 is parked at j's home (Figure 2's swap)
+    for j, snap in enumerate(phase_snaps):
+        if j > 0:
+            assert snap.slot_to_pid[8 * j] // 8 == 0
+    reporter.title("Figure 2 — cluster movements during a b=8 cycle (v=64)")
+    reporter.note(render_cluster_movements(phase_snaps, cluster_level=3, v=64))
+
+
+def test_fig3_mm_assignment(benchmark, reporter):
+    rounds = benchmark.pedantic(mm_assignment_rounds, rounds=1, iterations=1)
+    text = render_mm_assignment(rounds)
+    reporter.title("Figure 3 — submatrix assignment during matrix multiplication")
+    reporter.note(text)
+    # the exact content of the paper's figure
+    assert rounds == [
+        {0: ("A11", "B11"), 1: ("A12", "B22"),
+         2: ("A22", "B21"), 3: ("A21", "B12")},
+        {0: ("A12", "B21"), 1: ("A11", "B12"),
+         2: ("A21", "B11"), 3: ("A22", "B22")},
+    ]
+
+
+def test_fig4_unpack_layout(benchmark, reporter):
+    """Figure 4: the buffer-interspersed layout on v = 8."""
+    f = PolynomialAccess(0.5)
+    prog = random_program(8, n_steps=2, seed=0)
+
+    def run():
+        return BTSimulator(f, record_layout=True).simulate(prog)
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    snaps = res.layout_trace[:2]
+    reporter.title("Figure 4 — BT memory layout during UNPACK(0), v = 8")
+    reporter.note(render_unpack_layout(snaps))
+    assert snaps[1].slots[:12] == (0, None, 1, None, 2, 3, None, None,
+                                   4, 5, 6, 7)

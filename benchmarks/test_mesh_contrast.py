@@ -1,0 +1,60 @@
+"""E14: the paper's positioning against Bilardi-Preparata [16, 18].
+
+Scaling processors away on the mesh-of-HMMs model costs
+``(n/p) * Lambda(n, p, m)`` with ``Lambda`` up to ``(n/p)^{1/d}`` — an
+*extra, unavoidable* hierarchy-induced slowdown.  On D-BSP the analogue
+(Theorem 10) is a clean ``Theta(v/v')``.  Both phenomena measured side by
+side on comparable lockstep neighbour/exchange workloads.
+"""
+
+from __future__ import annotations
+
+from repro.dbsp.machine import DBSPMachine
+from repro.functions import PolynomialAccess
+from repro.mesh.model import mesh_native_time, mesh_simulation_time
+from repro.sim.brent import BrentSimulator
+from repro.testing import random_program
+
+
+def test_mesh_lambda_vs_dbsp_brent(benchmark, reporter):
+    n, m, steps = 256, 16, 4
+    native = mesh_native_time(n, m, steps)
+
+    g = PolynomialAccess(0.5)
+    prog = random_program(n, labels=[0] * 8, seed=81)  # lockstep 0-supersteps
+    guest = DBSPMachine(g).run(prog.with_global_sync())
+
+    rows = []
+    mesh_lambdas, dbsp_lambdas = [], []
+    for ratio in (2, 8, 32, 128):
+        p = n // ratio
+        mesh_host = mesh_simulation_time(n, p, m, steps)
+        mesh_lambda = (mesh_host / native) / ratio
+        brent = BrentSimulator(g, v_host=p).simulate(prog)
+        dbsp_lambda = brent.slowdown(guest.total_time) / ratio
+        mesh_lambdas.append(mesh_lambda)
+        dbsp_lambdas.append(dbsp_lambda)
+        rows.append([ratio, mesh_lambda, dbsp_lambda])
+    reporter.title(
+        "E14 — extra slowdown factor Lambda = slowdown/(n/p) when scaling "
+        "down: mesh-of-HMMs [16] vs D-BSP (Theorem 10), n = 256"
+    )
+    reporter.table(
+        ["n/p", "mesh Lambda (grows ~n/p)", "D-BSP Lambda (flat)"], rows
+    )
+    reporter.note(
+        "the mesh pays an extra factor that scales with the lost "
+        "parallelism; the D-BSP column is the paper's 'no extra "
+        "hierarchy-induced slowdown' (engine constant only)"
+    )
+    # mesh Lambda grows ~linearly with n/p
+    assert mesh_lambdas[-1] > 8 * mesh_lambdas[0]
+    # D-BSP Lambda stays within a constant band
+    assert max(dbsp_lambdas) / min(dbsp_lambdas) < 4.0
+    # and the divergence between the two is large at the deep end
+    assert mesh_lambdas[-1] / mesh_lambdas[0] > \
+        4 * (dbsp_lambdas[-1] / dbsp_lambdas[0])
+
+    benchmark.pedantic(
+        lambda: mesh_simulation_time(n, 8, m, steps), rounds=1, iterations=1
+    )

@@ -1,0 +1,181 @@
+"""E12: hierarchy-oblivious RAM algorithms vs simulation-derived ones.
+
+The paper's practical pitch (§1, §3.1): flat-RAM code pays the access
+function on (nearly) every operation, while simulating the D-BSP
+algorithm *automatically* yields a hierarchy-conscious algorithm that is
+optimal on the HMM.  On the ``x^0.5``-HMM:
+
+| problem | flat RAM algorithm      | derived via simulation |
+|---------|-------------------------|------------------------|
+| sorting | ``Theta(n^1.5 log n)``  | ``Theta(n^1.5)``       |
+| FFT     | ``Theta(n^1.5 log n)``  | ``Theta(n^1.5)``       |
+| n-MM    | ``Theta(n^2)``          | ``Theta(n^1.5 log n)`` |
+
+The separation is asymptotic: the generic simulation carries a large
+constant (full context cycling, smoothing, delivery accounting — a few
+hundred), so at bench sizes the flat code can still be ahead.  What the
+experiment verifies is the *shape* gap — the flat cost normalized by the
+derived algorithm's Theta grows without bound while the derived cost's
+normalization stays flat — and it reports the estimated crossover size
+implied by the fitted constants.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.algorithms.fft import fft_dag_program
+from repro.algorithms.matmul import matmul_program
+from repro.algorithms.sorting import bitonic_sort_program
+from repro.analysis.fitting import bounded_ratio
+from repro.functions import PolynomialAccess
+from repro.hmm.flat import hmm_flat_fft, hmm_flat_matmul, hmm_flat_mergesort
+from repro.hmm.machine import HMMMachine
+from repro.sim.hmm_sim import HMMSimulator
+
+F = PolynomialAccess(0.5)
+MU = 2
+
+
+def flat_sort_cost(n: int) -> float:
+    rng = random.Random(n)
+    machine = HMMMachine(F, 2 * n)
+    machine.mem[:n] = [rng.random() for _ in range(n)]
+    return hmm_flat_mergesort(machine, n)
+
+
+def flat_fft_cost(n: int) -> float:
+    machine = HMMMachine(F, n)
+    machine.mem[:n] = [complex(k % 7, 0) for k in range(n)]
+    return hmm_flat_fft(machine, n)
+
+
+def flat_mm_cost(n: int) -> float:
+    side = int(round(n**0.5))
+    machine = HMMMachine(F, 3 * side * side)
+    machine.mem[: 2 * side * side] = [1.0] * (2 * side * side)
+    return hmm_flat_matmul(machine, side)
+
+
+def derived_cost(builder, n: int) -> float:
+    return HMMSimulator(F, check_invariants="off").simulate(
+        builder(n, mu=MU)
+    ).time
+
+
+# (name, flat measure, program builder, derived Theta, flat extra factor)
+CASES = [
+    ("sorting", flat_sort_cost, bitonic_sort_program,
+     lambda n: n**1.5, lambda n: math.log2(n)),
+    ("fft", flat_fft_cost, fft_dag_program,
+     lambda n: n**1.5, lambda n: math.log2(n)),
+    ("matmul", flat_mm_cost, matmul_program,
+     lambda n: n**1.5 * math.log2(n), lambda n: n**0.5 / math.log2(n)),
+]
+
+
+@pytest.mark.parametrize("name,flat_fn,builder,theta,extra", CASES,
+                         ids=[c[0] for c in CASES])
+def test_shape_gap_and_crossover(benchmark, reporter, name, flat_fn,
+                                 builder, theta, extra):
+    sizes = [64, 256, 1024, 4096] if name != "matmul" else [64, 256, 1024]
+    rows, flat_norm, derived_norm = [], [], []
+    for n in sizes:
+        flat = flat_fn(n)
+        derived = derived_cost(builder, n)
+        flat_norm.append(flat / theta(n))
+        derived_norm.append(derived / theta(n))
+        rows.append([n, flat, derived, flat_norm[-1], derived_norm[-1]])
+    reporter.title(
+        f"E12 — {name} on the x^0.5-HMM: flat RAM code vs the algorithm "
+        f"derived by simulating the D-BSP program (normalized by the "
+        f"derived algorithm's Theta)"
+    )
+    reporter.table(
+        ["n", "flat cost", "derived cost", "flat/Theta", "derived/Theta"],
+        rows,
+    )
+    # the derived algorithm is Theta-optimal: flat normalized column
+    derived_check = bounded_ratio(derived_norm, [1.0] * len(derived_norm))
+    assert derived_check.is_bounded(2.0), derived_norm
+    # the flat code's normalized cost grows without bound
+    assert flat_norm[-1] > 1.35 * flat_norm[0], flat_norm
+    assert all(b > a for a, b in zip(flat_norm, flat_norm[1:]))
+
+    # crossover estimate: flat ~ a * Theta * extra(n), derived ~ b * Theta
+    a = flat_norm[-1] / extra(sizes[-1])
+    b = derived_norm[-1]
+    target = b / a
+    n_star, guess = None, sizes[-1]
+    for _ in range(200):
+        guess *= 2
+        if extra(guess) >= target:
+            n_star = guess
+            break
+    reporter.note(
+        f"fitted: flat ≈ {a:.2f}·Theta·extra(n), derived ≈ {b:.1f}·Theta "
+        f"-> estimated crossover n* ≈ "
+        f"{('2^' + str(int(math.log2(n_star)))) if n_star else '> 2^200'} "
+        f"(the win is asymptotic; the simulation constant is the price of "
+        f"full generality)"
+    )
+
+    benchmark.pedantic(flat_fn, args=(256,), rounds=1, iterations=1)
+
+
+def test_three_way_matmul(benchmark, reporter):
+    """The full triangle for n-MM on the x^0.5-HMM: oblivious flat loop
+    vs simulation-derived vs the hand-tuned blocked native algorithm of
+    [1] — all three Theta-classes visible, the native one with a small
+    constant (flat/native grows like sqrt(n)/log n)."""
+    import random as _random
+
+    from repro.hmm.blocked import hmm_blocked_matmul
+
+    rows, gaps = [], []
+    for side in (16, 32, 64):
+        n = side * side
+        s = n
+        machine = HMMMachine(F, 3 * s)
+        machine.mem[: 2 * s] = [1.0] * (2 * s)
+        flat = hmm_flat_matmul(machine, side)
+        rng = _random.Random(side)
+        native_machine = HMMMachine(F, 6 * s)
+        native_machine.mem[3 * s : 5 * s] = [rng.random() for _ in range(2 * s)]
+        native = hmm_blocked_matmul(native_machine, side)
+        derived = derived_cost(matmul_program, n)
+        gaps.append(flat / native)
+        rows.append([n, flat, native, derived, flat / native,
+                     derived / native])
+    reporter.title(
+        "E12 — n-MM on the x^0.5-HMM, three ways: flat triple loop vs "
+        "hand-tuned blocked native ([1]) vs simulation-derived"
+    )
+    reporter.table(
+        ["n", "flat", "native blocked", "derived (sim)", "flat/native",
+         "derived/native"],
+        rows,
+    )
+    reporter.note(
+        "flat/native grows (Theta(sqrt n / log n)); derived/native is the "
+        "generic scheme's constant — the paper's point is that the derived "
+        "algorithm reaches the right Theta *automatically*"
+    )
+    assert all(b > a for a, b in zip(gaps, gaps[1:])), gaps
+
+    benchmark.pedantic(
+        lambda: hmm_blocked_matmul(
+            _fresh_blocked_machine(32), 32
+        ),
+        rounds=1, iterations=1,
+    )
+
+
+def _fresh_blocked_machine(side):
+    s = side * side
+    machine = HMMMachine(F, 6 * s)
+    machine.mem[3 * s : 5 * s] = [1.0] * (2 * s)
+    return machine

@@ -1,0 +1,97 @@
+"""E15: where the simulation time goes — phase-attributed cost profiles.
+
+The engines attribute every charged unit to a phase of the paper's
+schemes.  This experiment profiles the HMM simulation (Fig. 1: context
+cycling / message delivery / cluster swaps / dummies) and the BT
+simulation (Figs. 4-7: pack-unpack / COMPUTE / delivery / swaps) across
+label profiles, quantifying two analysis facts:
+
+* on the HMM, the *cycling* term is the one Theorem 5's
+  ``mu v f(mu v/2^i)`` prices — it shrinks with label depth — while
+  *swaps* only appear for oscillating profiles (and stay a constant
+  fraction, as the Theorem 4 amortization argument requires);
+* on the BT machine the *delivery* (sorting) phase dominates everything,
+  which is exactly why Theorem 12's bound is ``log``-shaped and
+  f-independent, and why the §6 regular-routing shortcut pays.
+"""
+
+from __future__ import annotations
+
+from repro.functions import PolynomialAccess
+from repro.sim.bt_sim import BTSimulator
+from repro.sim.hmm_sim import HMMSimulator
+from repro.testing import random_label_sequence, random_program
+
+F = PolynomialAccess(0.5)
+
+
+def test_hmm_phase_profile(benchmark, reporter):
+    v = 128
+    profiles = {
+        "coarse": [0] * 8,
+        "uniform": random_label_sequence(v, 8, seed=91),
+        "deep": [max(5, l) for l in random_label_sequence(v, 8, seed=91)],
+        "oscillating": [6, 0, 6, 0, 6, 0, 6, 0],
+    }
+    rows = []
+    stats = {}
+    for name, labels in profiles.items():
+        res = HMMSimulator(F).simulate(random_program(v, labels=labels, seed=91))
+        b = res.breakdown
+        stats[name] = b
+        rows.append([name, res.time, b["cycling"], b["delivery"],
+                     b["swaps"], b["dummies"], b["local"]])
+    reporter.title("E15 — HMM simulation phase profile by label profile (v=128)")
+    reporter.table(
+        ["profile", "total", "cycling", "delivery", "swaps", "dummies",
+         "local"],
+        rows,
+    )
+    # cycling shrinks with label depth
+    assert stats["deep"]["cycling"] < stats["coarse"]["cycling"] / 2
+    # steady profiles never swap; oscillating ones do, but swaps stay a
+    # bounded fraction of the total (the amortization of Theorem 4)
+    assert stats["coarse"]["swaps"] == 0.0
+    assert stats["oscillating"]["swaps"] > 0.0
+    # (the amortization bounds swaps by a constant multiple of the
+    # adjacent supersteps' simulation cost — ~2/3 of the total for the
+    # worst-case alternating profile, but never unbounded)
+    osc_total = sum(stats["oscillating"].values())
+    assert stats["oscillating"]["swaps"] < 0.8 * osc_total
+
+    benchmark.pedantic(
+        lambda: HMMSimulator(F).simulate(
+            random_program(v, labels=profiles["uniform"], seed=91)),
+        rounds=1, iterations=1,
+    )
+
+
+def test_bt_phase_profile(benchmark, reporter):
+    v = 64
+    rows = []
+    shares = []
+    for n_steps in (4, 8, 16):
+        prog = random_program(v, n_steps=n_steps, seed=93)
+        res = BTSimulator(F).simulate(prog)
+        b = res.breakdown
+        share = b["delivery"] / res.time
+        shares.append(share)
+        rows.append([n_steps, res.time, b["compute"], b["delivery"],
+                     b["pack_unpack"], b["swaps"], share])
+    reporter.title("E15 — BT simulation phase profile (v=64)")
+    reporter.table(
+        ["steps", "total", "compute", "delivery", "pack_unpack", "swaps",
+         "delivery share"],
+        rows,
+    )
+    reporter.note(
+        "delivery (the sorting of Fig. 7) dominates, as the Theorem 12 "
+        "discussion states — 'the complexity of the sorting operations ... "
+        "is the dominant factor in the simulation time'"
+    )
+    assert all(share > 0.4 for share in shares)
+
+    benchmark.pedantic(
+        lambda: BTSimulator(F).simulate(random_program(v, n_steps=8, seed=93)),
+        rounds=1, iterations=1,
+    )

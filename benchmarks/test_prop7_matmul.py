@@ -1,0 +1,96 @@
+"""E4 (Proposition 7): n-MM on D-BSP and its HMM simulation.
+
+Paper claims, for multiplying two sqrt(n) x sqrt(n) matrices with n
+processors:
+
+* D-BSP time ``O(n^alpha)`` for ``1/2 < alpha < 1``; ``O(sqrt n log n)``
+  at ``alpha = 1/2``; ``O(sqrt n)`` for ``alpha < 1/2`` and ``g = log x``;
+* simulating the algorithm on the matching HMM is *optimal*: it lands on
+  the lower bounds of [1] (``n^{1+alpha}`` / ``n^{3/2} log n`` /
+  ``n^{3/2}``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.matmul import dbsp_mm_time_bound, matmul_program
+from repro.analysis.fitting import bounded_ratio
+from repro.dbsp.machine import DBSPMachine
+from repro.functions import LogarithmicAccess, PolynomialAccess
+from repro.hmm.algorithms import hmm_matmul_lower_bound
+from repro.sim.hmm_sim import HMMSimulator
+
+SIZES = [16, 64, 256, 1024]
+MU = 2
+FUNCTIONS = [
+    PolynomialAccess(0.3),
+    PolynomialAccess(0.5),
+    PolynomialAccess(0.7),
+    LogarithmicAccess(),
+]
+
+
+@pytest.mark.parametrize("g", FUNCTIONS, ids=lambda f: f.name)
+def test_prop7_dbsp_time(benchmark, reporter, g):
+    rows, measured, bounds = [], [], []
+    for n in SIZES:
+        t = DBSPMachine(g).run(matmul_program(n, mu=MU)).total_time
+        bound = dbsp_mm_time_bound(g, n, mu=MU)
+        measured.append(t)
+        bounds.append(bound)
+        rows.append([n, t, bound, t / bound])
+    reporter.title(
+        f"Proposition 7 — n-MM on D-BSP(n, O(1), {g.name}) "
+        f"(paper: {_claim(g)})"
+    )
+    reporter.table(["n", "T_dbsp", "bound", "ratio"], rows)
+    check = bounded_ratio(measured, bounds)
+    reporter.note(f"ratio band: [{check.min_ratio:.2f}, {check.max_ratio:.2f}]")
+    assert check.is_bounded(4.0)
+
+    benchmark.pedantic(
+        lambda: DBSPMachine(g).run(matmul_program(256, mu=MU)),
+        rounds=1, iterations=1,
+    )
+
+
+def _claim(g) -> str:
+    if isinstance(g, LogarithmicAccess):
+        return "O(sqrt n)"
+    if g.alpha > 0.5:
+        return f"O(n^{g.alpha})"
+    if g.alpha == 0.5:
+        return "O(sqrt n log n)"
+    return "O(sqrt n)"
+
+
+@pytest.mark.parametrize(
+    "f", [PolynomialAccess(0.3), PolynomialAccess(0.5), PolynomialAccess(0.7),
+          LogarithmicAccess()],
+    ids=lambda f: f.name,
+)
+def test_prop7_hmm_simulation_optimal(benchmark, reporter, f):
+    """The simulated algorithm matches [1]'s HMM n-MM lower bound shape."""
+    rows, measured, bounds = [], [], []
+    for n in SIZES:
+        prog = matmul_program(n, mu=MU)
+        res = HMMSimulator(f, check_invariants="off").simulate(prog)
+        bound = hmm_matmul_lower_bound(f, n)
+        measured.append(res.time)
+        bounds.append(bound)
+        rows.append([n, res.time, bound, res.time / bound])
+    reporter.title(
+        f"Proposition 7 — simulated n-MM on {f.name}-HMM vs the [1] lower bound"
+    )
+    reporter.table(["n", "T_hmm_sim", "LB shape", "ratio"], rows)
+    check = bounded_ratio(measured, bounds)
+    reporter.note(f"ratio band: [{check.min_ratio:.2f}, {check.max_ratio:.2f}]")
+    assert check.is_bounded(5.0)
+
+    benchmark.pedantic(
+        lambda: HMMSimulator(f, check_invariants="off").simulate(
+            matmul_program(256, mu=MU)
+        ),
+        rounds=1, iterations=1,
+    )

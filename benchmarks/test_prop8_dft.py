@@ -1,0 +1,94 @@
+"""E5 (Proposition 8): n-DFT on D-BSP and its HMM simulation.
+
+Paper claims:
+
+* ``T_DFT = O(n^alpha)`` on ``D-BSP(n, O(1), x^alpha)`` (DAG schedule) and
+  ``T_DFT = O(log n log log n)`` on ``D-BSP(n, O(1), log x)`` (recursive
+  schedule);
+* the simulations match the best known HMM bounds: ``O(n^{1+alpha})`` and
+  ``O(n log n log log n)`` respectively.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.fft import (
+    dbsp_fft_dag_time_bound,
+    dbsp_fft_recursive_time_bound,
+    fft_dag_program,
+    fft_recursive_program,
+)
+from repro.analysis.fitting import bounded_ratio
+from repro.dbsp.machine import DBSPMachine
+from repro.functions import LogarithmicAccess, PolynomialAccess
+from repro.hmm.algorithms import hmm_fft_lower_bound
+from repro.sim.hmm_sim import HMMSimulator
+
+SIZES = [16, 64, 256, 1024]
+MU = 2
+
+CASES = [
+    ("dag on x^0.5", PolynomialAccess(0.5), fft_dag_program,
+     dbsp_fft_dag_time_bound),
+    ("recursive on x^0.5", PolynomialAccess(0.5), fft_recursive_program,
+     dbsp_fft_recursive_time_bound),
+    ("dag on log x", LogarithmicAccess(), fft_dag_program,
+     dbsp_fft_dag_time_bound),
+    ("recursive on log x", LogarithmicAccess(), fft_recursive_program,
+     dbsp_fft_recursive_time_bound),
+]
+
+
+@pytest.mark.parametrize("name,g,builder,bound_fn", CASES,
+                         ids=[c[0] for c in CASES])
+def test_prop8_dbsp_time(benchmark, reporter, name, g, builder, bound_fn):
+    rows, measured, bounds = [], [], []
+    for n in SIZES:
+        t = DBSPMachine(g).run(builder(n, mu=MU)).total_time
+        bound = bound_fn(g, n, mu=MU)
+        measured.append(t)
+        bounds.append(bound)
+        rows.append([n, t, bound, t / bound])
+    reporter.title(f"Proposition 8 — n-DFT, {name}")
+    reporter.table(["n", "T_dbsp", "bound", "ratio"], rows)
+    check = bounded_ratio(measured, bounds)
+    reporter.note(f"ratio band: [{check.min_ratio:.2f}, {check.max_ratio:.2f}]")
+    assert check.is_bounded(4.0)
+
+    benchmark.pedantic(
+        lambda: DBSPMachine(g).run(builder(256, mu=MU)), rounds=1, iterations=1
+    )
+
+
+@pytest.mark.parametrize(
+    "f,builder",
+    [
+        (PolynomialAccess(0.5), fft_dag_program),
+        (LogarithmicAccess(), fft_recursive_program),
+    ],
+    ids=["x^0.5-dag", "log-recursive"],
+)
+def test_prop8_hmm_simulation_matches_best_bounds(benchmark, reporter, f, builder):
+    rows, measured, bounds = [], [], []
+    for n in SIZES:
+        prog = builder(n, mu=MU)
+        res = HMMSimulator(f, check_invariants="off").simulate(prog)
+        bound = hmm_fft_lower_bound(f, n)
+        measured.append(res.time)
+        bounds.append(bound)
+        rows.append([n, res.time, bound, res.time / bound])
+    reporter.title(
+        f"Proposition 8 — simulated n-DFT on {f.name}-HMM vs best known bound"
+    )
+    reporter.table(["n", "T_hmm_sim", "bound shape", "ratio"], rows)
+    check = bounded_ratio(measured, bounds)
+    reporter.note(f"ratio band: [{check.min_ratio:.2f}, {check.max_ratio:.2f}]")
+    assert check.is_bounded(5.0)
+
+    benchmark.pedantic(
+        lambda: HMMSimulator(f, check_invariants="off").simulate(
+            builder(256, mu=MU)
+        ),
+        rounds=1, iterations=1,
+    )

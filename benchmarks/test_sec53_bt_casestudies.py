@@ -1,0 +1,141 @@
+"""E9 (Section 5.3): case studies of the BT simulation.
+
+Three of the paper's claims are regenerated:
+
+* **n-MM**: the simulated algorithm runs in optimal ``O(n^{3/2})`` on
+  ``f(x)``-BT, while a trivial step-by-step simulation pays at least a
+  touching cost ``Theta(n f*(n))`` per superstep — an
+  ``omega(n^{3/2})`` total;
+* **n-DFT**: simulating the DAG schedule costs ``Theta(n log^2 n)`` and
+  the recursive schedule ``Theta(n log n log log n)`` — asymptotically
+  separated on the BT host even though ``g = x^alpha`` prices the two
+  identically on the guest;
+* **bridging choice**: consequently ``g = log x`` (which separates them,
+  Prop. 8) is the effective guest model for writing BT code, ``g =
+  x^alpha`` is not.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.algorithms.fft import fft_dag_program, fft_recursive_program
+from repro.algorithms.matmul import matmul_program
+from repro.analysis.fitting import bounded_ratio
+from repro.dbsp.machine import DBSPMachine
+from repro.functions import LogarithmicAccess, PolynomialAccess
+from repro.sim.bt_sim import BTSimulator
+
+MU = 2
+HOSTS = [PolynomialAccess(0.5), LogarithmicAccess()]
+
+
+@pytest.mark.parametrize("f", HOSTS, ids=lambda f: f.name)
+def test_mm_on_bt_optimal(benchmark, reporter, f):
+    rows, measured, bounds = [], [], []
+    for n in (16, 64, 256, 1024):
+        prog = matmul_program(n, mu=MU)
+        res = BTSimulator(f).simulate(prog)
+        bound = float(n) ** 1.5
+        n_steps = len(res.smoothed.program.supersteps)
+        naive = n_steps * n * MU * f.star(MU * n)  # touching per superstep
+        measured.append(res.time)
+        bounds.append(bound)
+        rows.append([n, res.time, bound, res.time / bound, naive,
+                     naive / bound])
+    reporter.title(
+        f"§5.3 — simulated n-MM on {f.name}-BT (paper: optimal O(n^1.5); "
+        f"step-by-step simulation pays omega(n^1.5))"
+    )
+    reporter.table(
+        ["n", "T_bt_sim", "n^1.5", "ratio", "naive floor", "naive/n^1.5"],
+        rows,
+    )
+    check = bounded_ratio(measured, bounds)
+    reporter.note(f"ratio band: [{check.min_ratio:.2f}, {check.max_ratio:.2f}]")
+    assert check.is_bounded(4.0)
+    # the naive floor's normalized cost grows (the f* factor), ours is flat
+    naive_norm = [r[5] for r in rows]
+    assert naive_norm[-1] > naive_norm[0]
+
+    benchmark.pedantic(
+        lambda: BTSimulator(f).simulate(matmul_program(256, mu=MU)),
+        rounds=1, iterations=1,
+    )
+
+
+@pytest.mark.parametrize("f", HOSTS, ids=lambda f: f.name)
+def test_dft_two_schedules_on_bt(benchmark, reporter, f):
+    rows = []
+    dag_norm, rec_norm = [], []
+    for n in (64, 256, 1024):
+        lg = math.log2(n)
+        t_dag = BTSimulator(f).simulate(fft_dag_program(n, mu=MU)).time
+        t_rec = BTSimulator(f).simulate(fft_recursive_program(n, mu=MU)).time
+        dag_norm.append(t_dag / (n * lg**2))
+        rec_norm.append(t_rec / (n * lg * math.log2(lg)))
+        rows.append([n, t_dag, t_rec, dag_norm[-1], rec_norm[-1],
+                     t_rec / t_dag])
+    reporter.title(
+        f"§5.3 — simulated n-DFT on {f.name}-BT: DAG (Theta(n log^2 n)) vs "
+        f"recursive (Theta(n log n loglog n))"
+    )
+    reporter.table(
+        ["n", "T_dag_sim", "T_rec_sim", "dag/(n log^2 n)",
+         "rec/(n log n llog n)", "rec/dag"],
+        rows,
+    )
+    # both normalized columns are flat (each schedule hits its Theta)...
+    assert bounded_ratio(dag_norm, [1.0] * len(dag_norm)).is_bounded(2.5)
+    assert bounded_ratio(rec_norm, [1.0] * len(rec_norm)).is_bounded(2.5)
+    # ...and the rec/dag ratio falls over the sweep: the Theta separation
+    # (our recursive schedule spends 3 transposes per level where the
+    # paper's counts 1, so the crossover sits beyond bench sizes — the
+    # downward trend is the reproducible claim)
+    ratios = [r[5] for r in rows]
+    assert ratios[-1] < 0.99 * ratios[0], ratios
+
+    benchmark.pedantic(
+        lambda: BTSimulator(f).simulate(fft_recursive_program(256, mu=MU)),
+        rounds=1, iterations=1,
+    )
+
+
+def test_bridging_model_choice(benchmark, reporter):
+    """g = log x ranks the two DFT schedules; g = x^alpha cannot (§5.3)."""
+    n = 1024
+    g_log, g_pol = LogarithmicAccess(), PolynomialAccess(0.5)
+    rows = []
+    t = {}
+    for name, g in (("log x", g_log), ("x^0.5", g_pol)):
+        t_dag = DBSPMachine(g).run(fft_dag_program(n, mu=MU)).total_time
+        t_rec = DBSPMachine(g).run(fft_recursive_program(n, mu=MU)).total_time
+        t[name] = (t_dag, t_rec)
+        rows.append([name, t_dag, t_rec, t_rec / t_dag])
+    reporter.title(
+        "§5.3 — guest bandwidth choice: normalized D-BSP times of the two "
+        "DFT schedules (n = 1024)"
+    )
+    reporter.table(["g", "T_dag", "T_rec", "rec/dag"], rows)
+    lg = math.log2(n)
+    reporter.note(
+        f"paper: on g=log x the asymptotic orders are log^2 n = {lg**2:.0f} "
+        f"vs log n loglog n = {lg * math.log2(lg):.0f} (separated); on "
+        f"g=x^0.5 both are Theta(n^0.5) (indistinguishable)"
+    )
+    # on x^alpha the two schedules differ by at most a small constant
+    dag_a, rec_a = t["x^0.5"]
+    assert 0.2 < rec_a / dag_a < 5.0
+    # on log x the schedules' *growth orders* differ: check via two sizes
+    t_dag_big = DBSPMachine(g_log).run(fft_dag_program(4096, mu=MU)).total_time
+    t_rec_big = DBSPMachine(g_log).run(
+        fft_recursive_program(4096, mu=MU)).total_time
+    dag_l, rec_l = t["log x"]
+    assert (t_rec_big / rec_l) < (t_dag_big / dag_l)
+
+    benchmark.pedantic(
+        lambda: DBSPMachine(g_log).run(fft_recursive_program(1024, mu=MU)),
+        rounds=1, iterations=1,
+    )

@@ -1,0 +1,78 @@
+"""E8 (Theorem 12): the D-BSP -> BT simulation.
+
+Paper claims simulation time
+``O(v (tau + mu sum_i lambda_i log(mu v / 2^i)))`` for any (2, c)-uniform
+``f(x) = O(x^alpha)`` — notably *independent of f*: block transfer hides
+the access costs almost completely.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.bounds import program_stats, theorem12_bound
+from repro.analysis.fitting import bounded_ratio
+from repro.dbsp.machine import DBSPMachine
+from repro.functions import LogarithmicAccess, PolynomialAccess
+from repro.sim.bt_sim import BTSimulator
+from repro.testing import random_program
+
+WIDTHS = [1 << k for k in range(2, 9)]
+FUNCTIONS = [PolynomialAccess(0.3), PolynomialAccess(0.5), LogarithmicAccess()]
+
+
+@pytest.mark.parametrize("f", FUNCTIONS, ids=lambda f: f.name)
+def test_theorem12_bound_shape(benchmark, reporter, f):
+    rows, measured, bounds = [], [], []
+    for v in WIDTHS:
+        prog = random_program(v, n_steps=8, seed=31)
+        guest = DBSPMachine(f).run(prog.with_global_sync())
+        tau, lambdas = program_stats(guest)
+        bound = theorem12_bound(v, prog.mu, tau, lambdas)
+        res = BTSimulator(f).simulate(prog)
+        measured.append(res.time)
+        bounds.append(bound)
+        rows.append([v, res.time, bound, res.time / bound])
+    reporter.title(
+        f"Theorem 12 — D-BSP on {f.name}-BT "
+        f"(paper: O(v(tau + mu sum lambda_i log(mu v/2^i))), f-free)"
+    )
+    reporter.table(["v", "sim time", "thm12 bound", "ratio"], rows)
+    check = bounded_ratio(measured, bounds)
+    reporter.note(f"ratio band: [{check.min_ratio:.2f}, {check.max_ratio:.2f}]")
+    assert check.max_ratio < 60.0
+    assert check.is_bounded(5.0)
+
+    benchmark.pedantic(
+        lambda: BTSimulator(f).simulate(random_program(64, n_steps=8, seed=31)),
+        rounds=1, iterations=1,
+    )
+
+
+def test_theorem12_f_independence(benchmark, reporter):
+    """The hallmark of Section 5: times barely move across access functions."""
+    rows = []
+    spreads = []
+    for v in WIDTHS:
+        prog = random_program(v, n_steps=8, seed=37)
+        times = [BTSimulator(f).simulate(prog).time for f in FUNCTIONS]
+        spread = max(times) / min(times)
+        spreads.append(spread)
+        rows.append([v] + times + [spread])
+    reporter.title(
+        "Theorem 12 — f-independence: same program simulated on three BT hosts"
+    )
+    reporter.table(
+        ["v"] + [f"T({f.name})" for f in FUNCTIONS] + ["max/min"], rows
+    )
+    reporter.note(
+        "the HMM simulation's cost, by contrast, scales with f(mu v) "
+        "(Theorem 5) — see E3"
+    )
+    assert max(spreads) < 2.5
+
+    prog = random_program(64, n_steps=8, seed=37)
+    benchmark.pedantic(
+        lambda: [BTSimulator(f).simulate(prog) for f in FUNCTIONS],
+        rounds=1, iterations=1,
+    )

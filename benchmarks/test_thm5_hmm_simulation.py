@@ -1,0 +1,83 @@
+"""E3 (Theorem 5 / Corollary 6): the D-BSP -> HMM simulation.
+
+Two claims are regenerated:
+
+* Theorem 5 — simulation time is
+  ``O(v (tau + mu sum_i lambda_i f(mu v / 2^i)))`` for any (2, c)-uniform
+  ``f``: measured/bound stays in a constant band over machine widths and
+  label profiles;
+* Corollary 6 — with ``g = f``, slowdown over the guest D-BSP time is
+  ``Theta(v)``: the *linear* slowdown that is the paper's headline ("no
+  extra hierarchy-induced slowdown beyond the loss of parallelism").
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.bounds import program_stats, theorem5_bound
+from repro.analysis.fitting import bounded_ratio, fit_loglog_slope
+from repro.dbsp.machine import DBSPMachine
+from repro.functions import LogarithmicAccess, PolynomialAccess
+from repro.sim.hmm_sim import HMMSimulator
+from repro.testing import random_program
+
+WIDTHS = [1 << k for k in range(2, 11)]
+FUNCTIONS = [PolynomialAccess(0.5), LogarithmicAccess()]
+
+
+def run_pair(f, v, bias):
+    from repro.testing import random_label_sequence
+
+    labels = random_label_sequence(v, 8, seed=17, bias=bias)
+    prog = random_program(v, labels=labels, seed=17)
+    guest = DBSPMachine(f).run(prog.with_global_sync())
+    host = HMMSimulator(f).simulate(prog)
+    return prog, guest, host
+
+
+@pytest.mark.parametrize("f", FUNCTIONS, ids=lambda f: f.name)
+@pytest.mark.parametrize("bias", ["uniform", "fine", "coarse"])
+def test_theorem5_bound_shape(benchmark, reporter, f, bias):
+    rows, measured, bounds = [], [], []
+    for v in WIDTHS:
+        prog, guest, host = run_pair(f, v, bias)
+        tau, lambdas = program_stats(guest)
+        bound = theorem5_bound(f, v, prog.mu, tau, lambdas)
+        measured.append(host.time)
+        bounds.append(bound)
+        rows.append([v, host.time, bound, host.time / bound])
+    reporter.title(
+        f"Theorem 5 — D-BSP on {f.name}-HMM, {bias} labels "
+        f"(paper: O(v(tau + mu sum lambda_i f(mu v/2^i))))"
+    )
+    reporter.table(["v", "sim time", "thm5 bound", "ratio"], rows)
+    check = bounded_ratio(measured, bounds)
+    reporter.note(f"ratio band: [{check.min_ratio:.3f}, {check.max_ratio:.3f}]")
+    assert check.max_ratio < 30.0
+    assert check.is_bounded(5.0)
+
+    benchmark.pedantic(run_pair, args=(f, 256, bias), rounds=1, iterations=1)
+
+
+@pytest.mark.parametrize("f", FUNCTIONS, ids=lambda f: f.name)
+def test_corollary6_linear_slowdown(benchmark, reporter, f):
+    rows, normalized = [], []
+    for v in WIDTHS:
+        _prog, guest, host = run_pair(f, v, "uniform")
+        slowdown = host.slowdown(guest.total_time)
+        normalized.append(slowdown / v)
+        rows.append([v, guest.total_time, host.time, slowdown, slowdown / v])
+    reporter.title(
+        f"Corollary 6 — slowdown of the {f.name}-HMM simulation "
+        f"(paper: Theta(v), i.e. slowdown/v flat)"
+    )
+    reporter.table(["v", "T_dbsp", "T_hmm", "slowdown", "slowdown/v"], rows)
+    check = bounded_ratio(normalized, [1.0] * len(normalized))
+    reporter.note(f"slowdown/v band: [{check.min_ratio:.2f}, {check.max_ratio:.2f}]")
+    assert check.is_bounded(3.0)
+    slope = fit_loglog_slope(WIDTHS, [r[3] for r in rows])
+    reporter.note(f"fitted slowdown exponent in v: {slope:.3f} (paper: 1)")
+    assert slope == pytest.approx(1.0, abs=0.25)
+
+    benchmark.pedantic(run_pair, args=(f, 256, "uniform"), rounds=1, iterations=1)

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Anatomy of a simulation: where does the charged time actually go?
+
+Both simulation engines attribute every charged time unit to a phase of
+the paper's scheme.  This example dissects three contrasting workloads:
+
+* ``matmul``   — structured submachine locality (Prop. 7);
+* ``listrank`` — pointer jumping, zero locality (every superstep global);
+* ``fft-rec``  — few coarse transposes, most work deep in the tree.
+
+On the HMM engine, ``cycling`` is the term Theorem 5 prices
+(``mu v f(mu v / 2^i)`` per superstep — it shrinks with label depth),
+``swaps`` is the Theorem 4 amortized reshuffling, and ``delivery`` the
+message filing.  On the BT engine, ``delivery`` is the Fig. 7 sorting —
+the dominant term the paper's post-Theorem-12 discussion calls out.
+"""
+
+from repro import (
+    BTSimulator,
+    HMMSimulator,
+    PolynomialAccess,
+    fft_recursive_program,
+    list_ranking_program,
+    matmul_program,
+)
+
+
+def show(title: str, breakdown: dict[str, float], total: float) -> None:
+    parts = "  ".join(
+        f"{k}={v / total:5.1%}" for k, v in sorted(breakdown.items())
+        if v > 0
+    )
+    print(f"  {title:34s} total={total:12.0f}  {parts}")
+
+
+def main() -> None:
+    f = PolynomialAccess(0.5)
+    v = 256
+    workloads = [
+        ("matmul (structured)", matmul_program(v, mu=2)),
+        ("listrank (locality-free)", list_ranking_program(v, mu=2)),
+        ("fft-rec (coarse+deep mix)", fft_recursive_program(v, mu=2)),
+    ]
+
+    print(f"HMM engine (f = {f.name}), v = {v}")
+    for name, prog in workloads:
+        res = HMMSimulator(f, check_invariants="off").simulate(prog)
+        show(name, res.breakdown, res.time)
+
+    print(f"\nBT engine (f = {f.name}), v = {v}")
+    for name, prog in workloads:
+        res = BTSimulator(f).simulate(prog)
+        show(name, res.breakdown, res.time)
+
+    print("""
+reading: on the HMM, the locality-free workload spends almost everything
+in 'cycling' at full machine depth, while structured workloads shift the
+weight into cheap deep-cluster work and amortized swaps; on the BT host
+the delivery sort dominates across the board — which is why Theorem 12's
+bound is log-shaped, f-independent, and why §6's regular-permutation
+routing is worth having.""")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""A tour of the sequential machine models: HMM vs BT (Facts 1 and 2).
+
+Touch n memory cells on both machines:
+
+* the ``f(x)``-HMM pays ``f`` at every address — ``Theta(n f(n))``;
+* the ``f(x)``-BT pipelines blocks toward the top of memory and pays only
+  ``Theta(n f*(n))`` — ``n log log n`` for ``f = x^alpha``, ``n log* n``
+  for ``f = log x``.
+
+The gap ``f(n) / f*(n)`` is the paper's measure of what block transfer
+(spatial locality) buys on top of temporal locality.
+"""
+
+from repro import LogarithmicAccess, PolynomialAccess
+from repro.bt import BTMachine, bt_touch_all
+from repro.hmm import HMMMachine, hmm_touch_all
+
+
+def main() -> None:
+    for f in (PolynomialAccess(0.5), LogarithmicAccess()):
+        print(f"access function f(x) = {f.name}")
+        header = (f"  {'n':>8s} {'HMM cost':>12s} {'BT cost':>12s} "
+                  f"{'HMM/BT':>7s} {'f(n)':>8s} {'f*(n)':>6s}")
+        print(header)
+        print("  " + "-" * (len(header) - 2))
+        for exp in (10, 13, 16):
+            n = 1 << exp
+            hmm = HMMMachine(f, n)
+            hmm.mem[:n] = [1] * n
+            hmm_cost = hmm_touch_all(hmm, n)
+
+            bt = BTMachine(f, 2 * n)
+            bt.mem[n : 2 * n] = [1] * n
+            bt_cost = bt_touch_all(bt, n)
+
+            print(f"  {n:8d} {hmm_cost:12.0f} {bt_cost:12.0f} "
+                  f"{hmm_cost / bt_cost:7.2f} {f(n):8.1f} {f.star(n):6d}")
+        print()
+    print("Facts 1 and 2: the HMM column grows like n f(n), the BT column")
+    print("like n f*(n); the widening HMM/BT ratio is the power of block")
+    print("transfer that Section 5's simulation taps into.")
+
+
+if __name__ == "__main__":
+    main()

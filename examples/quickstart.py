@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Quickstart: write a D-BSP program, run it, simulate it on an HMM.
+
+This walks the paper's central pipeline end to end:
+
+1. build a fine-grained D-BSP program (here: sorting, one key per
+   processor, communication confined to ever-coarser clusters);
+2. execute it directly on the D-BSP model to get the parallel time ``T``;
+3. simulate it on a sequential ``f(x)``-HMM with ``f = g`` — the
+   submachine locality of the parallel program becomes temporal locality
+   of reference, and the slowdown is ``Theta(v)``: nothing is lost beyond
+   the parallelism itself (Corollary 6).
+"""
+
+from repro import (
+    DBSPMachine,
+    HMMSimulator,
+    PolynomialAccess,
+    bitonic_sort_program,
+)
+
+
+def main() -> None:
+    v = 64
+    f = PolynomialAccess(0.5)  # access cost ~ sqrt(address)
+
+    program = bitonic_sort_program(v)
+    print(f"program: {program.name} — {len(program)} supersteps, "
+          f"labels 0..{program.log_v}")
+
+    # 1. direct parallel execution on D-BSP(v, mu, x^0.5)
+    guest = DBSPMachine(g=f).run(program)
+    keys = [ctx["key"] for ctx in guest.contexts]
+    assert keys == sorted(keys), "bitonic schedule must sort"
+    print(f"D-BSP time         T   = {guest.total_time:10.1f}")
+
+    # 2. sequential simulation on the x^0.5-HMM
+    host = HMMSimulator(f).simulate(program)
+    hmm_keys = [ctx["key"] for ctx in host.contexts]
+    assert hmm_keys == keys, "the simulation reproduces the same results"
+    print(f"HMM simulation time    = {host.time:10.1f} "
+          f"({host.rounds} rounds)")
+
+    # 3. the headline: slowdown ~ v, the pure loss of parallelism
+    slowdown = host.slowdown(guest.total_time)
+    print(f"slowdown               = {slowdown:10.1f}  (v = {v})")
+    print(f"slowdown / v           = {slowdown / v:10.2f}  "
+          f"(Corollary 6: Theta(1))")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without PEP-517 editable-install support.
+
+All real metadata lives in pyproject.toml; this file only enables
+``python setup.py develop`` / legacy ``pip install -e .`` on offline
+machines lacking the ``wheel`` package.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,54 @@
+"""Fine-grained D-BSP algorithms for the paper's case-study problems.
+
+* :mod:`repro.algorithms.primitives` — broadcast / reduce / prefix /
+  permutation building blocks used by tests and benchmarks;
+* :mod:`repro.algorithms.matmul` — the recursive n-MM algorithm of
+  Proposition 7 (Figure 3 schedule);
+* :mod:`repro.algorithms.fft` — the two n-DFT algorithms of Proposition 8
+  (straight DAG schedule and recursive sqrt-decomposition);
+* :mod:`repro.algorithms.sorting` — the n-sorting algorithm of
+  Proposition 9 (bitonic schedule over the cluster hierarchy).
+"""
+
+from repro.algorithms.primitives import (
+    broadcast_program,
+    permutation_program,
+    prefix_sums_program,
+    reduce_program,
+)
+from repro.algorithms.matmul import (
+    matmul_program,
+    mm_assignment_rounds,
+    dbsp_mm_time_bound,
+)
+from repro.algorithms.fft import (
+    fft_dag_program,
+    fft_recursive_program,
+    dbsp_fft_dag_time_bound,
+    dbsp_fft_recursive_time_bound,
+)
+from repro.algorithms.sorting import bitonic_sort_program, dbsp_sort_time_bound
+from repro.algorithms.listranking import (
+    list_ranking_program,
+    random_list_successors,
+)
+from repro.algorithms.convolution import convolution_program
+
+__all__ = [
+    "broadcast_program",
+    "reduce_program",
+    "prefix_sums_program",
+    "permutation_program",
+    "matmul_program",
+    "mm_assignment_rounds",
+    "dbsp_mm_time_bound",
+    "fft_dag_program",
+    "fft_recursive_program",
+    "dbsp_fft_dag_time_bound",
+    "dbsp_fft_recursive_time_bound",
+    "bitonic_sort_program",
+    "dbsp_sort_time_bound",
+    "list_ranking_program",
+    "random_list_successors",
+    "convolution_program",
+]

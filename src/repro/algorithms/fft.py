@@ -1,0 +1,225 @@
+"""The two n-DFT algorithms of Proposition 8.
+
+Both compute the discrete Fourier transform of an ``n``-vector distributed
+one element per processor (``ctx["x"]``, complex).
+
+* :func:`fft_dag_program` — the straightforward schedule of the n-input
+  FFT dag: ``log n`` supersteps, one of each label ``0 .. log n - 1``
+  (radix-2 DIF; output lands in bit-reversed order).  Running time
+  ``O(n^alpha)`` on ``g = x^alpha`` and ``O(log^2 n)`` on ``g = log x``.
+* :func:`fft_recursive_program` — the recursive decomposition into two
+  layers of independent sub-FFTs (the four-step factorization
+  ``m = R * C``): three transpose supersteps per recursion level, each a
+  1-relation within the current cluster; output in natural order.
+  Running time ``O(n^alpha)`` on ``g = x^alpha`` (same as the DAG
+  schedule) but ``O(log n log log n)`` on ``g = log x`` — the pair is the
+  paper's §5.3 example that ``g = log x`` ranks algorithms the way the BT
+  host does, while ``g = x^alpha`` cannot tell them apart.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.dbsp.cluster import log2_exact
+from repro.dbsp.program import ProcView, Program, Superstep
+from repro.functions import AccessFunction, LogarithmicAccess, PolynomialAccess
+
+__all__ = [
+    "fft_dag_program",
+    "fft_recursive_program",
+    "bit_reverse",
+    "dbsp_fft_dag_time_bound",
+    "dbsp_fft_recursive_time_bound",
+]
+
+
+def bit_reverse(value: int, bits: int) -> int:
+    """Reverse the low ``bits`` bits of ``value``."""
+    out = 0
+    for _ in range(bits):
+        out = (out << 1) | (value & 1)
+        value >>= 1
+    return out
+
+
+def _default_input(pid: int) -> complex:
+    return complex((pid % 7) - 3, ((3 * pid) % 5) - 2)
+
+
+# --------------------------------------------------------------------- DAG
+def fft_dag_program(
+    v: int, mu: int = 8, make_value: Callable[[int], complex] | None = None
+) -> Program:
+    """Straight DAG schedule (radix-2 DIF); output bit-reversed.
+
+    Superstep ``t`` (label ``t``) exchanges stage-``t`` operands; the
+    butterfly for stage ``t`` is applied at the start of superstep
+    ``t + 1`` (messages become visible at the next superstep), with a
+    final local superstep applying the last stage.
+    """
+    log_v = log2_exact(v)
+    make_value = make_value or _default_input
+
+    def send_stage(t: int) -> Callable[[ProcView], None]:
+        half = v >> (t + 1)
+
+        def body(view: ProcView) -> None:
+            if t > 0:
+                _apply_butterfly(view, v >> (t - 1))
+            view.send(view.pid ^ half, view.ctx["x"])
+            view.charge(1)
+
+        return body
+
+    def finish(view: ProcView) -> None:
+        _apply_butterfly(view, 2)
+        view.charge(1)
+
+    steps = [
+        Superstep(t, send_stage(t), name=f"fft-stage{t}") for t in range(log_v)
+    ]
+    steps.append(Superstep(log_v, finish, name="fft-finish"))
+
+    def make_context(pid: int) -> dict:
+        return {"x": make_value(pid)}
+
+    return Program(v, mu, steps, make_context=make_context, name=f"fft-dag(n={v})")
+
+
+def _apply_butterfly(view: ProcView, m: int) -> None:
+    """Apply the DIF butterfly of block size ``m`` using the inbox value."""
+    (msg,) = view.inbox
+    partner_value = msg.payload
+    half = m >> 1
+    j = view.pid % m
+    if j < half:
+        view.ctx["x"] = view.ctx["x"] + partner_value
+    else:
+        w = cmath.exp(-2j * cmath.pi * (j - half) / m)
+        view.ctx["x"] = (partner_value - view.ctx["x"]) * w
+
+
+# --------------------------------------------------------------- recursive
+@dataclass(frozen=True)
+class _Event:
+    """One communication phase: a label, a send body and the matching
+    apply body executed at the start of the next superstep."""
+
+    label: int
+    name: str
+    send: Callable[[ProcView], None]
+    apply: Callable[[ProcView], None]
+
+
+def fft_recursive_program(
+    v: int, mu: int = 8, make_value: Callable[[int], complex] | None = None
+) -> Program:
+    """Recursive sqrt-decomposition (four-step) schedule; output in order."""
+    log_v = log2_exact(v)
+    make_value = make_value or _default_input
+    events = _events_for(v, log_v)
+
+    steps: list[Superstep] = []
+    for k, event in enumerate(events):
+        prev_apply = events[k - 1].apply if k > 0 else None
+        steps.append(
+            Superstep(event.label, _chain(prev_apply, event.send), name=event.name)
+        )
+    if events:
+        steps.append(Superstep(0, _chain(events[-1].apply, None), name="fft-flush"))
+
+    def make_context(pid: int) -> dict:
+        return {"x": make_value(pid)}
+
+    return Program(v, mu, steps, make_context=make_context, name=f"fft-rec(n={v})")
+
+
+def _chain(apply_fn, send_fn) -> Callable[[ProcView], None]:
+    def body(view: ProcView) -> None:
+        if apply_fn is not None:
+            apply_fn(view)
+        if send_fn is not None:
+            send_fn(view)
+        view.charge(1)
+
+    return body
+
+
+def _store(view: ProcView) -> None:
+    """Apply body of a transpose: adopt the (single) routed value."""
+    (msg,) = view.inbox
+    view.ctx["x"] = msg.payload
+
+
+def _events_for(m: int, log_v: int) -> list[_Event]:
+    """Communication events of the recursive FFT on ``m``-clusters (SPMD)."""
+    if m <= 1:
+        return []
+    label = log_v - log2_exact(m)
+    if m == 2:
+
+        def send2(view: ProcView) -> None:
+            view.send(view.pid ^ 1, view.ctx["x"])
+
+        def apply2(view: ProcView) -> None:
+            (msg,) = view.inbox
+            if view.pid & 1:
+                view.ctx["x"] = msg.payload - view.ctx["x"]
+            else:
+                view.ctx["x"] = view.ctx["x"] + msg.payload
+
+        return [_Event(label, f"fft2@{label}", send2, apply2)]
+
+    log_m = log2_exact(m)
+    r = 1 << ((log_m + 1) // 2)  # R: size of the first (column-DFT) layer
+    c = m // r
+
+    def transpose1(view: ProcView) -> None:
+        base = view.pid - view.pid % m
+        j = view.pid % m
+        a, b = divmod(j, c)
+        view.send(base + b * r + a, view.ctx["x"])
+
+    def twiddle_transpose2(view: ProcView) -> None:
+        base = view.pid - view.pid % m
+        j = view.pid % m
+        b, e = divmod(j, r)
+        w = cmath.exp(-2j * cmath.pi * b * e / m)
+        view.send(base + e * c + b, view.ctx["x"] * w)
+
+    def transpose3(view: ProcView) -> None:
+        base = view.pid - view.pid % m
+        j = view.pid % m
+        e, f = divmod(j, c)
+        view.send(base + f * r + e, view.ctx["x"])
+
+    events = [_Event(label, f"fft-T1@{label}", transpose1, _store)]
+    events += _events_for(r, log_v)
+    events.append(_Event(label, f"fft-T2@{label}", twiddle_transpose2, _store))
+    events += _events_for(c, log_v)
+    events.append(_Event(label, f"fft-T3@{label}", transpose3, _store))
+    return events
+
+
+# ------------------------------------------------------------------ bounds
+def dbsp_fft_dag_time_bound(g: AccessFunction, n: int, mu: int = 8) -> float:
+    """Proposition 8 / §5.3: DAG-schedule D-BSP time shape."""
+    if isinstance(g, PolynomialAccess):
+        return float(n) ** g.alpha
+    if isinstance(g, LogarithmicAccess):
+        return math.log2(max(n, 2)) ** 2
+    raise ValueError(f"no stated bound for {g!r}")
+
+
+def dbsp_fft_recursive_time_bound(g: AccessFunction, n: int, mu: int = 8) -> float:
+    """Proposition 8: recursive-schedule D-BSP time shape."""
+    if isinstance(g, PolynomialAccess):
+        return float(n) ** g.alpha
+    if isinstance(g, LogarithmicAccess):
+        lg = math.log2(max(n, 2))
+        return lg * math.log2(max(lg, 2))
+    raise ValueError(f"no stated bound for {g!r}")

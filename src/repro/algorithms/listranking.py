@@ -1,0 +1,97 @@
+"""List ranking by pointer jumping — a deliberately locality-free workload.
+
+Each processor holds one node of a linked list (``ctx["succ"]`` is the
+processor id of the successor, or ``None`` at the tail) and computes its
+*rank*, the number of links to the tail, into ``ctx["rank"]``.
+
+Pointer jumping doubles the pointer horizon each round:
+``rank[p] += rank[succ[p]]; succ[p] = succ[succ[p]]``.  Since successors
+are arbitrary processor ids, every superstep is a 0-superstep — the
+classic fine-grained PRAM-style computation with *no* submachine locality
+to exploit.  It serves as the benchmark contrast to the structured
+case-study algorithms: Theorem 5 prices each of its ``Theta(log v)``
+rounds at the full ``mu v f(mu v)``.
+
+Protocol per round (two supersteps, each an h-relation with h <= 2):
+
+1. every non-tail node asks its current successor for that node's
+   ``(rank, succ)`` pair;
+2. the successor answers; the asker folds the answer in and jumps.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.dbsp.cluster import log2_exact
+from repro.dbsp.program import ProcView, Program, Superstep
+
+__all__ = ["list_ranking_program", "random_list_successors"]
+
+
+def random_list_successors(v: int, seed: int = 0) -> list[int | None]:
+    """Successor pointers of a random list over all ``v`` processors."""
+    import random
+
+    rng = random.Random(seed)
+    order = list(range(v))
+    rng.shuffle(order)
+    succ: list[int | None] = [None] * v
+    for a, b in zip(order, order[1:]):
+        succ[a] = b
+    return succ
+
+
+def list_ranking_program(
+    v: int,
+    successors: Sequence[int | None] | None = None,
+    mu: int = 8,
+) -> Program:
+    """Build the pointer-jumping list-ranking program.
+
+    ``successors[p]`` is processor ``p``'s successor (``None`` for the
+    tail).  Defaults to a random list over all processors.  After the
+    run, ``ctx["rank"]`` holds each node's distance to the tail.
+    """
+    log_v = log2_exact(v)
+    if successors is None:
+        successors = random_list_successors(v, seed=0)
+    if len(successors) != v:
+        raise ValueError(f"need {v} successor entries, got {len(successors)}")
+
+    def ask(view: ProcView) -> None:
+        if view.ctx["succ"] is not None:
+            view.send(view.ctx["succ"], ("ask", view.pid))
+        view.charge(1)
+
+    def answer_and_jump(view: ProcView) -> None:
+        for msg in view.inbox:
+            kind, payload = msg.payload
+            if kind == "ask":
+                view.send(payload, ("info", (view.ctx["rank"], view.ctx["succ"])))
+        view.charge(1)
+
+    def absorb(view: ProcView) -> None:
+        for msg in view.inbox:
+            kind, payload = msg.payload
+            if kind == "info":
+                succ_rank, succ_succ = payload
+                view.ctx["rank"] += succ_rank
+                view.ctx["succ"] = succ_succ
+        view.charge(1)
+
+    steps: list[Superstep] = []
+    rounds = max(log_v, 1)
+    for r in range(rounds):
+        steps.append(Superstep(0, ask, name=f"rank-ask-{r}"))
+        steps.append(Superstep(0, answer_and_jump, name=f"rank-answer-{r}"))
+        steps.append(Superstep(0, absorb, name=f"rank-absorb-{r}"))
+
+    succ_list = list(successors)
+
+    def make_context(pid: int) -> dict:
+        s = succ_list[pid]
+        return {"succ": s, "rank": 0 if s is None else 1}
+
+    return Program(v, mu, steps, make_context=make_context,
+                   name=f"list-ranking(v={v})")

@@ -1,0 +1,212 @@
+"""Building-block D-BSP programs: broadcast, reduce, prefix sums, permutation.
+
+Each builder returns a :class:`~repro.dbsp.program.Program` whose
+supersteps follow the natural binary-tree schedules over the cluster
+hierarchy; they double as workloads for the simulation benchmarks because
+their label profiles exercise ascents and descents through the
+decomposition tree.
+
+Conventions: values live under ``ctx["x"]``; results appear in
+``ctx["x"]`` (permutation), ``ctx["bcast"]`` (broadcast),
+``ctx["sum"]`` (reduce, at each cluster's first processor) or
+``ctx["prefix"]`` (prefix sums, everywhere).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.dbsp.cluster import log2_exact
+from repro.dbsp.program import ProcView, Program, Superstep
+
+__all__ = [
+    "broadcast_program",
+    "reduce_program",
+    "prefix_sums_program",
+    "permutation_program",
+]
+
+
+def _distance_label(log_v: int, t: int) -> int:
+    """Label of a superstep pairing ``p`` with ``p ^ 2^t``.
+
+    Partners differ in bit ``t``, hence share a cluster of ``2^{t+1}``
+    processors: label ``log v - t - 1``.
+    """
+    return log_v - t - 1
+
+
+def broadcast_program(
+    v: int, mu: int = 8, make_value: Callable[[int], object] | None = None
+) -> Program:
+    """Processor 0 broadcasts ``ctx["x"]`` to everyone (tree doubling).
+
+    The value crosses the machine midpoint first, then ever-smaller
+    cluster boundaries: labels ascend ``0, 1, ..., log v - 1`` — a pure
+    refinement workload.
+    """
+    log_v = log2_exact(v)
+    make_value = make_value or (lambda pid: pid)
+
+    def step_body(t: int) -> Callable[[ProcView], None]:
+        def body(view: ProcView) -> None:
+            for payload in view.received():
+                view.ctx["bcast"] = payload
+            if view.pid % (1 << (t + 1)) == 0 and "bcast" in view.ctx:
+                view.send(view.pid + (1 << t), view.ctx["bcast"])
+            view.charge(1)
+
+        return body
+
+    steps = [
+        Superstep(_distance_label(log_v, t), step_body(t), name=f"bcast-d{1 << t}")
+        for t in range(log_v - 1, -1, -1)
+    ]
+    steps.append(Superstep(0, _collect_bcast, name="bcast-final"))
+
+    def make_context(pid: int) -> dict:
+        ctx = {"x": make_value(pid)}
+        if pid == 0:
+            ctx["bcast"] = ctx["x"]
+        return ctx
+
+    return Program(v, mu, steps, make_context=make_context, name=f"broadcast(v={v})")
+
+
+def _collect_bcast(view: ProcView) -> None:
+    for payload in view.received():
+        view.ctx["bcast"] = payload
+    view.charge(1)
+
+
+def reduce_program(
+    v: int,
+    mu: int = 8,
+    op: Callable[[object, object], object] = lambda a, b: a + b,
+    make_value: Callable[[int], object] | None = None,
+) -> Program:
+    """Fold ``ctx["x"]`` over all processors into ``ctx["sum"]`` at P0.
+
+    The tree fold pairs nearest neighbours first and coarsens from there:
+    labels descend ``log v - 1, log v - 2, ..., 0`` — a pure coarsening
+    workload (the mirror image of :func:`broadcast_program`).
+    """
+    log_v = log2_exact(v)
+    make_value = make_value or (lambda pid: pid + 1)
+
+    def step_body(t: int) -> Callable[[ProcView], None]:
+        def body(view: ProcView) -> None:
+            for payload in view.received():
+                view.ctx["sum"] = op(view.ctx["sum"], payload)
+            stride = 1 << t
+            if view.pid % (2 * stride) == stride:
+                view.send(view.pid - stride, view.ctx["sum"])
+            view.charge(1)
+
+        return body
+
+    def final_body(view: ProcView) -> None:
+        for payload in view.received():
+            view.ctx["sum"] = op(view.ctx["sum"], payload)
+        view.charge(1)
+
+    steps = [
+        Superstep(_distance_label(log_v, t), step_body(t), name=f"reduce-d{1 << t}")
+        for t in range(log_v)
+    ]
+    steps.append(Superstep(0, final_body, name="reduce-final"))
+
+    def make_context(pid: int) -> dict:
+        value = make_value(pid)
+        return {"x": value, "sum": value}
+
+    return Program(v, mu, steps, make_context=make_context, name=f"reduce(v={v})")
+
+
+def prefix_sums_program(
+    v: int, mu: int = 8, make_value: Callable[[int], object] | None = None
+) -> Program:
+    """Inclusive prefix sums of ``ctx["x"]`` into ``ctx["prefix"]``.
+
+    Hillis-Steele doubling: ``log v`` supersteps with labels
+    ``log v - 1 .. 0`` (distance doubling each step).
+    """
+    log_v = log2_exact(v)
+    make_value = make_value or (lambda pid: pid + 1)
+
+    def step_body(t: int) -> Callable[[ProcView], None]:
+        def body(view: ProcView) -> None:
+            for payload in view.received():
+                # the payload is the prefix of an earlier processor: it
+                # combines on the LEFT (works for non-commutative +)
+                view.ctx["prefix"] = payload + view.ctx["prefix"]
+            stride = 1 << t
+            if view.pid + stride < view.v:
+                view.send(view.pid + stride, view.ctx["prefix"])
+            view.charge(1)
+
+        return body
+
+    # Hillis-Steele sends at distance 2^t from *every* processor, so a
+    # message can cross any cluster boundary (e.g. the machine midpoint):
+    # every superstep is a 0-superstep.  This makes prefix a deliberately
+    # locality-free workload, a useful contrast in the benchmarks.
+    steps = [
+        Superstep(0, step_body(t), name=f"prefix-d{1 << t}")
+        for t in range(log_v)
+    ]
+    steps.append(Superstep(0, _absorb_prefix, name="prefix-final"))
+
+    def make_context(pid: int) -> dict:
+        value = make_value(pid)
+        return {"x": value, "prefix": value}
+
+    return Program(v, mu, steps, make_context=make_context, name=f"prefix(v={v})")
+
+
+def _absorb_prefix(view: ProcView) -> None:
+    for payload in view.received():
+        view.ctx["prefix"] = payload + view.ctx["prefix"]
+    view.charge(1)
+
+
+def permutation_program(
+    v: int,
+    perm: Sequence[int],
+    mu: int = 8,
+    make_value: Callable[[int], object] | None = None,
+) -> Program:
+    """Route ``ctx["x"]`` of ``p`` to ``perm[p]`` in one superstep.
+
+    The superstep label is the finest level whose clusters contain every
+    ``(p, perm[p])`` pair — a fixed permutation known in advance, as in
+    the Section 6 discussion of regular communication patterns.
+    """
+    log_v = log2_exact(v)
+    if sorted(perm) != list(range(v)):
+        raise ValueError("perm must be a permutation of range(v)")
+    label = log_v
+    for p, q in enumerate(perm):
+        while label > 0 and (p >> (log_v - label)) != (q >> (log_v - label)):
+            label -= 1
+    make_value = make_value or (lambda pid: pid)
+    targets = list(perm)
+
+    def body(view: ProcView) -> None:
+        view.send(targets[view.pid], view.ctx["x"])
+        view.charge(1)
+
+    def finish(view: ProcView) -> None:
+        for payload in view.received():
+            view.ctx["x"] = payload
+        view.charge(1)
+
+    steps = [
+        Superstep(label, body, name="permute-send"),
+        Superstep(0, finish, name="permute-recv"),
+    ]
+
+    def make_context(pid: int) -> dict:
+        return {"x": make_value(pid)}
+
+    return Program(v, mu, steps, make_context=make_context, name=f"permute(v={v})")

@@ -1,0 +1,29 @@
+"""Analysis toolkit: closed-form bounds, shape fitting, figure renderings."""
+
+from repro.analysis.bounds import (
+    brent_bound,
+    theorem5_bound,
+    theorem12_bound,
+)
+from repro.analysis.fitting import (
+    RatioCheck,
+    bounded_ratio,
+    fit_loglog_slope,
+)
+from repro.analysis.figures import (
+    render_cluster_movements,
+    render_mm_assignment,
+    render_unpack_layout,
+)
+
+__all__ = [
+    "theorem5_bound",
+    "theorem12_bound",
+    "brent_bound",
+    "fit_loglog_slope",
+    "bounded_ratio",
+    "RatioCheck",
+    "render_cluster_movements",
+    "render_mm_assignment",
+    "render_unpack_layout",
+]

@@ -1,0 +1,73 @@
+"""Closed-form simulation-time bounds from the paper's theorems.
+
+Each function evaluates the bound *exactly as stated* (no hidden
+constants): benchmarks divide measured machine time by these values and
+check that the ratio stays bounded — and roughly flat — across geometric
+sweeps, which is the operational meaning of the Theta/O claims.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.dbsp.machine import DBSPRunResult
+from repro.functions import AccessFunction
+
+__all__ = ["theorem5_bound", "theorem12_bound", "brent_bound", "program_stats"]
+
+
+def program_stats(result: DBSPRunResult) -> tuple[float, dict[int, int]]:
+    """Extract ``(tau, lambda_i)`` of a guest run for the bound formulas.
+
+    ``tau`` is the total per-processor local computation bound (the sum of
+    per-superstep maxima) and ``lambda_i`` counts i-supersteps — both as
+    used in the statements of Theorems 5, 10 and 12.
+    """
+    return result.max_local_time(), result.label_counts()
+
+
+def theorem5_bound(
+    f: AccessFunction,
+    v: int,
+    mu: int,
+    tau: float,
+    lambdas: dict[int, int],
+) -> float:
+    """Theorem 5: ``v (tau + mu sum_i lambda_i f(mu v / 2^i))``."""
+    comm = sum(
+        count * f(mu * (v >> label)) for label, count in lambdas.items()
+    )
+    return v * (tau + mu * comm)
+
+
+def theorem12_bound(
+    v: int,
+    mu: int,
+    tau: float,
+    lambdas: dict[int, int],
+) -> float:
+    """Theorem 12: ``v (tau + mu sum_i lambda_i log(mu v / 2^i))``.
+
+    Note the absence of ``f``: the BT simulation's cost is access-function
+    independent.
+    """
+    comm = sum(
+        count * math.log2(max(mu * (v >> label), 2))
+        for label, count in lambdas.items()
+    )
+    return v * (tau + mu * comm)
+
+
+def brent_bound(
+    g: AccessFunction,
+    v: int,
+    v_host: int,
+    mu: int,
+    tau: float,
+    lambdas: dict[int, int],
+) -> float:
+    """Theorem 10: ``(v/v') (tau + mu sum_i lambda_i g(mu v / 2^i))``."""
+    comm = sum(
+        count * g(mu * (v >> label)) for label, count in lambdas.items()
+    )
+    return (v / v_host) * (tau + mu * comm)

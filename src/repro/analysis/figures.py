@@ -1,0 +1,79 @@
+"""Text renderings of the paper's illustrative figures, from live simulator state.
+
+* Figure 2 — snapshots of HMM memory highlighting cluster movements during
+  a cycle (rendered from :class:`repro.sim.hmm_sim.RoundSnapshot` traces);
+* Figure 3 — assignment of submatrices to the four D-BSP 2-clusters during
+  matrix multiplication (rendered from the algorithm's round schedule);
+* Figure 4 — BT memory layout during an ``UNPACK(0)`` (rendered from
+  :class:`repro.sim.bt_sim.LayoutSnapshot` traces).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = [
+    "render_cluster_movements",
+    "render_mm_assignment",
+    "render_unpack_layout",
+]
+
+
+def render_cluster_movements(
+    snapshots: Iterable,
+    cluster_level: int,
+    v: int,
+) -> str:
+    """Figure 2: one column per snapshot; rows are memory positions.
+
+    Each cell shows the index of the ``cluster_level``-cluster whose
+    contexts occupy that slot range, starred while the cluster still has
+    unsimulated work at the snapshot's superstep (the figure's grey boxes).
+    """
+    snaps = list(snapshots)
+    if not snaps:
+        return "(no snapshots)"
+    csize = v >> cluster_level
+    n_rows = v // csize
+    lines = ["t ->  " + "  ".join(f"{k:>4d}" for k in range(len(snaps)))]
+    for row in range(n_rows):
+        cells = []
+        for snap in snaps:
+            pid = snap.slot_to_pid[row * csize]
+            cluster = pid // csize
+            ready = snap.next_step[pid] <= snap.superstep
+            cells.append(f"{cluster:>3d}{'*' if ready else ' '}")
+        lines.append(f"mem[{row}] " + "  ".join(cells))
+    lines.append("(* = cluster not yet simulated at this superstep)")
+    return "\n".join(lines)
+
+
+def render_mm_assignment(rounds: Sequence[dict[int, tuple[str, str]]]) -> str:
+    """Figure 3: per-round assignment of (A, B) submatrices to 2-clusters.
+
+    ``rounds[r][cluster] = (a_name, b_name)`` — e.g. ``("A11", "B12")``.
+    """
+    lines = []
+    for r, assignment in enumerate(rounds):
+        lines.append(f"Round {r + 1}")
+        order = sorted(assignment)
+        half = len(order) // 2 or 1
+        for start in range(0, len(order), half):
+            row = order[start : start + half]
+            lines.append(
+                "   " + "   ".join(
+                    f"C{c}: {assignment[c][0]},{assignment[c][1]}" for c in row
+                )
+            )
+    return "\n".join(lines)
+
+
+def render_unpack_layout(snapshots: Iterable) -> str:
+    """Figure 4: block-level layouts; ``Pk`` for contexts, ``__`` for buffers."""
+    lines = []
+    for snap in snapshots:
+        cells = " ".join(
+            "__" if pid is None else f"P{pid}" for pid in snap.slots
+        )
+        lines.append(f"{snap.stage:>16s} | {cells}")
+    return "\n".join(lines)

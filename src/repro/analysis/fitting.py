@@ -1,0 +1,62 @@
+"""Shape-checking utilities for asymptotic claims.
+
+The paper proves Theta/O bounds; an operational reproduction validates
+them by measuring costs over geometric parameter sweeps and checking
+
+* **bounded ratio**: ``measured / bound`` stays within a fixed band (and
+  does not trend upward), the empirical reading of ``measured = O(bound)``
+  — and, when a matching lower bound exists, the band's lower edge being
+  positive reads as ``Theta``;
+* **log-log slope**: for power-law claims (``cost ~ n^e``), ordinary least
+  squares on ``log cost`` vs ``log n`` recovers the exponent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["fit_loglog_slope", "bounded_ratio", "RatioCheck"]
+
+
+def fit_loglog_slope(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """OLS slope of ``log ys`` against ``log xs`` (the power-law exponent)."""
+    lx = np.log(np.asarray(xs, dtype=np.float64))
+    ly = np.log(np.asarray(ys, dtype=np.float64))
+    if len(lx) < 2:
+        raise ValueError("need at least two points to fit a slope")
+    slope, _intercept = np.polyfit(lx, ly, 1)
+    return float(slope)
+
+
+@dataclass(frozen=True)
+class RatioCheck:
+    """Result of a bounded-ratio check of ``measured`` against ``bound``."""
+
+    ratios: tuple[float, ...]
+    min_ratio: float
+    max_ratio: float
+    spread: float  #: max/min — 1.0 means a perfectly flat ratio
+
+    @property
+    def flat_within(self) -> float:
+        return self.spread
+
+    def is_bounded(self, max_spread: float) -> bool:
+        """True when the ratio band is narrower than ``max_spread``."""
+        return self.spread <= max_spread
+
+
+def bounded_ratio(
+    measured: Sequence[float], bound: Sequence[float]
+) -> RatioCheck:
+    """Compute the ``measured[i] / bound[i]`` band over a sweep."""
+    if len(measured) != len(bound) or not measured:
+        raise ValueError("need equal-length, non-empty sequences")
+    ratios = tuple(m / b for m, b in zip(measured, bound))
+    lo, hi = min(ratios), max(ratios)
+    if lo <= 0:
+        raise ValueError("measured costs must be positive")
+    return RatioCheck(ratios=ratios, min_ratio=lo, max_ratio=hi, spread=hi / lo)

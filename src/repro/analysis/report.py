@@ -1,0 +1,96 @@
+"""Aggregate the per-experiment benchmark tables into one report.
+
+Every benchmark saves its paper-vs-measured table under
+``benchmarks/results/``; :func:`build_report` collates them — grouped by
+experiment id, in DESIGN.md's order — into a single markdown document, so
+a full reproduction run ends with one reviewable artifact::
+
+    pytest benchmarks/ --benchmark-only
+    python -m repro report            # writes REPORT.md
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+__all__ = ["build_report", "DEFAULT_RESULTS_DIR"]
+
+DEFAULT_RESULTS_DIR = pathlib.Path("benchmarks") / "results"
+
+#: experiment ordering: (section header, filename-prefix regexes)
+_SECTIONS: list[tuple[str, list[str]]] = [
+    ("E1 — Fact 1: HMM touching", [r"test_fact1"]),
+    ("E2 — Fact 2: BT touching", [r"test_fact2"]),
+    ("E3 — Theorem 5 / Corollary 6: D-BSP on HMM",
+     [r"test_theorem5_bound", r"test_corollary6"]),
+    ("E4 — Proposition 7: matrix multiplication",
+     [r"test_prop7"]),
+    ("E5 — Proposition 8: DFT", [r"test_prop8"]),
+    ("E6 — Proposition 9: sorting", [r"test_prop9"]),
+    ("E7 — Theorem 10 / Corollary 11: Brent analogue",
+     [r"test_corollary11", r"test_theorem10"]),
+    ("E8 — Theorem 12: D-BSP on BT", [r"test_theorem12"]),
+    ("E9 — §5.3 case studies on BT",
+     [r"test_mm_on_bt", r"test_dft_two_schedules", r"test_bridging"]),
+    ("E10 — §6: transpose-routed FFT", [r"test_transpose_delivery"]),
+    ("E11 — staircase hierarchies",
+     [r"test_theorem5_on_staircase", r"test_structured_vs_locality"]),
+    ("E12 — oblivious vs simulation-derived algorithms",
+     [r"test_shape_gap"]),
+    ("E13 — flat BSP-on-EM baseline", [r"test_flat_em", r"test_em_io"]),
+    ("E14 — mesh-of-HMMs contrast", [r"test_mesh_lambda"]),
+    ("E15 — phase-attributed cost profiles",
+     [r"test_hmm_phase_profile", r"test_bt_phase_profile"]),
+    ("Figures 2-4", [r"test_fig"]),
+    ("Ablations", [r"test_a1_", r"test_a3_"]),
+]
+
+
+def build_report(results_dir: pathlib.Path | str = DEFAULT_RESULTS_DIR) -> str:
+    """Collate the result tables into a markdown report string."""
+    results_dir = pathlib.Path(results_dir)
+    files = sorted(results_dir.glob("*.txt")) if results_dir.is_dir() else []
+    if not files:
+        return (
+            "# Reproduction report\n\nNo benchmark results found under "
+            f"`{results_dir}` — run `pytest benchmarks/ --benchmark-only` "
+            "first.\n"
+        )
+
+    used: set[pathlib.Path] = set()
+    parts = [
+        "# Reproduction report",
+        "",
+        "Collated from the per-experiment tables under "
+        f"`{results_dir}` (regenerate with "
+        "`pytest benchmarks/ --benchmark-only`).  See EXPERIMENTS.md for "
+        "the paper-vs-measured verdict table and DESIGN.md for the "
+        "experiment index.",
+    ]
+    for header, patterns in _SECTIONS:
+        matched = [
+            f for f in files
+            if any(re.match(p, f.stem) for p in patterns) and f not in used
+        ]
+        if not matched:
+            continue
+        used.update(matched)
+        parts.append("")
+        parts.append(f"## {header}")
+        for f in matched:
+            parts.append("")
+            parts.append("```")
+            parts.append(f.read_text().strip())
+            parts.append("```")
+    leftovers = [f for f in files if f not in used]
+    if leftovers:
+        parts.append("")
+        parts.append("## Other results")
+        for f in leftovers:
+            parts.append("")
+            parts.append("```")
+            parts.append(f.read_text().strip())
+            parts.append("```")
+    parts.append("")
+    return "\n".join(parts)

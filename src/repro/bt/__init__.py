@@ -1,0 +1,24 @@
+"""The Hierarchical Memory Model with Block Transfer (BT) of Aggarwal et al. [2].
+
+An ``f(x)``-BT behaves like the ``f(x)``-HMM, but can additionally copy a
+block of ``b`` cells ``[x-b+1, x]`` onto a disjoint block ``[y-b+1, y]`` in
+time ``max(f(x), f(y)) + b`` — a pipelined move whose per-word cost is
+constant once the access latency of the *farthest* endpoint is paid.  The
+model therefore rewards *spatial* locality on top of temporal locality.
+"""
+
+from repro.bt.machine import BTMachine
+from repro.bt.restricted import RestrictedBTMachine
+from repro.bt.touching import bt_touch_all, bt_touching_bound
+from repro.bt.sorting import bt_merge_sort, bt_sorting_bound
+from repro.bt.permutation import bt_transpose_permute
+
+__all__ = [
+    "BTMachine",
+    "RestrictedBTMachine",
+    "bt_touch_all",
+    "bt_touching_bound",
+    "bt_merge_sort",
+    "bt_sorting_bound",
+    "bt_transpose_permute",
+]

@@ -1,0 +1,70 @@
+"""Operational ``f(x)``-BT machine.
+
+Extends :class:`~repro.hmm.machine.HMMMachine` with the charged, pipelined
+block-copy primitive of [2]: copying ``b`` cells ``[x-b+1, x]`` onto a
+disjoint block ``[y-b+1, y]`` costs ``max(f(x), f(y)) + b``.  Word-level
+accesses keep their HMM cost ``f(x)``.
+
+The convenience methods (:meth:`BTMachine.block_move`,
+:meth:`BTMachine.block_swap`) express the same primitive with
+``(start, length)`` ranges, which is how every caller in
+:mod:`repro.sim.bt_sim` thinks about memory.
+"""
+
+from __future__ import annotations
+
+from repro.functions import AccessFunction
+from repro.hmm.machine import HMMMachine
+
+__all__ = ["BTMachine"]
+
+
+class BTMachine(HMMMachine):
+    """An ``f(x)``-HMM augmented with charged block transfer."""
+
+    def __init__(self, f: AccessFunction, size: int, op_cost: float = 1.0):
+        super().__init__(f, size, op_cost)
+        #: number of block transfers issued (for instrumentation/ablations)
+        self.block_transfers: int = 0
+
+    def block_copy_cost(self, src: int, dst: int, length: int) -> float:
+        """Model cost of one block transfer: ``max(f(x), f(y)) + b``.
+
+        ``x`` / ``y`` are the *last* (deepest) addresses of the source and
+        destination ranges, per the model definition.
+        """
+        if length <= 0:
+            raise ValueError(f"block length must be positive, got {length}")
+        x = src + length - 1
+        y = dst + length - 1
+        return max(self.table.access(x), self.table.access(y)) + float(length)
+
+    def block_move(self, src: int, dst: int, length: int) -> None:
+        """Copy ``[src, src+length)`` onto disjoint ``[dst, dst+length)``.
+
+        One charged block transfer.  The source range is left intact, as in
+        the model (callers overwrite it when move semantics are needed).
+        """
+        self._check_disjoint(src, dst, length)
+        self.time += self.block_copy_cost(src, dst, length)
+        self.block_transfers += 1
+        self.mem[dst : dst + length] = self.mem[src : src + length]
+
+    def block_swap(self, a: int, b: int, length: int, scratch: int) -> None:
+        """Exchange disjoint ranges ``a``/``b`` via a disjoint ``scratch`` range.
+
+        Exactly the three block transfers the paper charges for a
+        buffer-assisted cluster swap (Section 5.2.2): ``a -> scratch``,
+        ``b -> a``, ``scratch -> b``.
+        """
+        self._check_disjoint(a, scratch, length)
+        self._check_disjoint(b, scratch, length)
+        self.block_move(a, scratch, length)
+        self.block_move(b, a, length)
+        self.block_move(scratch, b, length)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BTMachine(f={self.f.name}, size={self.size}, "
+            f"time={self.time:.1f}, transfers={self.block_transfers})"
+        )

@@ -1,0 +1,188 @@
+"""Rational (bit-defined) permutations on the BT machine.
+
+Section 6 of the paper observes that the generic D-BSP-to-BT simulation can
+be improved when supersteps route *known, regular* permutations: routing
+the transpose permutations of the recursive n-DFT algorithm with the
+rational-permutation algorithm of [2] — instead of general sorting — drops
+the simulated DFT cost to the optimal ``O(n log n)`` on ``f(x)``-BT.
+
+The primitive required is a matrix transpose at the touching-optimal cost
+``Theta(s f*(s))`` for ``s`` elements.  We implement the classic *blocked*
+scheme:
+
+* tile the ``R x C`` matrix into ``q x q`` tiles with ``q ~ f(depth)``;
+* move each tile to the top of memory with ``q`` block transfers of ``q``
+  contiguous words (one per tile row) — cost ``q (f + q) = O(q^2)``, i.e.
+  O(1) per element, since ``q >= f``;
+* transpose the tile near the top, where the *effective* access function
+  has shrunk from ``f`` to ``~f(2 f^2)`` — recurse;
+* write the transposed tile out with ``q`` block transfers (tile rows are
+  contiguous in the output as well).
+
+Unfolding gives ``f*``-style geometric descent, hence ``Theta(s f*(s))``
+overall — provided ``2 f(x)^2 = o(x)``, i.e. ``f(x) = O(x^alpha)`` with
+``alpha < 1/2``, or ``f(x) = log x``.  For ``1/2 <= alpha < 1`` the descent
+stalls (the natural tile is as large as the matrix); the full algorithm of
+[2] factors the permutation into sub-field transposes to cover that range.
+We document this limit and expose :func:`bt_rational_permutation_bound` —
+the [2] bound — which the experiment harness uses for the stalled range.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.bt.machine import BTMachine
+from repro.functions import AccessFunction
+
+__all__ = [
+    "bt_transpose_permute",
+    "bt_rational_permutation_bound",
+    "blocked_transpose_supported",
+]
+
+#: tiles at or below this side length are transposed by direct charged ops
+_BASE_TILE = 4
+
+
+def bt_rational_permutation_bound(f: AccessFunction, s: int) -> float:
+    """[2]'s bound for rational permutations of ``s`` cells: ``Theta(s f*(s))``."""
+    return float(s) * f.star(s)
+
+
+def blocked_transpose_supported(f: AccessFunction, s: int) -> bool:
+    """Whether the blocked scheme's descent works: ``2 f(s)^2 <= s / 2``."""
+    return 2.0 * f(s) ** 2 <= s / 2.0
+
+
+def bt_transpose_permute(
+    machine: BTMachine, base: int, rows: int, cols: int, scratch: int
+) -> float:
+    """Transpose the row-major ``rows x cols`` matrix at ``[base, base+s)``.
+
+    ``scratch`` is the start of a disjoint ``s``-cell scratch region.  The
+    transposed (``cols x rows`` row-major) matrix replaces the input at
+    ``base``.  Addresses ``[0, ~4 f(depth)^2)`` must be free staging space
+    below ``base``.  Returns the charged cost.
+    """
+    s = rows * cols
+    if s == 0:
+        return 0.0
+    depth = max(base + s, scratch + s)
+    if depth > machine.size:
+        raise ValueError(f"transpose needs {depth} cells, machine has {machine.size}")
+    start_time = machine.time
+    _blocked_transpose(machine, base, scratch, rows, cols, depth)
+    machine.block_move(scratch, base, s)
+    return machine.time - start_time
+
+
+def _tile_side(machine: BTMachine, depth: int, rows: int, cols: int) -> int:
+    """Largest useful tile side: ``~f(depth)``, clamped to the matrix."""
+    q = int(machine.f(depth - 1)) + 1
+    return max(1, min(q, rows, cols))
+
+
+def _blocked_transpose(
+    machine: BTMachine, src: int, dst: int, rows: int, cols: int, depth: int
+) -> None:
+    """Out-of-place transpose ``src`` (rows x cols) -> ``dst`` (cols x rows)."""
+    q = _tile_side(machine, depth, rows, cols)
+    # the 2 q^2 staging cells must fit strictly below the data
+    staging_limit = min(src, dst)
+    while q > 1 and 2 * q * q > staging_limit:
+        q //= 2
+    if rows * cols <= _BASE_TILE * _BASE_TILE or q >= max(rows, cols) or q <= 1:
+        _direct_transpose(machine, src, dst, rows, cols)
+        return
+    # staging: tile input at [0, q*q), transposed tile at [q*q, 2*q*q)
+    tile_in = 0
+    tile_out = q * q
+    for r0 in range(0, rows, q):
+        rq = min(q, rows - r0)
+        for c0 in range(0, cols, q):
+            cq = min(q, cols - c0)
+            # gather tile: rq block transfers of cq contiguous words
+            for r in range(rq):
+                machine.block_move(src + (r0 + r) * cols + c0, tile_in + r * cq, cq)
+            _transpose_at_top(machine, tile_in, tile_out, rq, cq)
+            # scatter transposed tile: cq block transfers of rq words, each
+            # landing contiguously in an output row
+            for c in range(cq):
+                machine.block_move(tile_out + c * rq, dst + (c0 + c) * rows + r0, rq)
+
+
+def _transpose_at_top(
+    machine: BTMachine, src: int, dst: int, rows: int, cols: int
+) -> None:
+    """Transpose a tile already resident near the top of memory.
+
+    The tile occupies ``[src, src + rows*cols)`` with ``src < dst`` both
+    near address 0; the effective hierarchy depth is the tile footprint, so
+    the same blocked scheme recurses with ``f`` evaluated at ``O(q^2)``.
+    """
+    s = rows * cols
+    q = _tile_side(machine, dst + s, rows, cols)
+    if s <= _BASE_TILE * _BASE_TILE or q >= max(rows, cols) or 2 * q * q >= s:
+        _direct_transpose(machine, src, dst, rows, cols)
+        return
+    # Recurse: sub-tiles are gathered from [src, ...) into the very top of
+    # the region [0, 2 q^2) — physically we model this by charging block
+    # transfers within the resident footprint and recursing on cost.
+    for r0 in range(0, rows, q):
+        rq = min(q, rows - r0)
+        for c0 in range(0, cols, q):
+            cq = min(q, cols - c0)
+            for r in range(rq):
+                machine.time += machine.block_copy_cost(
+                    src + (r0 + r) * cols + c0, 0, cq
+                )
+                machine.block_transfers += 1
+            _charge_tile_transpose(machine, rq, cq)
+            for c in range(cq):
+                machine.time += machine.block_copy_cost(
+                    q * q, dst + (c0 + c) * rows + r0, rq
+                )
+                machine.block_transfers += 1
+    _apply_transpose(machine, src, dst, rows, cols)
+
+
+def _charge_tile_transpose(machine: BTMachine, rows: int, cols: int) -> None:
+    """Charge the cost of transposing a rows x cols tile at the very top."""
+    s = rows * cols
+    q = _tile_side(machine, 2 * s, rows, cols)
+    if s <= _BASE_TILE * _BASE_TILE or q >= max(rows, cols) or 2 * q * q >= s:
+        # direct: one read + one write per element at addresses < 2s
+        machine.time += 2.0 * machine.table.range_cost(0, min(2 * s, machine.size))
+        return
+    for r0 in range(0, rows, q):
+        rq = min(q, rows - r0)
+        for c0 in range(0, cols, q):
+            cq = min(q, cols - c0)
+            for r in range(rq):
+                machine.time += machine.block_copy_cost(s, 0, cq)
+                machine.block_transfers += 1
+            _charge_tile_transpose(machine, rq, cq)
+            for c in range(cq):
+                machine.time += machine.block_copy_cost(0, s, rq)
+                machine.block_transfers += 1
+
+
+def _direct_transpose(
+    machine: BTMachine, src: int, dst: int, rows: int, cols: int
+) -> None:
+    """Element-wise transpose, charging one read + one write per element."""
+    machine.touch_range(src, src + rows * cols)
+    machine.touch_range(dst, dst + rows * cols)
+    _apply_transpose(machine, src, dst, rows, cols)
+
+
+def _apply_transpose(
+    machine: BTMachine, src: int, dst: int, rows: int, cols: int
+) -> None:
+    block: list[Any] = machine.mem[src : src + rows * cols]
+    out: list[Any] = [None] * (rows * cols)
+    for r in range(rows):
+        row = block[r * cols : (r + 1) * cols]
+        out[r : rows * cols : rows] = row
+    machine.mem[dst : dst + rows * cols] = out

@@ -1,0 +1,68 @@
+"""The restricted BT machine of Section 2's feasibility remark.
+
+The paper argues the BT model's pipelined arbitrary-length transfers are
+realistic by noting that ``f(x)``-BT "can be simulated with constant
+slowdown by a restricted version of the model which in time f(x) allows
+only to transfer f(x) consecutive cells between non-overlapping regions
+of maximum address x" — i.e. a machine whose transfer length is capped by
+the access latency itself, which matches the outstanding-request budgets
+of real memory systems.
+
+:class:`RestrictedBTMachine` implements that machine: a block transfer of
+``b <= f(max(x, y))`` cells costs ``f(max(x, y))`` (one latency, the
+pipeline hides the words); longer requests are rejected.
+:meth:`RestrictedBTMachine.long_move` emulates an arbitrary-length
+transfer by splitting it into maximal legal pieces — the constant-
+slowdown simulation the remark asserts, verified by
+``tests/test_restricted_bt.py``: the emulation's cost stays within a
+constant factor of the unrestricted machine's ``max(f(x), f(y)) + b``.
+"""
+
+from __future__ import annotations
+
+from repro.bt.machine import BTMachine
+
+__all__ = ["RestrictedBTMachine"]
+
+
+class RestrictedBTMachine(BTMachine):
+    """BT machine whose transfer length is capped by the access latency."""
+
+    def max_transfer(self, src: int, dst: int) -> int:
+        """A safe transfer length starting at ``src``/``dst``.
+
+        ``f`` is nondecreasing, so ``c = f(max(src, dst))`` cells always
+        satisfy the cap at their own far end (``f(far) >= f(start) >= c``).
+        """
+        return max(1, int(self.f(max(src, dst))))
+
+    def block_copy_cost(self, src: int, dst: int, length: int) -> float:
+        """One restricted transfer: ``f(far)`` for ``b <= f(far)`` cells."""
+        if length <= 0:
+            raise ValueError(f"block length must be positive, got {length}")
+        far = max(src + length - 1, dst + length - 1)
+        cap = max(1, int(self.f(far)))
+        if length > cap:
+            raise ValueError(
+                f"restricted BT transfer of {length} cells exceeds the "
+                f"f-cap {cap} at address {far}"
+            )
+        return float(self.f(far))
+
+    def long_move(self, src: int, dst: int, length: int) -> float:
+        """Emulate an arbitrary-length transfer with capped pieces.
+
+        Splits ``[src, src+length)`` into maximal legal chunks, issuing
+        one restricted transfer per chunk; returns the charged cost.  The
+        paper's remark: this is a constant-slowdown emulation of the
+        unrestricted ``max(f(x), f(y)) + b`` transfer.
+        """
+        self._check_disjoint(src, dst, length)
+        start = self.time
+        pos = 0
+        while pos < length:
+            chunk = min(self.max_transfer(src + pos, dst + pos),
+                        length - pos)
+            self.block_move(src + pos, dst + pos, chunk)
+            pos += chunk
+        return self.time - start

@@ -1,0 +1,246 @@
+"""Sorting on the BT machine.
+
+The paper's BT simulation (Section 5.2.1) delivers messages by sorting
+``Theta(mu * |C|)`` constant-size elements with the **Approx-Median-Sort**
+algorithm of Aggarwal, Chandra and Snir [2], which runs in ``O(m log m)``
+time on ``f(x)``-BT for any ``f(x) = O(x^alpha)``, ``alpha < 1``, using
+``Theta(m log log m)`` space.  The paper imports that algorithm as a black
+box; we do the same for the *bound* (:func:`bt_sorting_bound`) and
+additionally provide a fully operational BT sort,
+:func:`bt_merge_sort` — a chunked binary merge sort in which
+
+* every bulk move is a genuine charged block transfer,
+* runs are merged through a two-level staging area near the top of memory
+  (outer chunks of size ``~f(M)``, refilled into inner chunks of size
+  ``~f(f(M))``), so comparisons are charged at near-top addresses.
+
+Binary merging is intrinsically ``Theta(m f*(m))`` per pass (it must touch
+every element, cf. Fact 2), so the operational sort costs
+``Theta(m log m * f*(m))`` — a ``log log m`` factor above Approx-Median-Sort
+for ``f = x^alpha``.  The ablation benchmark
+``benchmarks/test_ablation_bt_compute.py`` quantifies this gap; the BT
+simulation engine accepts either the charged bound (default, mirroring the
+paper) or this operational sort.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable
+
+from repro.bt.machine import BTMachine
+from repro.functions import AccessFunction
+
+__all__ = ["bt_merge_sort", "bt_sorting_bound"]
+
+
+def bt_sorting_bound(f: AccessFunction, m: int) -> float:
+    """Approx-Median-Sort time bound from [2]: ``Theta(m log m)``.
+
+    Valid for ``f(x) = O(x^alpha)`` with constant ``alpha < 1`` (which
+    covers both of the paper's case-study access functions).
+    """
+    return float(m) * math.log2(max(m, 2))
+
+
+def bt_merge_sort(
+    machine: BTMachine,
+    base: int,
+    m: int,
+    key: Callable[[Any], Any] | None = None,
+) -> float:
+    """Sort ``m`` records at ``[base, base + m)`` in place; return charged cost.
+
+    Requires ``m`` additional scratch cells at ``[base + m, base + 2m)`` and
+    a small staging area near the top of memory, which must be below
+    ``base`` (i.e. ``base`` must leave room for ``~6 f(base + 2m)`` staging
+    cells; callers in this repo always sort data parked with the top of
+    memory free).  Stable.
+    """
+    if m <= 0:
+        return 0.0
+    if base + 2 * m > machine.size:
+        raise ValueError(
+            f"sorting {m} records at {base} needs scratch up to "
+            f"{base + 2 * m}, machine has {machine.size}"
+        )
+    keyf = key if key is not None else lambda r: r
+    start_time = machine.time
+    staging = _Staging(machine, base, m)
+
+    width = 1
+    src, dst = base, base + m
+    while width < m:
+        pos = 0
+        while pos < m:
+            a_lo = pos
+            a_hi = min(pos + width, m)
+            b_hi = min(pos + 2 * width, m)
+            _merge_runs(machine, staging, keyf, src + a_lo, src + a_hi,
+                        src + a_hi, src + b_hi, dst + a_lo)
+            pos += 2 * width
+        width *= 2
+        src, dst = dst, src
+    if src != base:
+        # the sorted sequence ended in the scratch half: one block move back
+        machine.block_move(src, base, m)
+    return machine.time - start_time
+
+
+class _Staging:
+    """Two-level staging buffers near the top of memory.
+
+    Layout (word addresses):
+    ``[0, 3w)``           — three inner buffers (A-in, B-in, out) of width
+                            ``w ~ f(3c)``;
+    ``[3w, 3w + 3c)``     — three outer buffers of width ``c ~ f(M)``.
+
+    Elements stream: run (depth ``<= M``) → outer buffer (one block
+    transfer per ``c`` elements) → inner buffer (one block transfer per
+    ``w`` elements) → compared/emitted at addresses ``< 3w``.
+    """
+
+    def __init__(self, machine: BTMachine, base: int, m: int):
+        depth = base + 2 * m
+        c = max(4, int(machine.f(depth - 1)) + 1)
+        c = min(c, max(4, base // 8))
+        w = max(4, int(machine.f(6 * c)) + 1)
+        w = min(w, c)
+        if 3 * w + 3 * c > base:
+            # Tiny instances: collapse to single-level direct staging.
+            c = max(1, base // 6)
+            w = c
+        self.machine = machine
+        self.c = c
+        self.w = w
+        self.inner_a = 0
+        self.inner_b = w
+        self.inner_out = 2 * w
+        self.outer_a = 3 * w
+        self.outer_b = 3 * w + c
+        self.outer_out = 3 * w + 2 * c
+
+
+class _StreamReader:
+    """Sequential charged reader over ``[lo, hi)`` through the staging area."""
+
+    def __init__(self, staging: _Staging, lo: int, hi: int,
+                 outer: int, inner: int):
+        self.m = staging.machine
+        self.staging = staging
+        self.pos = lo
+        self.hi = hi
+        self.outer = outer
+        self.inner = inner
+        self.outer_buf: list[Any] = []
+        self.inner_buf: list[Any] = []
+        self.inner_idx = 0
+
+    def __bool__(self) -> bool:
+        return bool(self.inner_idx < len(self.inner_buf)
+                    or self.outer_buf or self.pos < self.hi)
+
+    def peek(self) -> Any:
+        if self.inner_idx >= len(self.inner_buf):
+            self._refill_inner()
+        # charged by next(); peeking inspects the word already near the top
+        return self.inner_buf[self.inner_idx]
+
+    def next(self) -> Any:
+        value = self.peek()
+        self.inner_idx += 1
+        # one unit op at the inner buffer (addresses < 3w): compare/emit
+        self.m.charge_op((self.inner + self.inner_idx - 1,))
+        return value
+
+    def _refill_inner(self) -> None:
+        if not self.outer_buf:
+            self._refill_outer()
+        take = min(self.staging.w, len(self.outer_buf))
+        if take == 0:
+            raise IndexError("reading past end of stream")
+        # charged block transfer outer -> inner
+        self.m.time += self.m.block_copy_cost(self.outer, self.inner, take)
+        self.m.block_transfers += 1
+        self.inner_buf = self.outer_buf[:take]
+        self.outer_buf = self.outer_buf[take:]
+        self.inner_idx = 0
+
+    def _refill_outer(self) -> None:
+        take = min(self.staging.c, self.hi - self.pos)
+        if take == 0:
+            raise IndexError("reading past end of stream")
+        self.m.time += self.m.block_copy_cost(self.pos, self.outer, take)
+        self.m.block_transfers += 1
+        self.outer_buf = self.m.mem[self.pos : self.pos + take]
+        self.pos += take
+
+
+class _StreamWriter:
+    """Sequential charged writer to ``[dst, ...)`` through the staging area."""
+
+    def __init__(self, staging: _Staging, dst: int, outer: int, inner: int):
+        self.m = staging.machine
+        self.staging = staging
+        self.dst = dst
+        self.outer = outer
+        self.inner = inner
+        self.inner_buf: list[Any] = []
+        self.outer_buf: list[Any] = []
+
+    def write(self, value: Any) -> None:
+        self.inner_buf.append(value)
+        self.m.charge_op((self.inner + len(self.inner_buf) - 1,))
+        if len(self.inner_buf) >= self.staging.w:
+            self._flush_inner()
+
+    def _flush_inner(self) -> None:
+        if not self.inner_buf:
+            return
+        take = len(self.inner_buf)
+        self.m.time += self.m.block_copy_cost(self.inner, self.outer, take)
+        self.m.block_transfers += 1
+        self.outer_buf.extend(self.inner_buf)
+        self.inner_buf = []
+        if len(self.outer_buf) >= self.staging.c:
+            self._flush_outer()
+
+    def _flush_outer(self) -> None:
+        if not self.outer_buf:
+            return
+        take = len(self.outer_buf)
+        self.m.time += self.m.block_copy_cost(self.outer, self.dst, take)
+        self.m.block_transfers += 1
+        self.m.mem[self.dst : self.dst + take] = self.outer_buf
+        self.dst += take
+        self.outer_buf = []
+
+    def close(self) -> None:
+        self._flush_inner()
+        self._flush_outer()
+
+
+def _merge_runs(
+    machine: BTMachine,
+    staging: _Staging,
+    keyf: Callable[[Any], Any],
+    a_lo: int,
+    a_hi: int,
+    b_lo: int,
+    b_hi: int,
+    dst: int,
+) -> None:
+    """Stable two-way merge of runs A/B into ``[dst, ...)`` via staging."""
+    reader_a = _StreamReader(staging, a_lo, a_hi, staging.outer_a, staging.inner_a)
+    reader_b = _StreamReader(staging, b_lo, b_hi, staging.outer_b, staging.inner_b)
+    writer = _StreamWriter(staging, dst, staging.outer_out, staging.inner_out)
+    while reader_a and reader_b:
+        if keyf(reader_a.peek()) <= keyf(reader_b.peek()):
+            writer.write(reader_a.next())
+        else:
+            writer.write(reader_b.next())
+    while reader_a:
+        writer.write(reader_a.next())
+    while reader_b:
+        writer.write(reader_b.next())
+    writer.close()

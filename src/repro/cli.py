@@ -1,0 +1,223 @@
+"""Command-line interface: run programs through the engines from a shell.
+
+::
+
+    python -m repro run sort --v 64 --f x^0.5 --engine all
+    python -m repro touch --n 65536 --f log
+    python -m repro list
+
+``run`` executes one of the bundled D-BSP programs on the chosen engine(s)
+and prints the charged costs plus, for simulations, the slowdown against
+the direct D-BSP run.  ``touch`` contrasts Fact 1 and Fact 2 at a given
+size.  ``list`` enumerates programs and access functions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.algorithms.convolution import convolution_program
+from repro.algorithms.fft import fft_dag_program, fft_recursive_program
+from repro.algorithms.listranking import list_ranking_program
+from repro.algorithms.matmul import matmul_program
+from repro.algorithms.primitives import (
+    broadcast_program,
+    prefix_sums_program,
+    reduce_program,
+)
+from repro.algorithms.sorting import bitonic_sort_program
+from repro.bt.machine import BTMachine
+from repro.bt.touching import bt_touch_all, bt_touching_bound
+from repro.dbsp.machine import DBSPMachine
+from repro.functions import (
+    AccessFunction,
+    ConstantAccess,
+    LinearAccess,
+    LogarithmicAccess,
+    PolynomialAccess,
+    StaircaseAccess,
+)
+from repro.hmm.algorithms import hmm_touching_bound
+from repro.hmm.machine import HMMMachine
+from repro.hmm.touching import hmm_touch_all
+from repro.sim.brent import BrentSimulator
+from repro.sim.bt_sim import BTSimulator
+from repro.sim.hmm_sim import HMMSimulator
+from repro.testing import random_program
+
+__all__ = ["main", "parse_access_function", "PROGRAMS"]
+
+PROGRAMS: dict[str, tuple[Callable[..., object], str]] = {
+    "sort": (bitonic_sort_program, "bitonic n-sorting (Prop. 9)"),
+    "fft-dag": (fft_dag_program, "n-DFT, straight DAG schedule (Prop. 8)"),
+    "fft-rec": (fft_recursive_program, "n-DFT, recursive schedule (Prop. 8)"),
+    "matmul": (matmul_program, "n-MM, recursive quadrants (Prop. 7, Fig. 3)"),
+    "broadcast": (broadcast_program, "tree broadcast from P0"),
+    "reduce": (reduce_program, "tree reduction to P0"),
+    "prefix": (prefix_sums_program, "Hillis-Steele prefix sums (locality-free)"),
+    "listrank": (list_ranking_program, "pointer-jumping list ranking"),
+    "conv": (convolution_program, "polynomial multiplication via FFT"),
+    "random": (random_program, "pseudo-random mixing program"),
+}
+
+FUNCTION_HELP = (
+    "x^A (0<A<1, e.g. x^0.5) | log | const | linear | staircase"
+)
+
+
+def parse_access_function(spec: str) -> AccessFunction:
+    """Parse an access-function spec like ``x^0.5`` or ``log``."""
+    spec = spec.strip().lower()
+    if spec in ("log", "log x", "logx"):
+        return LogarithmicAccess()
+    if spec in ("const", "constant", "1", "ram"):
+        return ConstantAccess()
+    if spec in ("linear", "x"):
+        return LinearAccess()
+    if spec == "staircase":
+        return StaircaseAccess()
+    if spec.startswith("x^"):
+        try:
+            return PolynomialAccess(float(spec[2:]))
+        except ValueError as exc:
+            raise argparse.ArgumentTypeError(str(exc)) from None
+    raise argparse.ArgumentTypeError(
+        f"unknown access function {spec!r}; expected {FUNCTION_HELP}"
+    )
+
+
+def _build_program(name: str, v: int, mu: int):
+    if name not in PROGRAMS:
+        raise SystemExit(
+            f"unknown program {name!r}; try: {', '.join(sorted(PROGRAMS))}"
+        )
+    builder, _ = PROGRAMS[name]
+    try:
+        return builder(v, mu=mu)
+    except ValueError as exc:
+        raise SystemExit(f"cannot build {name} with v={v}, mu={mu}: {exc}")
+
+
+def cmd_list(_args) -> int:
+    print("programs:")
+    for name, (_b, desc) in sorted(PROGRAMS.items()):
+        print(f"  {name:10s} {desc}")
+    print(f"\naccess functions: {FUNCTION_HELP}")
+    print("engines: direct | hmm | bt | brent | all")
+    return 0
+
+
+def cmd_run(args) -> int:
+    f = args.f
+    program = _build_program(args.program, args.v, args.mu)
+    print(f"program: {program.name}  (v={args.v}, mu={args.mu}, "
+          f"{len(program)} supersteps)")
+    print(f"access/bandwidth function: {f.name}\n")
+
+    guest = DBSPMachine(f).run(program.with_global_sync())
+    print(f"{'direct D-BSP':14s} T = {guest.total_time:14.1f}")
+    engines = ([args.engine] if args.engine != "all"
+               else ["hmm", "bt", "brent"])
+    if args.engine == "direct":
+        engines = []
+    for engine in engines:
+        if engine == "hmm":
+            res = HMMSimulator(f).simulate(program)
+            extra = f"rounds={res.rounds}"
+        elif engine == "bt":
+            res = BTSimulator(f).simulate(program)
+            extra = f"block transfers={res.block_transfers}"
+        elif engine == "brent":
+            v_host = args.v_host or max(1, args.v // 4)
+            res = BrentSimulator(f, v_host=v_host).simulate(program)
+            extra = f"v'={v_host}"
+        else:
+            raise SystemExit(f"unknown engine {engine!r}")
+        slowdown = res.time / guest.total_time if guest.total_time else 0.0
+        print(f"{engine:14s} T = {res.time:14.1f}  "
+              f"slowdown = {slowdown:10.1f}  ({extra})")
+    return 0
+
+
+def cmd_report(args) -> int:
+    import pathlib
+
+    from repro.analysis.report import build_report
+
+    text = build_report(args.results)
+    out = pathlib.Path(args.output)
+    out.write_text(text)
+    print(f"wrote {out} ({len(text.splitlines())} lines)")
+    return 0
+
+
+def cmd_touch(args) -> int:
+    f, n = args.f, args.n
+    hmm = HMMMachine(f, n)
+    hmm.mem[:n] = [1] * n
+    hmm_cost = hmm_touch_all(hmm, n)
+    bt = BTMachine(f, 2 * n)
+    bt.mem[n : 2 * n] = [1] * n
+    bt_cost = bt_touch_all(bt, n)
+    print(f"touching n = {n} cells, f = {f.name}")
+    print(f"  HMM: {hmm_cost:14.1f}   (Fact 1: ~ n f(n) "
+          f"= {hmm_touching_bound(f, n):.1f})")
+    print(f"  BT : {bt_cost:14.1f}   (Fact 2: ~ n f*(n) "
+          f"= {bt_touching_bound(f, n):.1f})")
+    print(f"  block transfer wins by {hmm_cost / bt_cost:.1f}x")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=(
+            "Operational D-BSP / HMM / BT machine models and the "
+            "simulation schemes of 'Translating Submachine Locality into "
+            "Locality of Reference' (IPDPS 2004)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list programs, functions, engines")
+    p_list.set_defaults(func=cmd_list)
+
+    p_run = sub.add_parser("run", help="run a program through engines")
+    p_run.add_argument("program", help=f"one of: {', '.join(sorted(PROGRAMS))}")
+    p_run.add_argument("--v", type=int, default=64,
+                       help="number of D-BSP processors (power of two)")
+    p_run.add_argument("--mu", type=int, default=8,
+                       help="context size in words")
+    p_run.add_argument("--f", type=parse_access_function, default="x^0.5",
+                       help=f"access function: {FUNCTION_HELP}")
+    p_run.add_argument("--engine", default="all",
+                       choices=["direct", "hmm", "bt", "brent", "all"])
+    p_run.add_argument("--v-host", type=int, default=None,
+                       help="host width for the brent engine (default v/4)")
+    p_run.set_defaults(func=cmd_run)
+
+    p_touch = sub.add_parser("touch", help="Fact 1 vs Fact 2 at one size")
+    p_touch.add_argument("--n", type=int, default=1 << 16)
+    p_touch.add_argument("--f", type=parse_access_function, default="x^0.5")
+    p_touch.set_defaults(func=cmd_touch)
+
+    p_report = sub.add_parser(
+        "report", help="collate benchmark result tables into REPORT.md"
+    )
+    p_report.add_argument("--results", default="benchmarks/results",
+                          help="directory holding the *.txt result tables")
+    p_report.add_argument("--output", default="REPORT.md")
+    p_report.set_defaults(func=cmd_report)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,120 @@
+"""The binary decomposition tree of a D-BSP machine.
+
+For ``0 <= i <= log v`` the ``v`` processors split into ``2^i`` disjoint
+*i-clusters* ``C_0^(i) .. C_{2^i - 1}^(i)`` of ``v / 2^i`` consecutive
+processors each, with ``C_j^(i) = C_{2j}^(i+1) ∪ C_{2j+1}^(i+1)`` — i.e.
+cluster ``(i, j)`` covers processors ``[j * v/2^i, (j+1) * v/2^i)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "is_power_of_two",
+    "log2_exact",
+    "cluster_size",
+    "cluster_of",
+    "cluster_range",
+    "same_cluster",
+    "ClusterTree",
+]
+
+
+def is_power_of_two(n: int) -> bool:
+    """True iff ``n`` is a positive power of two."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def log2_exact(n: int) -> int:
+    """``log2 n`` for a power of two ``n``; raises otherwise."""
+    if not is_power_of_two(n):
+        raise ValueError(f"{n} is not a positive power of two")
+    return n.bit_length() - 1
+
+
+def cluster_size(v: int, i: int) -> int:
+    """Number of processors in an i-cluster of a v-processor D-BSP."""
+    return v >> i
+
+
+def cluster_of(pid: int, v: int, i: int) -> int:
+    """Index ``j`` of the i-cluster containing processor ``pid``."""
+    return pid // (v >> i)
+
+
+def cluster_range(v: int, i: int, j: int) -> tuple[int, int]:
+    """Half-open processor range ``[lo, hi)`` of cluster ``C_j^(i)``."""
+    size = v >> i
+    return j * size, (j + 1) * size
+
+
+def same_cluster(p: int, q: int, v: int, i: int) -> bool:
+    """True iff processors ``p`` and ``q`` share an i-cluster."""
+    return cluster_of(p, v, i) == cluster_of(q, v, i)
+
+
+@dataclass(frozen=True)
+class ClusterTree:
+    """Decomposition tree of a ``v``-processor D-BSP (``v`` a power of two)."""
+
+    v: int
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.v):
+            raise ValueError(f"v must be a power of two, got {self.v}")
+
+    @property
+    def log_v(self) -> int:
+        return log2_exact(self.v)
+
+    def levels(self) -> range:
+        """Valid superstep labels / decomposition levels ``0 .. log v``."""
+        return range(self.log_v + 1)
+
+    def n_clusters(self, i: int) -> int:
+        self._check_level(i)
+        return 1 << i
+
+    def size(self, i: int) -> int:
+        self._check_level(i)
+        return cluster_size(self.v, i)
+
+    def cluster_of(self, pid: int, i: int) -> int:
+        self._check_level(i)
+        self._check_pid(pid)
+        return cluster_of(pid, self.v, i)
+
+    def members(self, i: int, j: int) -> range:
+        """Processor ids in cluster ``C_j^(i)``."""
+        self._check_level(i)
+        if not 0 <= j < (1 << i):
+            raise ValueError(f"cluster index {j} outside [0, {1 << i})")
+        lo, hi = cluster_range(self.v, i, j)
+        return range(lo, hi)
+
+    def children(self, i: int, j: int) -> tuple[tuple[int, int], tuple[int, int]]:
+        """The two (i+1)-subclusters of ``C_j^(i)``."""
+        if i >= self.log_v:
+            raise ValueError(f"level-{i} clusters are leaves")
+        return (i + 1, 2 * j), (i + 1, 2 * j + 1)
+
+    def parent(self, i: int, j: int) -> tuple[int, int]:
+        """The (i-1)-cluster containing ``C_j^(i)``."""
+        if i <= 0:
+            raise ValueError("the root cluster has no parent")
+        return i - 1, j // 2
+
+    def same_cluster(self, p: int, q: int, i: int) -> bool:
+        self._check_pid(p)
+        self._check_pid(q)
+        return same_cluster(p, q, self.v, i)
+
+    # ------------------------------------------------------------- helpers
+    def _check_level(self, i: int) -> None:
+        if not 0 <= i <= self.log_v:
+            raise ValueError(f"level {i} outside [0, {self.log_v}]")
+
+    def _check_pid(self, pid: int) -> None:
+        if not 0 <= pid < self.v:
+            raise ValueError(f"processor id {pid} outside [0, {self.v})")

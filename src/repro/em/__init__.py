@@ -1,0 +1,16 @@
+"""The External Memory (EM) model of Aggarwal and Vitter [4].
+
+A two-level hierarchy: a fast memory of ``M`` words and a disk accessed
+in blocks of ``B`` words; the cost measure is the number of block I/Os.
+The paper's introduction positions its result against the earlier line of
+work [8-10] that simulates *coarse-grained, flat* parallel models (BSP,
+BSP*, CGM) on the EM model: that mapping exploits the two-level structure
+but — having no submachine hierarchy to mine — cannot translate locality
+into anything finer.  :mod:`repro.em.simulation` implements that flat
+baseline so the contrast is measurable (benchmark E13).
+"""
+
+from repro.em.machine import EMMachine
+from repro.em.simulation import EMSimResult, FlatBSPOnEMSimulator
+
+__all__ = ["EMMachine", "FlatBSPOnEMSimulator", "EMSimResult"]

@@ -1,0 +1,91 @@
+"""Operational External Memory machine (I/O-counting two-level hierarchy)."""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["EMMachine"]
+
+
+class EMMachine:
+    """An EM machine with fast memory ``M`` and block size ``B`` (in words).
+
+    The disk is word-addressed storage accessed in aligned blocks; the
+    machine counts block reads and writes (``io_count``) and tracks the
+    *resident set* — the blocks currently in fast memory — enforcing the
+    capacity ``M``: loading beyond capacity evicts (silently, clean
+    eviction; dirty blocks must be stored explicitly, as EM algorithms
+    do).  CPU work is free, per the model.
+    """
+
+    def __init__(self, M: int, B: int, disk_blocks: int):
+        if B <= 0 or M < B:
+            raise ValueError(f"need B >= 1 and M >= B, got M={M}, B={B}")
+        self.M = int(M)
+        self.B = int(B)
+        self.capacity_blocks = self.M // self.B
+        self.disk_blocks = int(disk_blocks)
+        self.disk: list[list[Any] | None] = [None] * self.disk_blocks
+        self.resident: dict[int, list[Any]] = {}
+        self._lru: list[int] = []
+        self.io_count: int = 0
+
+    # ------------------------------------------------------------- blocks
+    def load(self, block: int) -> list[Any]:
+        """Bring disk ``block`` into fast memory (1 I/O unless resident)."""
+        self._check(block)
+        if block in self.resident:
+            self._touch(block)
+            return self.resident[block]
+        self.io_count += 1
+        data = self.disk[block]
+        if data is None:
+            data = [None] * self.B
+        frame = list(data)
+        self._evict_if_full()
+        self.resident[block] = frame
+        self._lru.append(block)
+        return frame
+
+    def store(self, block: int, data: list[Any] | None = None) -> None:
+        """Write ``block`` back to disk (1 I/O).
+
+        ``data`` defaults to the resident frame (which must then exist).
+        """
+        self._check(block)
+        if data is None:
+            if block not in self.resident:
+                raise KeyError(f"block {block} is not resident")
+            data = self.resident[block]
+        if len(data) != self.B:
+            raise ValueError(f"block data must have {self.B} words")
+        self.io_count += 1
+        self.disk[block] = list(data)
+
+    def evict(self, block: int) -> None:
+        """Drop a resident block without writing it (clean discard)."""
+        self.resident.pop(block, None)
+        if block in self._lru:
+            self._lru.remove(block)
+
+    def evict_all(self) -> None:
+        self.resident.clear()
+        self._lru.clear()
+
+    # ------------------------------------------------------------ helpers
+    def _check(self, block: int) -> None:
+        if not 0 <= block < self.disk_blocks:
+            raise IndexError(f"block {block} outside [0, {self.disk_blocks})")
+
+    def _touch(self, block: int) -> None:
+        self._lru.remove(block)
+        self._lru.append(block)
+
+    def _evict_if_full(self) -> None:
+        while len(self.resident) >= self.capacity_blocks:
+            victim = self._lru.pop(0)
+            del self.resident[victim]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"EMMachine(M={self.M}, B={self.B}, "
+                f"blocks={self.disk_blocks}, io={self.io_count})")

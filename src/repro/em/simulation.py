@@ -1,0 +1,104 @@
+"""Flat (coarse-grained) BSP simulation on the EM model — the [8-10] baseline.
+
+The scheme follows Dehne et al. [8,9]: one superstep at a time,
+
+1. **compute pass** — stream every processor context through fast memory
+   (``Theta(mu v / B)`` I/Os), run the bodies, append outgoing messages
+   to a disk-resident message stream;
+2. **routing pass** — deliver the message stream to per-processor inboxes
+   with multi-pass distribution (fan-out ``Theta(M/B)`` per pass, i.e.
+   ``ceil(log_{M/B} (v B' / B))`` passes), the external-memory analogue
+   of sorting by destination;
+3. **delivery pass** — merge the routed messages into the contexts.
+
+Crucially the simulation is *label-oblivious*: a D-BSP program's
+supersteps are treated as flat BSP supersteps, exactly as the
+coarse-grained frameworks would.  Its I/O cost therefore cannot depend on
+the guest's submachine locality — the limitation the paper's Section 1
+calls out and that benchmark E13 measures against the D-BSP -> HMM
+scheme.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.dbsp.program import Message, ProcView, Program
+from repro.em.machine import EMMachine
+
+__all__ = ["FlatBSPOnEMSimulator", "EMSimResult"]
+
+
+@dataclass
+class EMSimResult:
+    """Outcome of a flat BSP-on-EM simulation."""
+
+    contexts: list[dict]
+    io_count: int
+    superstep_ios: list[int] = field(default_factory=list)
+
+
+class FlatBSPOnEMSimulator:
+    """Simulate a (D-)BSP program on EM(M, B), counting block I/Os."""
+
+    def __init__(self, M: int = 256, B: int = 16):
+        self.M = M
+        self.B = B
+
+    def simulate(self, program: Program) -> EMSimResult:
+        program = program.with_global_sync()
+        v, mu = program.v, program.mu
+        B = self.B
+        contexts_per_block = max(1, B // mu)
+        context_blocks = -(-v // contexts_per_block)
+        machine = EMMachine(self.M, B, disk_blocks=max(context_blocks, 1))
+
+        contexts = program.initial_contexts()
+        pending: list[list[Message]] = [[] for _ in range(v)]
+        superstep_ios: list[int] = []
+
+        for step in program.supersteps:
+            before = machine.io_count
+            if not step.is_dummy:
+                outgoing: list[tuple[int, Message]] = []
+                # 1. compute pass: stream context blocks through memory
+                for blk in range(context_blocks):
+                    machine.load(blk)
+                    lo = blk * contexts_per_block
+                    hi = min(lo + contexts_per_block, v)
+                    for pid in range(lo, hi):
+                        inbox = sorted(pending[pid])
+                        pending[pid] = []
+                        view = ProcView(pid, v, mu, step.label,
+                                        contexts[pid], inbox)
+                        step.body(view)
+                        outgoing.extend(view.outbox)
+                    machine.store(blk, [None] * B)
+                    machine.evict(blk)
+                # 2. routing pass(es): multi-way distribution by destination
+                machine.io_count += self._routing_ios(len(outgoing),
+                                                      context_blocks)
+                for dest, msg in outgoing:
+                    pending[dest].append(msg)
+                # 3. delivery pass: merge messages into context blocks
+                if outgoing:
+                    machine.io_count += 2 * context_blocks
+            machine.evict_all()
+            superstep_ios.append(machine.io_count - before)
+
+        return EMSimResult(contexts=contexts, io_count=machine.io_count,
+                           superstep_ios=superstep_ios)
+
+    def _routing_ios(self, n_messages: int, dest_blocks: int) -> int:
+        """I/Os of distributing ``n_messages`` into ``dest_blocks`` buckets.
+
+        Fan-out per pass is the number of block buffers that fit in fast
+        memory; each pass reads and writes the whole message stream.
+        """
+        if n_messages == 0:
+            return 0
+        fanout = max(2, self.M // self.B - 1)
+        passes = max(1, math.ceil(math.log(max(dest_blocks, 2), fanout)))
+        stream_blocks = -(-n_messages // self.B)
+        return 2 * stream_blocks * passes

@@ -1,0 +1,31 @@
+"""The Hierarchical Memory Model (HMM) of Aggarwal et al. [1].
+
+An ``f(x)``-HMM is a random access machine where an access to memory
+location ``x`` costs ``f(x)``; an n-ary operation on cells ``x_1..x_n``
+costs ``1 + sum_i f(x_i)``.  The model rewards *temporal locality*: data
+used often should live near address 0.
+"""
+
+from repro.hmm.machine import HMMMachine
+from repro.hmm.touching import hmm_touch_all
+from repro.hmm.algorithms import (
+    hmm_matmul_lower_bound,
+    hmm_fft_lower_bound,
+    hmm_sorting_lower_bound,
+    hmm_touching_bound,
+)
+from repro.hmm.flat import hmm_flat_fft, hmm_flat_matmul, hmm_flat_mergesort
+from repro.hmm.blocked import hmm_blocked_matmul
+
+__all__ = [
+    "HMMMachine",
+    "hmm_touch_all",
+    "hmm_matmul_lower_bound",
+    "hmm_fft_lower_bound",
+    "hmm_sorting_lower_bound",
+    "hmm_touching_bound",
+    "hmm_flat_mergesort",
+    "hmm_flat_fft",
+    "hmm_flat_matmul",
+    "hmm_blocked_matmul",
+]

@@ -1,0 +1,136 @@
+"""Hierarchy-oblivious ("flat RAM") algorithms executed on the HMM.
+
+The paper's opening motivation: classical algorithms designed for the
+flat RAM "often exhibit poor performance when run on real machines with
+hierarchical memory".  These are the textbook algorithms, coded exactly
+as one would for a RAM, but executed on an :class:`~repro.hmm.machine.HMMMachine`
+so every access is charged ``f(address)``:
+
+* :func:`hmm_flat_mergesort` — bottom-up merge sort over the full array:
+  ``Theta(n log n)`` RAM operations, but every pass sweeps addresses up
+  to ``~2n``, so the charged cost is ``Theta(n f(n) log n)``;
+* :func:`hmm_flat_fft` — iterative radix-2 FFT (bit-reversal + log n
+  butterfly stages over the whole array): ``Theta(n f(n) log n)``;
+* :func:`hmm_flat_matmul` — the triple loop on row-major operands:
+  ``Theta(n^{3/2})`` semiring operations at depth ``Theta(n)``, i.e.
+  ``Theta(n^{3/2} f(n))`` charged.
+
+The benchmark ``benchmarks/test_oblivious_vs_simulated.py`` compares them
+against the HMM algorithms *derived automatically* by simulating the
+D-BSP programs of Propositions 7-9 — e.g. on the ``x^0.5``-HMM the
+derived sort costs ``Theta(n^{1.5})`` versus the flat sort's
+``Theta(n^{1.5} log n)``, and the derived matrix multiplication
+``Theta(n^{1.5} log n)`` versus the flat one's ``Theta(n^2)``.
+"""
+
+from __future__ import annotations
+
+import cmath
+from typing import Any
+
+from repro.hmm.machine import HMMMachine
+
+__all__ = ["hmm_flat_mergesort", "hmm_flat_fft", "hmm_flat_matmul"]
+
+
+def hmm_flat_mergesort(machine: HMMMachine, n: int) -> float:
+    """Sort ``machine.mem[0:n]`` with textbook bottom-up merge sort.
+
+    Requires ``n`` scratch cells at ``[n, 2n)``.  Returns the charged cost.
+    RAM complexity ``Theta(n log n)``; HMM charge ``Theta(n f(n) log n)``
+    (each pass streams the whole array at its resting depth).
+    """
+    if 2 * n > machine.size:
+        raise ValueError(f"flat mergesort of {n} needs {2 * n} cells")
+    start = machine.time
+    src, dst = 0, n
+    width = 1
+    while width < n:
+        pos = 0
+        while pos < n:
+            a_hi = min(pos + width, n)
+            b_hi = min(pos + 2 * width, n)
+            run_a = machine.read_range(src + pos, src + a_hi)
+            run_b = machine.read_range(src + a_hi, src + b_hi)
+            machine.write_range(dst + pos, _merge(run_a, run_b))
+            pos += 2 * width
+        width *= 2
+        src, dst = dst, src
+    if src != 0:
+        machine.move_range(src, 0, n)
+    return machine.time - start
+
+
+def _merge(a: list[Any], b: list[Any]) -> list[Any]:
+    out: list[Any] = []
+    i = j = 0
+    while i < len(a) and j < len(b):
+        if a[i] <= b[j]:
+            out.append(a[i])
+            i += 1
+        else:
+            out.append(b[j])
+            j += 1
+    out.extend(a[i:])
+    out.extend(b[j:])
+    return out
+
+
+def hmm_flat_fft(machine: HMMMachine, n: int) -> float:
+    """In-place iterative radix-2 FFT of ``machine.mem[0:n]`` (complex).
+
+    Textbook schedule: bit-reversal permutation, then ``log n`` butterfly
+    stages each sweeping the whole array.  Charged ``Theta(n f(n) log n)``.
+    """
+    if n & (n - 1):
+        raise ValueError(f"n must be a power of two, got {n}")
+    if n > machine.size:
+        raise ValueError(f"flat FFT of {n} needs {n} cells")
+    start = machine.time
+    bits = n.bit_length() - 1
+    # bit-reversal permutation: one swap per out-of-place pair
+    for i in range(n):
+        j = int(bin(i)[2:].zfill(bits)[::-1], 2)
+        if i < j:
+            xi, xj = machine.read(i), machine.read(j)
+            machine.write(i, xj)
+            machine.write(j, xi)
+    # butterfly stages
+    m = 2
+    while m <= n:
+        w_m = cmath.exp(-2j * cmath.pi / m)
+        for block in range(0, n, m):
+            w = 1.0 + 0j
+            for k in range(m // 2):
+                lo = block + k
+                hi = lo + m // 2
+                a, b = machine.read(lo), machine.read(hi)
+                machine.charge_op((lo, hi))
+                machine.write(lo, a + w * b)
+                machine.write(hi, a - w * b)
+                w *= w_m
+        m *= 2
+    return machine.time - start
+
+
+def hmm_flat_matmul(machine: HMMMachine, side: int) -> float:
+    """Row-major triple-loop ``C = A @ B`` on ``side x side`` matrices.
+
+    Layout: ``A`` at ``[0, s)``, ``B`` at ``[s, 2s)``, ``C`` at
+    ``[2s, 3s)`` with ``s = side^2``.  Charged ``Theta(side^3 f(side^2))``
+    — the textbook loop pays the deep access on (nearly) every operand.
+    """
+    s = side * side
+    if 3 * s > machine.size:
+        raise ValueError(f"flat matmul of side {side} needs {3 * s} cells")
+    start = machine.time
+    for i in range(side):
+        row_a = machine.read_range(i * side, (i + 1) * side)
+        for j in range(side):
+            acc = 0
+            for k in range(side):
+                b_kj = machine.read(s + k * side + j)
+                acc += row_a[k] * b_kj
+                machine.charge(1.0)
+            machine.write(2 * s + i * side + j, acc)
+    return machine.time - start

@@ -1,0 +1,33 @@
+"""The touching problem on the HMM.
+
+Touching brings each of ``n`` memory cells to the top of memory.  On the
+``f(x)``-HMM there is no block transfer, so each of the ``n`` cells must be
+individually accessed at its own address: the cost is exactly
+``sum_{x<n} f(x) = Theta(n f(n))`` by Fact 1.  The contrast with the BT
+machine's ``Theta(n f*(n))`` (Fact 2, :mod:`repro.bt.touching`) is the
+paper's motivating example for the added power of block transfer.
+"""
+
+from __future__ import annotations
+
+from repro.hmm.machine import HMMMachine
+
+__all__ = ["hmm_touch_all"]
+
+
+def hmm_touch_all(machine: HMMMachine, n: int) -> float:
+    """Touch cells ``[0, n)``; return the charged cost of the touch.
+
+    Every cell is read once (charged ``f(x)`` each — there is no block
+    transfer to pipeline the reads) and folded into cell 0, so the touch is
+    observable: cell 0 ends up holding a digest of all touched values.
+    """
+    if n > machine.size:
+        raise ValueError(f"cannot touch {n} cells of a {machine.size}-cell HMM")
+    start = machine.time
+    values = machine.read_range(0, n)  # charges sum_{x<n} f(x)
+    acc = 0
+    for value in values:
+        acc = (acc + (value if isinstance(value, (int, float)) else 1)) % (1 << 61)
+    machine.write(0, acc)
+    return machine.time - start

@@ -1,0 +1,29 @@
+"""The mesh-of-HMMs model ``M_d(n, p, m)`` of Bilardi and Preparata [16].
+
+Section 1 of the paper positions its headline result against [16,18]:
+simulating an ``M_d(n, n, m)`` on an ``M_d(n, p, m)`` with fewer
+processors incurs slowdown ``(n/p) * Lambda(n, p, m)`` where the extra
+factor ``Lambda`` — caused by aggregating the guests' memories into one
+deeper hierarchy — can grow up to ``(n/p)^{1/d}`` and is *unavoidable*
+for certain computations [18].  The paper's contribution is that D-BSP's
+submachine locality eliminates this extra factor.
+
+This subpackage implements the ``d = 1`` instance operationally so the
+contrast is measurable (benchmark E14): a lockstep neighbour-exchange
+workload self-simulated on the mesh pays a growing ``Lambda``, while the
+same scale-down on D-BSP (Theorem 10) stays at ``Theta(v/v')``.
+"""
+
+from repro.mesh.model import (
+    MeshAccess,
+    MeshMachine,
+    mesh_native_time,
+    mesh_simulation_time,
+)
+
+__all__ = [
+    "MeshAccess",
+    "MeshMachine",
+    "mesh_native_time",
+    "mesh_simulation_time",
+]

@@ -1,0 +1,155 @@
+"""Operational ``M_1(n, p, m)`` and its self-simulation (illustrative).
+
+Model (following [16], specialized to ``d = 1``): ``p`` HMM nodes on a
+line; each node's local memory has ``n m / p`` words with access function
+``f(x) = ceil((x + 1) / m)`` — the memory is a chain of size-``m``
+modules, the k-th module costing ``k`` per access.  Sending a
+constant-size message to a neighbour costs as much as accessing the
+farthest local cell, ``f(n m / p - 1) = n / p``.
+
+Workload: the *lockstep neighbour-exchange* computation — in every step,
+every node scans its ``m``-word context and exchanges one word with each
+line neighbour.  This is the natural mesh analogue of a fine-grained
+0-superstep workload: communication crosses node boundaries every step,
+so a scaled-down host cannot park any guest context at the top of its
+memory for long.
+
+* :func:`mesh_native_time` — the workload on ``M_1(n, n, m)``: every
+  context is an entire local memory (all accesses cost 1), neighbour
+  messages cost 1.
+* :func:`mesh_simulation_time` — the workload simulated on
+  ``M_1(n, p, m)`` by the natural block schedule: host node ``h`` holds
+  guest contexts ``h n/p .. (h+1) n/p - 1`` consecutively and, every
+  step, cycles each of them to the top of its memory, runs the scan
+  there, and returns it (cycling is no worse than scanning in place, and
+  matches the strategy of [16]).  Boundary messages cost ``n/p``.
+
+The measured slowdown divided by the parallelism loss ``n/p`` is the
+``Lambda`` of [16]: for this workload it grows linearly in ``n/p``
+(every guest context must still be hauled past ``Theta((n/p) m)`` words
+of its siblings every step — there is no submachine structure the
+schedule could exploit).  Benchmark E14 shows the contrast with
+Theorem 10's flat ``Theta(v/v')``.
+
+This is an *illustrative* reproduction of the contrast the paper draws,
+not a re-implementation of [16]'s general simulation (which interleaves
+memories block-cyclically and proves matching upper and lower bounds);
+DESIGN.md records the substitution.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.functions import AccessFunction, CostTable
+
+__all__ = [
+    "MeshAccess",
+    "MeshMachine",
+    "mesh_native_time",
+    "mesh_simulation_time",
+]
+
+
+@dataclass(frozen=True, repr=False)
+class MeshAccess(AccessFunction):
+    """``f(x) = ceil((x + 1) / m)``: a chain of size-``m`` memory modules."""
+
+    m: int = 64
+
+    def __post_init__(self) -> None:
+        if self.m <= 0:
+            raise ValueError(f"module size must be positive, got {self.m}")
+        object.__setattr__(self, "name", f"ceil(x/{self.m})")
+
+    def __call__(self, x: float) -> float:
+        return float(math.ceil((x + 1) / self.m))
+
+    def evaluate(self, xs):
+        import numpy as np
+
+        return np.ceil((np.asarray(xs, dtype=np.float64) + 1) / self.m)
+
+
+class MeshMachine:
+    """One node of ``M_1(n, p, m)``: an HMM of ``c * m`` words.
+
+    ``c = n / p`` is the number of guest contexts the node holds.  The
+    class only does cost accounting (the E14 workload is data-oblivious,
+    so there is no state to move): :meth:`scan_context`,
+    :meth:`cycle_context` and :meth:`neighbour_message` charge the model
+    costs of the block schedule's primitive actions.
+    """
+
+    def __init__(self, m: int, contexts: int):
+        self.m = int(m)
+        self.contexts = int(contexts)
+        self.f = MeshAccess(m)
+        self.size = self.m * self.contexts
+        self.table = CostTable(self.f, max(self.size, 1))
+        self.time = 0.0
+
+    def scan_context(self, index: int) -> None:
+        """Touch every word of guest context ``index`` at its resting depth."""
+        lo = index * self.m
+        self.time += self.table.range_cost(lo, lo + self.m)
+
+    def cycle_context(self, index: int) -> None:
+        """Bring context ``index`` to the top, scan it there, return it.
+
+        Two relocations (read at depth + write at top, and back) plus the
+        near-top scan; cheaper than :meth:`scan_context` only by constant
+        factors — the haul past the sibling contexts is unavoidable.
+        """
+        lo = index * self.m
+        haul = self.table.range_cost(lo, lo + self.m) + self.table.range_cost(
+            0, self.m
+        )
+        self.time += 2.0 * haul + self.table.range_cost(0, self.m)
+
+    def neighbour_message(self) -> None:
+        """One constant-size message to a line neighbour: f(size - 1)."""
+        self.time += self.f(self.size - 1)
+
+
+def mesh_native_time(n: int, m: int, steps: int) -> float:
+    """The workload on ``M_1(n, n, m)``: parallel time.
+
+    Every node scans its own memory (``m`` accesses at cost 1 each) and
+    sends/receives two neighbour words (cost ``f(m - 1) = 1`` each).
+    """
+    node = MeshMachine(m, contexts=1)
+    for _ in range(steps):
+        node.scan_context(0)
+        node.neighbour_message()
+        node.neighbour_message()
+    return node.time
+
+
+def mesh_simulation_time(
+    n: int, p: int, m: int, steps: int, schedule: str = "cycle"
+) -> float:
+    """The workload simulated on ``M_1(n, p, m)``: parallel host time.
+
+    Per step, the busiest host node processes its ``n/p`` guest contexts
+    (``schedule`` picks in-place scanning or cycling through the top) and
+    exchanges the two boundary words with its neighbours.
+    """
+    if n % p:
+        raise ValueError(f"p = {p} must divide n = {n}")
+    c = n // p
+    node = MeshMachine(m, contexts=c)
+    for _ in range(steps):
+        for j in range(c):
+            if schedule == "cycle":
+                node.cycle_context(j)
+            elif schedule == "in-place":
+                node.scan_context(j)
+            else:
+                raise ValueError(f"unknown schedule {schedule!r}")
+        # messages between guests inside the node were handled during the
+        # scans; only the two boundary words leave the node
+        node.neighbour_message()
+        node.neighbour_message()
+    return node.time

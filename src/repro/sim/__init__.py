@@ -1,0 +1,35 @@
+"""The paper's simulation schemes.
+
+* :mod:`repro.sim.smoothing` — the L-smooth program transformation
+  (Definition 3) and the label-set constructions used by the HMM (§3) and
+  BT (§5.2.2) analyses;
+* :mod:`repro.sim.hmm_sim` — D-BSP on HMM (Figure 1, Theorem 5);
+* :mod:`repro.sim.bt_sim` — D-BSP on BT (Figures 4-7, Theorem 12);
+* :mod:`repro.sim.brent` — D-BSP self-simulation (Theorem 10), the
+  analogue of Brent's lemma.
+"""
+
+from repro.sim.smoothing import (
+    SmoothedProgram,
+    build_label_set_bt,
+    build_label_set_hmm,
+    is_l_smooth,
+    smooth_program,
+)
+from repro.sim.hmm_sim import HMMSimResult, HMMSimulator
+from repro.sim.bt_sim import BTSimResult, BTSimulator
+from repro.sim.brent import BrentSimResult, BrentSimulator
+
+__all__ = [
+    "SmoothedProgram",
+    "build_label_set_hmm",
+    "build_label_set_bt",
+    "smooth_program",
+    "is_l_smooth",
+    "HMMSimulator",
+    "HMMSimResult",
+    "BTSimulator",
+    "BTSimResult",
+    "BrentSimulator",
+    "BrentSimResult",
+]

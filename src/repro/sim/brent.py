@@ -1,0 +1,289 @@
+"""D-BSP self-simulation — the analogue of Brent's lemma (Section 4).
+
+Guest: a program for ``D-BSP(v, mu, g(x))``.  Host: a
+``D-BSP(v', mu v / v', g(x))`` with ``v' <= v``, same aggregate memory,
+whose individual processors are regarded as ``g(x)``-HMMs of size
+``mu v / v'``.  Host processor ``P_j`` simulates guest cluster
+``C_j^(log v')``, keeping the ``v / v'`` guest contexts as blocks of its
+local hierarchical memory.
+
+The program is split into maximal *runs* of supersteps whose labels are
+either all ``< log v'`` (coarse runs — real host communication happens) or
+all ``>= log v'`` (fine runs — entirely local to each host processor):
+
+* each i-superstep of a coarse run becomes a host i-superstep (cycle the
+  guest contexts through the top of the local memory, execute bodies, ship
+  an ``h v/v'``-relation) followed by a host ``log v'``-superstep that
+  files received messages into the destination guests' context blocks;
+* a fine run is handed verbatim (labels shifted by ``log v'``) to the
+  Section 3 HMM-simulation scheme running inside every host processor.
+
+Theorem 10: the host time is
+``O((v/v')(tau + mu sum_i lambda_i g(mu v / 2^i)))``; for *full* programs
+(every superstep routes a Theta(mu)-relation — fine-grained programs are
+full) this is an optimal ``Theta(T v / v')`` slowdown (Corollary 11),
+showing that D-BSP with hierarchical memory integrates network and memory
+hierarchies seamlessly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.dbsp.cluster import cluster_size, log2_exact
+from repro.dbsp.program import Message, ProcView, Program, Superstep
+from repro.functions import AccessFunction, CostTable
+from repro.sim.hmm_sim import HMMSimulator
+
+__all__ = ["BrentSimulator", "BrentSimResult", "RunRecord"]
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """Accounting for one maximal run of supersteps."""
+
+    kind: str  #: "coarse" (labels < log v') or "fine" (labels >= log v')
+    first_step: int
+    n_steps: int
+    host_time: float
+
+
+@dataclass
+class BrentSimResult:
+    """Outcome of the self-simulation."""
+
+    contexts: list[dict]
+    time: float
+    v_host: int
+    runs: list[RunRecord] = field(default_factory=list)
+
+    def slowdown(self, guest_time: float) -> float:
+        return self.time / guest_time if guest_time > 0 else float("inf")
+
+
+class _GlobalizedView:
+    """Adapter exposing a cluster-local :class:`ProcView` under global ids.
+
+    Fine runs execute inside one host processor over the ``v/v'`` guests of
+    one ``log v'``-cluster; program bodies, however, speak global processor
+    ids.  This proxy translates pids on the way in and out.
+    """
+
+    __slots__ = ("_view", "_offset", "pid", "v", "mu", "label", "ctx", "inbox")
+
+    def __init__(self, view: ProcView, offset: int, v_global: int):
+        self._view = view
+        self._offset = offset
+        self.pid = view.pid + offset
+        self.v = v_global
+        self.mu = view.mu
+        self.label = view.label  # local label; bodies rarely inspect it
+        self.ctx = view.ctx
+        self.inbox = [Message(m.src + offset, m.payload) for m in view.inbox]
+
+    def send(self, dest: int, payload: Any = None) -> None:
+        self._view.send(dest - self._offset, payload)
+
+    def charge(self, t: float) -> None:
+        self._view.charge(t)
+
+    def received(self):
+        return (msg.payload for msg in self.inbox)
+
+
+class BrentSimulator:
+    """Theorem 10's self-simulation engine."""
+
+    def __init__(self, g: AccessFunction, v_host: int, c2: float = 0.5):
+        self.g = g
+        self.v_host = v_host
+        self.c2 = c2
+        self.log_v_host = log2_exact(v_host)
+
+    def simulate(self, program: Program) -> BrentSimResult:
+        """Simulate ``program`` on ``D-BSP(v', mu v/v', g)``; charge host time."""
+        v, v_host = program.v, self.v_host
+        if v_host > v:
+            raise ValueError(f"host width {v_host} exceeds guest width {v}")
+        if v_host == v:
+            # degenerate: the host *is* the guest machine
+            from repro.dbsp.machine import DBSPMachine
+
+            run = DBSPMachine(self.g).run(program.with_global_sync())
+            return BrentSimResult(run.contexts, run.total_time, v_host)
+
+        normalized = program.with_global_sync()
+        state = _BrentRun(self, normalized)
+        state.execute()
+        return BrentSimResult(
+            contexts=state.contexts,
+            time=state.time,
+            v_host=v_host,
+            runs=state.records,
+        )
+
+
+class _BrentRun:
+    def __init__(self, sim: BrentSimulator, program: Program):
+        self.sim = sim
+        self.program = program
+        self.v = program.v
+        self.mu = program.mu
+        self.v_host = sim.v_host
+        self.log_v_host = sim.log_v_host
+        self.guests_per_host = self.v // self.v_host
+        #: local memory of one host processor, in words
+        self.mu_host = self.mu * self.guests_per_host
+        self.table = CostTable(sim.g, max(self.mu_host, 2))
+        self.contexts = program.initial_contexts()
+        self.pending: list[list[Message]] = [[] for _ in range(self.v)]
+        self.time = 0.0
+        self.records: list[RunRecord] = []
+        #: pid offset of the host processor currently simulated (fine runs)
+        self.current_offset = 0
+
+    # ------------------------------------------------------------- helpers
+    def _host_of(self, pid: int) -> int:
+        return pid // self.guests_per_host
+
+    def _block_range(self, pid: int) -> tuple[int, int]:
+        """Word range of guest ``pid``'s context inside its host's memory."""
+        local = pid % self.guests_per_host
+        return local * self.mu, (local + 1) * self.mu
+
+    # --------------------------------------------------------------- main
+    def execute(self) -> None:
+        steps = self.program.supersteps
+        pos = 0
+        while pos < len(steps):
+            coarse = steps[pos].label < self.log_v_host
+            end = pos
+            while end < len(steps) and (
+                (steps[end].label < self.log_v_host) == coarse
+            ):
+                end += 1
+            before = self.time
+            if coarse:
+                for s in range(pos, end):
+                    self._coarse_superstep(steps[s])
+            else:
+                self._fine_run(steps[pos:end])
+            self.records.append(
+                RunRecord(
+                    kind="coarse" if coarse else "fine",
+                    first_step=pos,
+                    n_steps=end - pos,
+                    host_time=self.time - before,
+                )
+            )
+            pos = end
+
+    # ----------------------------------------------------- coarse supersteps
+    def _coarse_superstep(self, step: Superstep) -> None:
+        """One guest i-superstep with ``i < log v'`` on the host machine."""
+        v, mu = self.v, self.mu
+        local_times = [0.0] * self.v_host
+        sent_counts = [0] * self.v_host
+        recv_counts = [0] * self.v_host
+        deliveries: list[list[tuple[int, Message]]] = [
+            [] for _ in range(self.v_host)
+        ]
+
+        if not step.is_dummy:
+            for pid in range(v):
+                host = self._host_of(pid)
+                lo, hi = self._block_range(pid)
+                # bring the guest context to the top of the local HMM & back
+                local_times[host] += 2.0 * (
+                    self.table.range_cost(lo, hi) + self.table.range_cost(0, mu)
+                )
+                inbox = sorted(self.pending[pid])
+                self.pending[pid] = []
+                view = ProcView(pid, v, mu, step.label, self.contexts[pid], inbox)
+                step.body(view)
+                local_times[host] += view.local_time
+                sent_counts[host] += len(view.outbox)
+                for dest, msg in view.outbox:
+                    dest_host = self._host_of(dest)
+                    recv_counts[dest_host] += 1
+                    deliveries[dest_host].append((dest, msg))
+        else:
+            for host in range(self.v_host):
+                local_times[host] = 1.0
+
+        # host i-superstep: local simulation plus an (h v/v')-relation
+        # within host i-clusters; message cost g(mu_host * v'/2^i) = g(mu v/2^i)
+        h_host = max(max(sent_counts), max(recv_counts), 0)
+        comm = h_host * self.sim.g(self.mu_host * cluster_size(self.v_host, step.label))
+        self.time += max(local_times) + comm
+
+        # host (log v')-superstep: file received messages into the guests'
+        # incoming buffers (an access into the destination block)
+        filing = [0.0] * self.v_host
+        for host in range(self.v_host):
+            for dest, msg in deliveries[host]:
+                lo, _hi = self._block_range(dest)
+                filing[host] += self.table.access(lo)
+                self.pending[dest].append(msg)
+        self.time += max(filing) + 1.0
+
+    # --------------------------------------------------------- fine runs
+    def _fine_run(self, steps: list[Superstep]) -> None:
+        """A maximal run with labels ``>= log v'``: local to each host."""
+        g_per_host = self.guests_per_host
+        shifted = [
+            Superstep(
+                s.label - self.log_v_host,
+                None if s.is_dummy else _shift_body(s.body, self),
+                name=s.name,
+            )
+            for s in steps
+        ]
+        hmm = HMMSimulator(self.sim.g, c2=self.sim.c2, check_invariants="off")
+        host_times: list[float] = []
+        for host in range(self.v_host):
+            offset = host * g_per_host
+            self.current_offset = offset
+            local_program = Program(
+                g_per_host,
+                self.mu,
+                shifted,
+                make_context=lambda pid: {},  # replaced via initial_contexts
+                name=f"{self.program.name}@host{host}",
+            )
+            local_contexts = self.contexts[offset : offset + g_per_host]
+            local_pending = [
+                [Message(m.src - offset, m.payload) for m in self.pending[pid]]
+                for pid in range(offset, offset + g_per_host)
+            ]
+            result = hmm.simulate(
+                local_program,
+                initial_contexts=local_contexts,
+                initial_pending=local_pending,
+            )
+            host_times.append(result.time)
+            # contexts are shared dict objects: mutations already visible
+            for k in range(g_per_host):
+                self.pending[offset + k] = [
+                    Message(m.src + offset, m.payload) for m in result.pending[k]
+                ]
+        # the run is local: one host "superstep" costing the slowest member
+        self.time += max(host_times)
+
+
+class _shift_body:
+    """Wrap a superstep body so it sees global processor ids.
+
+    Host processors are simulated one after another; the enclosing
+    :class:`_BrentRun` records the pid offset of the host currently being
+    simulated in ``current_offset``, and the wrapper hands bodies a
+    :class:`_GlobalizedView` built from it.
+    """
+
+    def __init__(self, body, run: _BrentRun):
+        self.body = body
+        self.run = run
+
+    def __call__(self, view: ProcView) -> None:
+        self.body(_GlobalizedView(view, self.run.current_offset, self.run.v))

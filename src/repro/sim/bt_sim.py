@@ -1,0 +1,511 @@
+"""Simulation of D-BSP programs on the BT machine (Section 5, Figs. 4-7).
+
+The overall schedule is the one of Section 3 (one round simulates one
+superstep for one cluster; cycles sweep sibling clusters), but every bulk
+move is restructured to use block transfer:
+
+* **Buffers** (Fig. 4): the memory holds ``2v`` blocks — ``v`` contexts
+  interspersed with ``v`` empty buffer blocks.  ``UNPACK(i)`` /``PACK(i)``
+  create/consume buffer space along the path from level ``i`` to the
+  leaves, each with one block transfer per level (cost ``O(mu v / 2^i)``);
+  buffer presence at most doubles any context's address, which is harmless
+  for (2, c)-uniform access functions.
+* **Local computation** (Fig. 6): ``COMPUTE(n)`` brings contexts to the
+  top in chunks of size ``c(n) ~ f(mu n)/mu``, recursively — overhead
+  ``O(mu n c*(n)) = O(mu n log log(mu n))`` for any ``f(x) = O(x^alpha)``.
+* **Communication** (Fig. 7): message delivery sorts the ``Theta(mu |C|)``
+  constant-size elements of the cluster by destination tag.  The paper
+  uses Approx-Median-Sort [2] (``O(m log m)`` time, ``Theta(m log log m)``
+  space); we either charge that bound directly (``sort="ams"``, the
+  default — the paper, too, imports the routine as a black box) or run the
+  fully operational chunked merge sort of :mod:`repro.bt.sorting`
+  (``sort="mergesort"``, an extra ``f*`` factor — see the ablation bench).
+  ``ALIGN`` then restores one context per block in ``O(mu n log(mu n))``.
+
+Theorem 12: a fine-grained program with ``lambda_i`` i-supersteps and
+local computation ``O(tau)`` is simulated on ``f(x)``-BT, for any
+(2, c)-uniform ``f(x) = O(x^alpha)``, in time
+``O(v (tau + mu sum_i lambda_i log(mu v / 2^i)))`` — *independent of f*:
+block transfer hides the access costs almost completely.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Literal
+
+from repro.bt.machine import BTMachine
+from repro.bt.sorting import bt_merge_sort
+from repro.dbsp.cluster import cluster_of, cluster_size
+from repro.dbsp.program import Message, ProcView, Program
+from repro.functions import AccessFunction
+from repro.sim.smoothing import SmoothedProgram, build_label_set_bt, smooth_program
+
+__all__ = ["BTSimulator", "BTSimResult", "LayoutSnapshot"]
+
+
+@dataclass(frozen=True)
+class LayoutSnapshot:
+    """Block-level memory layout (drives the Figure 4 rendering).
+
+    ``slots[k]`` is the processor whose context block ``k`` holds, or
+    ``None`` for an empty buffer block.
+    """
+
+    stage: str
+    slots: tuple[int | None, ...]
+
+
+@dataclass
+class BTSimResult:
+    """Outcome of simulating a D-BSP program on the ``f(x)``-BT machine."""
+
+    contexts: list[dict]
+    time: float
+    rounds: int
+    smoothed: SmoothedProgram
+    f: AccessFunction
+    block_transfers: int
+    layout_trace: list[LayoutSnapshot] = field(default_factory=list)
+    #: charged time attributed to each phase: ``pack_unpack`` (Fig. 4
+    #: buffer management), ``compute`` (Fig. 6 chunked local execution,
+    #: including the guest's local time), ``delivery`` (Fig. 7 sort +
+    #: ALIGN + space dance), ``swaps`` (step 4 cluster swaps), ``dummies``
+    breakdown: dict[str, float] = field(default_factory=dict)
+
+    def slowdown(self, dbsp_time: float) -> float:
+        return self.time / dbsp_time if dbsp_time > 0 else float("inf")
+
+
+class BTSimulator:
+    """Figure 5's revised round scheduler on an operational BT machine.
+
+    Parameters
+    ----------
+    f:
+        Host access function; the analysis requires ``f(x) = O(x^alpha)``
+        for some constant ``alpha < 1``.
+    sort:
+        ``"ams"`` charges Approx-Median-Sort's ``O(m log m)`` bound for
+        each delivery sort (the paper's accounting); ``"mergesort"`` runs
+        the operational chunked merge sort of :mod:`repro.bt.sorting`;
+        ``"transpose"`` charges the rational-permutation routine of [2]
+        (``Theta(m f*(m))``) instead of sorting — valid ONLY for programs
+        whose supersteps route fixed regular permutations known in
+        advance, e.g. the recursive FFT's transposes (the Section 6
+        improvement; the engine cannot check this precondition).
+    chunked_compute:
+        Disable to replace ``COMPUTE``'s chunked recursion with one
+        context at a time brought to the top by direct accesses — the
+        ablation showing why Fig. 6 matters.
+    """
+
+    def __init__(
+        self,
+        f: AccessFunction,
+        sort: Literal["ams", "mergesort", "transpose"] = "ams",
+        chunked_compute: bool = True,
+        c2: float = 0.75,
+        check_invariants: bool = True,
+        record_layout: bool = False,
+        max_layout_snapshots: int = 512,
+    ):
+        self.f = f
+        self.sort = sort
+        self.chunked_compute = chunked_compute
+        self.c2 = c2
+        self.check_invariants = check_invariants
+        self.record_layout = record_layout
+        self.max_layout_snapshots = max_layout_snapshots
+
+    def simulate(
+        self, program: Program, label_set: list[int] | None = None
+    ) -> BTSimResult:
+        if label_set is None:
+            label_set = build_label_set_bt(self.f, program.v, program.mu, self.c2)
+        smoothed = smooth_program(program, label_set)
+        run = _BTSimRun(self, smoothed)
+        run.execute()
+        return BTSimResult(
+            contexts=run.contexts,
+            time=run.machine.time,
+            rounds=run.round_index,
+            smoothed=smoothed,
+            f=self.f,
+            block_transfers=run.machine.block_transfers,
+            layout_trace=run.layout_trace,
+            breakdown=dict(run.breakdown),
+        )
+
+
+class _BTSimRun:
+    """Mutable state of one BT simulation run."""
+
+    #: memory provisioning in blocks, as a multiple of v (contexts + buffers
+    #: + sorting workspace; the paper assumes Theta(v log log v) memory)
+    SLOT_FACTOR = 4
+
+    def __init__(self, sim: BTSimulator, smoothed: SmoothedProgram):
+        self.sim = sim
+        self.smoothed = smoothed
+        program = smoothed.program
+        self.program = program
+        self.v = program.v
+        self.mu = program.mu
+        self.steps = program.supersteps
+        self.n_slots = self.SLOT_FACTOR * self.v
+        self.machine = BTMachine(sim.f, self.n_slots * self.mu, op_cost=0.0)
+        #: slots[k]: pid whose context occupies block k, or None if empty
+        self.slots: list[int | None] = list(range(self.v)) + [None] * (
+            self.n_slots - self.v
+        )
+        self.pid_to_slot = list(range(self.v))
+        self.contexts = program.initial_contexts()
+        self.pending: list[list[Message]] = [[] for _ in range(self.v)]
+        self.next_step = [0] * self.v
+        self.round_index = 0
+        self.layout_trace: list[LayoutSnapshot] = []
+        self.breakdown: dict[str, float] = {
+            "pack_unpack": 0.0, "compute": 0.0, "delivery": 0.0,
+            "swaps": 0.0, "dummies": 0.0,
+        }
+        self._snapshot("initial")
+
+    # ------------------------------------------------------------- helpers
+    def _word(self, slot: int) -> int:
+        return slot * self.mu
+
+    def _snapshot(self, stage: str) -> None:
+        if self.sim.record_layout and len(self.layout_trace) < self.sim.max_layout_snapshots:
+            self.layout_trace.append(
+                LayoutSnapshot(stage, tuple(self.slots[: 2 * self.v]))
+            )
+
+    def _charged_block_move(self, src: int, dst: int, n_blocks: int) -> None:
+        """Move ``n_blocks`` context blocks ``src -> dst`` (one transfer).
+
+        The destination blocks must be empty and disjoint from the source.
+        Source blocks become empty.
+        """
+        if n_blocks <= 0:
+            return
+        machine = self.machine
+        machine.time += machine.block_copy_cost(
+            self._word(src), self._word(dst), n_blocks * self.mu
+        )
+        machine.block_transfers += 1
+        for k in range(n_blocks):
+            pid = self.slots[src + k]
+            if self.slots[dst + k] is not None:
+                raise AssertionError(
+                    f"block move {src}+{n_blocks}->{dst}: destination block "
+                    f"{dst + k} is not empty"
+                )
+            self.slots[dst + k] = pid
+            self.slots[src + k] = None
+            if pid is not None:
+                self.pid_to_slot[pid] = dst + k
+
+    def _swap_blocks_via_scratch(self, a: int, b: int, n_blocks: int) -> None:
+        """Swap block ranges a/b using a nearby empty run: 3 block transfers."""
+        scratch = self._find_empty_run(b, n_blocks, forbid=[(a, n_blocks), (b, n_blocks)])
+        self._charged_block_move(a, scratch, n_blocks)
+        self._charged_block_move(b, a, n_blocks)
+        self._charged_block_move(scratch, b, n_blocks)
+
+    def _find_empty_run(
+        self, near: int, n_blocks: int, forbid: list[tuple[int, int]]
+    ) -> int:
+        """Nearest run of ``n_blocks`` empty slots to slot ``near``.
+
+        The buffer layout (Fig. 4) guarantees an empty run of the needed
+        size within O(near) blocks of any parked cluster, so the scratch
+        the swap uses costs the same order as the swap itself.
+        """
+
+        def usable(start: int) -> bool:
+            if start < 0 or start + n_blocks > self.n_slots:
+                return False
+            for flo, fn in forbid:
+                if start < flo + fn and flo < start + n_blocks:
+                    return False
+            return all(
+                self.slots[k] is None for k in range(start, start + n_blocks)
+            )
+
+        for dist in range(self.n_slots):
+            if usable(near + dist):
+                return near + dist
+            if dist and usable(near - dist):
+                return near - dist
+        raise AssertionError(
+            f"no empty run of {n_blocks} blocks available for a swap"
+        )
+
+    # ------------------------------------------------------ PACK / UNPACK
+    def unpack(self, i: int) -> None:
+        """Fig. 4: intersperse buffers through the topmost i-cluster."""
+        before = self.machine.time
+        log_v = self.program.log_v
+        level = i
+        while level < log_v:
+            n = cluster_size(self.v, level)
+            self._charged_block_move(n // 2, n, n // 2)
+            level += 1
+        self.breakdown["pack_unpack"] += self.machine.time - before
+
+    def pack(self, i: int) -> None:
+        """Reverse of :meth:`unpack`: compact the topmost i-cluster."""
+        before = self.machine.time
+        log_v = self.program.log_v
+        for level in range(log_v - 1, i - 1, -1):
+            n = cluster_size(self.v, level)
+            self._charged_block_move(n, n // 2, n // 2)
+        self.breakdown["pack_unpack"] += self.machine.time - before
+
+    # --------------------------------------------------------------- main
+    def execute(self) -> None:
+        n_steps = len(self.steps)
+        self.unpack(0)  # step 0 of Fig. 5
+        self._snapshot("unpack(0)")
+        while True:
+            top_pid = self.slots[0]
+            assert top_pid is not None
+            s = self.next_step[top_pid]
+            if s >= n_steps:
+                break
+            label = self.steps[s].label
+            csize = cluster_size(self.v, label)
+            first_pid = cluster_of(top_pid, self.v, label) * csize
+
+            self.round_index += 1
+            self.pack(label)  # step 1.a
+            if self.sim.check_invariants:
+                self._check_invariants(s, first_pid, csize)
+
+            self._simulate_superstep(s, first_pid, csize)  # step 2
+
+            if self.next_step[self.slots[0]] >= n_steps:  # step 3
+                break
+            if s + 1 < n_steps:
+                next_label = self.steps[s + 1].label
+                if next_label < label:  # step 4
+                    self._cycle_swaps(label, next_label, first_pid, csize)
+            self.unpack(label)  # step 5: UNPACK(is)
+            self._snapshot(f"round {self.round_index} end")
+
+    # ---------------------------------------------------- step 2 (Fig. 7)
+    def _simulate_superstep(self, s: int, first_pid: int, csize: int) -> None:
+        step = self.steps[s]
+        machine = self.machine
+        mu = self.mu
+
+        if step.is_dummy:
+            machine.charge(float(csize))
+            self.breakdown["dummies"] += float(csize)
+            for k in range(csize):
+                self.next_step[self.slots[k]] += 1
+            return
+
+        outgoing: list[tuple[int, Message]] = []
+        before = machine.time
+        self._compute(csize, s, outgoing)
+        self.breakdown["compute"] += machine.time - before
+        for k in range(csize):
+            self.next_step[self.slots[k]] += 1
+        before = machine.time
+        self._deliver_messages(csize, outgoing)
+        self.breakdown["delivery"] += machine.time - before
+
+    # ------------------------------------------------------------- Fig. 6
+    def _chunk_size(self, n: int) -> int:
+        """``c(n)``: greatest power of two <= min(f(mu n)/mu, n/2)."""
+        bound = min(self.machine.f(self.mu * n) / self.mu, n / 2)
+        if bound < 1.0:
+            return 1
+        return 1 << (int(bound).bit_length() - 1)
+
+    def _compute(self, n: int, s: int, outgoing: list) -> None:
+        """Run superstep ``s``'s bodies for the packed top ``n`` blocks."""
+        if self.sim.chunked_compute:
+            self._compute_recursive(n, s, outgoing)
+        else:
+            # ablation: access each context at its resting depth directly
+            for k in range(n):
+                lo = self._word(k)
+                self.machine.touch_range(lo, lo + self.mu)
+                self.machine.touch_range(lo, lo + self.mu)
+                self._run_body(self.slots[k], s, outgoing)
+
+    def _compute_recursive(self, n: int, s: int, outgoing: list) -> None:
+        if n == 1:
+            # context at block 0: run the body with near-top accesses
+            self.machine.touch_range(0, self.mu)
+            self.machine.touch_range(0, self.mu)
+            self._run_body(self.slots[0], s, outgoing)
+            return
+        c = self._chunk_size(n)
+        # shift blocks [c, n) right by c, freeing [c, 2c)
+        self._shift_blocks(c, n, c)
+        self._compute_recursive(c, s, outgoing)
+        n_chunks = -(-(n - c) // c)  # remaining chunks, now at [2c, n + c)
+        for j in range(n_chunks):
+            lo = 2 * c + j * c
+            length = min(c, (n + c) - lo)
+            self._swap_blocks_partial(0, lo, length, c)
+            self._compute_recursive(length, s, outgoing)
+            self._swap_blocks_partial(lo, 0, length, c)
+        self._shift_blocks(2 * c, n + c, -c)
+
+    def _swap_blocks_partial(self, a: int, b: int, length: int, c: int) -> None:
+        """Swap ``length`` blocks at a/b through the free run at [c, 2c)."""
+        self._charged_block_move(a, c, length) if length else None
+        self._charged_block_move(b, a, length)
+        self._charged_block_move(c, b, length)
+
+    def _shift_blocks(self, lo: int, hi: int, delta: int) -> None:
+        """Shift blocks ``[lo, hi)`` by ``delta`` in chunks of ``|delta|``."""
+        if delta == 0 or hi <= lo:
+            return
+        step = abs(delta)
+        if delta > 0:
+            pos = hi
+            while pos > lo:
+                length = min(step, pos - lo)
+                self._charged_block_move(pos - length, pos - length + delta, length)
+                pos -= length
+        else:
+            pos = lo
+            while pos < hi:
+                length = min(step, hi - pos)
+                self._charged_block_move(pos, pos + delta, length)
+                pos += length
+
+    def _run_body(self, pid: int, s: int, outgoing: list) -> None:
+        step = self.steps[s]
+        inbox = sorted(self.pending[pid])
+        self.pending[pid] = []
+        view = ProcView(pid, self.v, self.mu, step.label, self.contexts[pid], inbox)
+        step.body(view)
+        self.machine.charge(view.local_time)
+        outgoing.extend(view.outbox)
+
+    # ------------------------------------------------------------- Fig. 7
+    def _sort_space(self, m: int) -> int:
+        """``L(i_s)``: workspace (in words) for the delivery sort of m elements."""
+        if self.sim.sort == "mergesort":
+            return 2 * m  # merge sort: data copy + scratch
+        return int(m * max(1.0, math.log2(max(math.log2(max(m, 2)), 2))))
+
+    def _deliver_messages(self, csize: int, outgoing: list) -> None:
+        """Sort-based delivery of the superstep's messages (Fig. 7)."""
+        machine = self.machine
+        mu = self.mu
+        m = mu * csize  # elements to sort (constant-size context pieces)
+        words_avail = (self.n_slots - csize) * mu
+        space = min(self._sort_space(m), words_avail)
+
+        # space dance (Fig. 7): UNPACK(is); PACK(ik); shift the blocks below
+        # the cluster out of the way, opening an L(is)-word gap for sorting.
+        # All of it is O(L(is)) block-transfer work, dominated by the sort.
+        if space > csize * mu:
+            machine.time += 4.0 * space
+
+        if self.sim.sort == "ams":
+            # Approx-Median-Sort bound of [2]: O(m log m) for f = O(x^alpha)
+            machine.charge(m * math.log2(max(m, 2)))
+        elif self.sim.sort == "transpose":
+            # Section 6: the superstep routes a known rational permutation,
+            # delivered by [2]'s routine at Theta(m f*(m)); no ALIGN needed
+            # since regular routing leaves context sizes unchanged
+            machine.charge(float(m) * self.sim.f.star(m))
+            for dest, msg in outgoing:
+                self.pending[dest].append(msg)
+            return
+        else:
+            # operational delivery sort: order the cluster's elements by
+            # destination tag with the chunked BT merge sort
+            base = csize * mu
+            tags = [
+                (self.pid_to_slot[dest], k)
+                for k, (dest, _msg) in enumerate(outgoing)
+            ]
+            tags.extend((k // mu, mu + k % mu) for k in range(m - len(tags)))
+            machine.mem[base : base + m] = tags
+            bt_merge_sort(machine, base, m)
+
+        # ALIGN(|C|): restore one context per block
+        machine.time += self._align_cost(csize)
+
+        # semantics: file every message into its destination's buffer
+        for dest, msg in outgoing:
+            self.pending[dest].append(msg)
+
+    def _align_cost(self, n: int) -> float:
+        """Cost recursion of ALIGN(n): T(n) = 2 T(n/2) + O(mu n)."""
+        machine = self.machine
+        total = 0.0
+        size = n
+        levels = []
+        while size > 1:
+            levels.append(size)
+            size //= 2
+        for idx, size in enumerate(levels):
+            copies = 1 << idx  # 2^idx subproblems of this size at this depth
+            per = (
+                3.0 * machine.block_copy_cost(0, self._word(size), size * self.mu // 2)
+                if size >= 2
+                else float(self.mu)
+            )
+            # binary search to locate the median context: O(log) accesses
+            per += math.log2(max(size * self.mu, 2)) * machine.f(self._word(2 * size))
+            total += copies * per
+        return total
+
+    # ------------------------------------------------- step 4 of the round
+    def _cycle_swaps(
+        self, label: int, next_label: int, first_pid: int, csize: int
+    ) -> None:
+        b = 1 << (label - next_label)
+        parent_size = cluster_size(self.v, next_label)
+        parent_first = cluster_of(first_pid, self.v, next_label) * parent_size
+        j = (first_pid - parent_first) // csize
+
+        before = self.machine.time
+        if j > 0:
+            c0_first = parent_first  # pids of C0
+            c0_slot = self.pid_to_slot[c0_first]
+            self._check_parked(c0_first, c0_slot, csize)
+            self._swap_blocks_via_scratch(0, c0_slot, csize)
+        if j < b - 1:
+            nxt_first = parent_first + (j + 1) * csize
+            nxt_slot = self.pid_to_slot[nxt_first]
+            self._check_parked(nxt_first, nxt_slot, csize)
+            self._swap_blocks_via_scratch(0, nxt_slot, csize)
+        self.breakdown["swaps"] += self.machine.time - before
+
+    def _check_parked(self, first_pid: int, slot: int, csize: int) -> None:
+        if not self.sim.check_invariants:
+            return
+        for k in range(csize):
+            if self.slots[slot + k] != first_pid + k:
+                raise AssertionError(
+                    f"parked cluster starting at P{first_pid} is not "
+                    f"contiguous at slots [{slot}, {slot + csize})"
+                )
+
+    # ---------------------------------------------------------- invariants
+    def _check_invariants(self, s: int, first_pid: int, csize: int) -> None:
+        for k in range(csize):
+            pid = self.slots[k]
+            if pid != first_pid + k:
+                raise AssertionError(
+                    f"Invariant 2 violated at round {self.round_index}: block {k} "
+                    f"holds {pid}, expected P{first_pid + k}"
+                )
+            if self.next_step[pid] != s:
+                raise AssertionError(
+                    f"Invariant 1 violated at round {self.round_index}: P{pid} at "
+                    f"superstep {self.next_step[pid]}, cluster expects {s}"
+                )

@@ -1,0 +1,342 @@
+"""Simulation of D-BSP programs on the HMM (Section 3, Figure 1).
+
+The guest is a fine-grained ``D-BSP(v, mu, g(x))`` program; the host is an
+``f(x)``-HMM whose memory is divided into ``v`` blocks of ``mu`` words,
+block 0 at the top.  Block ``j`` initially holds the context of processor
+``P_j``; the association changes as the simulation proceeds.
+
+Each *round* simulates one superstep ``s`` for one s-ready ``i_s``-cluster
+``C`` and then performs the context swaps that schedule the next round.
+The scheduler deliberately advances different clusters unevenly — a cluster
+is kept on top of memory through whole runs of fine-grained supersteps, so
+the submachine locality of the guest becomes temporal locality on the host.
+
+Two invariants hold at the start of every round (proved by Theorem 4 and
+checked here, optionally, at runtime):
+
+1. the cluster about to be simulated is s-ready (all its processors have
+   simulated exactly supersteps ``0 .. s-1``);
+2. its contexts occupy the topmost ``|C|`` blocks sorted by processor id,
+   and every other cluster's contexts are contiguous in memory.
+
+Theorem 5: a program with per-processor computation time ``O(tau)`` and
+``lambda_i`` i-supersteps is simulated in time
+``O(v (tau + mu sum_i lambda_i f(mu v / 2^i)))``.  With ``g = f`` this is
+an optimal ``Theta(T v)`` (Corollary 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal
+
+from repro.dbsp.cluster import cluster_of, cluster_size
+from repro.dbsp.program import Message, ProcView, Program
+from repro.functions import AccessFunction
+from repro.hmm.machine import HMMMachine
+from repro.sim.smoothing import SmoothedProgram, build_label_set_hmm, smooth_program
+
+__all__ = ["HMMSimulator", "HMMSimResult", "RoundSnapshot"]
+
+
+@dataclass(frozen=True)
+class RoundSnapshot:
+    """State captured at the start of a round (drives the Figure 2 rendering)."""
+
+    round_index: int
+    superstep: int
+    label: int
+    #: pid occupying each block slot, top of memory first
+    slot_to_pid: tuple[int, ...]
+    #: next superstep to simulate, per processor
+    next_step: tuple[int, ...]
+
+
+@dataclass
+class HMMSimResult:
+    """Outcome of simulating a D-BSP program on the ``f(x)``-HMM."""
+
+    contexts: list[dict]
+    time: float
+    rounds: int
+    smoothed: SmoothedProgram
+    f: AccessFunction
+    trace: list[RoundSnapshot] = field(default_factory=list)
+    #: messages left undelivered when the program ended (consumed by the
+    #: Brent self-simulation, which chains runs of supersteps)
+    pending: list[list[Message]] = field(default_factory=list)
+    #: charged time attributed to each phase of the scheme:
+    #: ``local`` (guest computation), ``cycling`` (contexts to/from the
+    #: top inside Step 2), ``delivery`` (message exchange), ``swaps``
+    #: (Step 4 cluster swaps), ``dummies`` (smoothing overhead)
+    breakdown: dict[str, float] = field(default_factory=dict)
+
+    def slowdown(self, dbsp_time: float) -> float:
+        """Measured slowdown w.r.t. the guest D-BSP running time."""
+        return self.time / dbsp_time if dbsp_time > 0 else float("inf")
+
+
+class HMMSimulator:
+    """Figure 1's round-based scheduler, operational and fully charged.
+
+    Parameters
+    ----------
+    f:
+        Host access function (must be (2, c)-uniform).
+    c2:
+        Smoothing constant for the label-set construction (§3).
+    check_invariants:
+        ``"top"`` verifies Invariants 1-2 for the cluster about to be
+        simulated on every round (cheap); ``"full"`` additionally verifies
+        the contiguity of *every* parked cluster (quadratic — tests only);
+        ``"off"`` disables checking.
+    record_trace:
+        Capture a :class:`RoundSnapshot` per round (Figure 2 data).
+    """
+
+    def __init__(
+        self,
+        f: AccessFunction,
+        c2: float = 0.5,
+        check_invariants: Literal["top", "full", "off"] = "top",
+        record_trace: bool = False,
+        max_trace_rounds: int = 4096,
+    ):
+        self.f = f
+        self.c2 = c2
+        self.check_invariants = check_invariants
+        self.record_trace = record_trace
+        self.max_trace_rounds = max_trace_rounds
+
+    # ------------------------------------------------------------ frontend
+    def simulate(
+        self,
+        program: Program,
+        label_set: list[int] | None = None,
+        initial_contexts: list[dict] | None = None,
+        initial_pending: list[list[Message]] | None = None,
+    ) -> HMMSimResult:
+        """Simulate ``program``; return final contexts, charged time, trace.
+
+        ``initial_contexts`` / ``initial_pending`` override the program's
+        own initial state — the Brent self-simulation uses them to chain
+        runs of supersteps while preserving in-flight messages.
+        """
+        if label_set is None:
+            label_set = build_label_set_hmm(
+                self.f, program.v, program.mu, self.c2
+            )
+        smoothed = smooth_program(program, label_set)
+        run = _HMMSimRun(self, smoothed, initial_contexts, initial_pending)
+        run.execute()
+        return HMMSimResult(
+            contexts=run.contexts,
+            time=run.machine.time,
+            rounds=run.round_index,
+            smoothed=smoothed,
+            f=self.f,
+            trace=run.trace,
+            pending=run.pending,
+            breakdown=dict(run.breakdown),
+        )
+
+
+class _HMMSimRun:
+    """Mutable state of one simulation run."""
+
+    def __init__(
+        self,
+        sim: HMMSimulator,
+        smoothed: SmoothedProgram,
+        initial_contexts: list[dict] | None = None,
+        initial_pending: list[list[Message]] | None = None,
+    ):
+        self.sim = sim
+        self.smoothed = smoothed
+        program = smoothed.program
+        self.program = program
+        self.v = program.v
+        self.mu = program.mu
+        self.steps = program.supersteps
+        self.machine = HMMMachine(sim.f, self.v * self.mu, op_cost=0.0)
+        # block layout: slot k holds the context of slot_to_pid[k]
+        self.slot_to_pid = list(range(self.v))
+        self.pid_to_slot = list(range(self.v))
+        self.contexts = (
+            initial_contexts
+            if initial_contexts is not None
+            else program.initial_contexts()
+        )
+        self.pending: list[list[Message]] = (
+            [list(box) for box in initial_pending]
+            if initial_pending is not None
+            else [[] for _ in range(self.v)]
+        )
+        self.next_step = [0] * self.v
+        self.round_index = 0
+        self.trace: list[RoundSnapshot] = []
+        self.breakdown: dict[str, float] = {
+            "local": 0.0, "cycling": 0.0, "delivery": 0.0,
+            "swaps": 0.0, "dummies": 0.0,
+        }
+
+    # ------------------------------------------------------------- helpers
+    def _word(self, slot: int, offset: int = 0) -> int:
+        return slot * self.mu + offset
+
+    def _block_range(self, slot: int) -> tuple[int, int]:
+        return slot * self.mu, (slot + 1) * self.mu
+
+    def _swap_slot_ranges(self, a: int, b: int, length: int) -> None:
+        """Swap the contents of block slots [a, a+length) and [b, b+length)."""
+        before = self.machine.time
+        self.machine.swap_ranges(
+            self._word(a), self._word(b), length * self.mu
+        )
+        self.breakdown["swaps"] += self.machine.time - before
+        for k in range(length):
+            pa, pb = self.slot_to_pid[a + k], self.slot_to_pid[b + k]
+            self.slot_to_pid[a + k], self.slot_to_pid[b + k] = pb, pa
+            self.pid_to_slot[pa], self.pid_to_slot[pb] = b + k, a + k
+
+    # --------------------------------------------------------------- main
+    def execute(self) -> None:
+        n_steps = len(self.steps)
+        while True:
+            top_pid = self.slot_to_pid[0]
+            s = self.next_step[top_pid]
+            if s >= n_steps:
+                break
+            label = self.steps[s].label
+            csize = cluster_size(self.v, label)
+            first_pid = cluster_of(top_pid, self.v, label) * csize
+
+            if self.sim.check_invariants != "off":
+                self._check_invariants(s, label, first_pid, csize)
+            if self.sim.record_trace and len(self.trace) < self.sim.max_trace_rounds:
+                self.trace.append(
+                    RoundSnapshot(
+                        self.round_index,
+                        s,
+                        label,
+                        tuple(self.slot_to_pid),
+                        tuple(self.next_step),
+                    )
+                )
+            self.round_index += 1
+
+            self._simulate_superstep(s, first_pid, csize)
+
+            if self.next_step[self.slot_to_pid[0]] >= n_steps:
+                break
+            if s + 1 < n_steps:
+                next_label = self.steps[s + 1].label
+                if next_label < label:
+                    self._cycle_swaps(label, next_label, first_pid, csize)
+
+    # ------------------------------------------------- step 2 of the round
+    def _simulate_superstep(self, s: int, first_pid: int, csize: int) -> None:
+        """Simulate superstep ``s`` for the cluster on top of memory."""
+        step = self.steps[s]
+        machine = self.machine
+        mu = self.mu
+
+        if step.is_dummy:
+            # no computation, no communication: only the unit sync charge
+            machine.charge(float(csize))
+            self.breakdown["dummies"] += float(csize)
+            for k in range(csize):
+                self.next_step[self.slot_to_pid[k]] += 1
+            return
+
+        outgoing: list[tuple[int, Message]] = []
+        top_lo, top_hi = self._block_range(0)
+        for k in range(csize):
+            pid = self.slot_to_pid[k]
+            # bring the context to the top of memory and back: the paper
+            # charges a constant number of accesses to blocks k and 0
+            if k > 0:
+                before = machine.time
+                lo, hi = self._block_range(k)
+                machine.touch_range(lo, hi)
+                machine.touch_range(lo, hi)
+                machine.touch_range(top_lo, top_hi)
+                machine.touch_range(top_lo, top_hi)
+                self.breakdown["cycling"] += machine.time - before
+            inbox = sorted(self.pending[pid])
+            self.pending[pid] = []
+            view = ProcView(pid, self.v, mu, step.label, self.contexts[pid], inbox)
+            step.body(view)
+            machine.charge(view.local_time)
+            self.breakdown["local"] += view.local_time
+            outgoing.extend(view.outbox)
+            self.next_step[pid] += 1
+
+        # message exchange: scan outgoing buffers and deliver each message
+        # to the destination's incoming buffer; both endpoints live in the
+        # topmost |C| blocks, located via the sorted-by-pid invariant
+        before = machine.time
+        for dest, msg in outgoing:
+            src_slot = self.pid_to_slot[msg.src]
+            dst_slot = self.pid_to_slot[dest]
+            machine.touch_range(self._word(src_slot), self._word(src_slot) + 1)
+            machine.touch_range(self._word(dst_slot), self._word(dst_slot) + 1)
+            self.pending[dest].append(msg)
+        self.breakdown["delivery"] += machine.time - before
+
+    # ------------------------------------------------- step 4 of the round
+    def _cycle_swaps(
+        self, label: int, next_label: int, first_pid: int, csize: int
+    ) -> None:
+        """Context swaps preparing the next phase of the current cycle."""
+        b = 1 << (label - next_label)
+        parent_size = cluster_size(self.v, next_label)
+        parent_first = cluster_of(first_pid, self.v, next_label) * parent_size
+        j = (first_pid - parent_first) // csize
+
+        if j > 0:
+            # C (on top) <-> C0 (parked at C's home, slot range j)
+            self._swap_slot_ranges(0, j * csize, csize)
+        if j < b - 1:
+            # C0 (now on top) <-> C_{j+1} (at its home, slot range j+1)
+            self._swap_slot_ranges(0, (j + 1) * csize, csize)
+
+    # ---------------------------------------------------------- invariants
+    def _check_invariants(
+        self, s: int, label: int, first_pid: int, csize: int
+    ) -> None:
+        for k in range(csize):
+            pid = self.slot_to_pid[k]
+            if pid != first_pid + k:
+                raise AssertionError(
+                    f"Invariant 2 violated at round {self.round_index}: slot {k} "
+                    f"holds P{pid}, expected P{first_pid + k}"
+                )
+            if self.next_step[pid] != s:
+                raise AssertionError(
+                    f"Invariant 1 violated at round {self.round_index}: P{pid} "
+                    f"is at superstep {self.next_step[pid]}, cluster expects {s}"
+                )
+        if self.sim.check_invariants == "full":
+            self._check_contiguity()
+
+    def _check_contiguity(self) -> None:
+        """Invariant 2, second part: parked clusters occupy consecutive blocks.
+
+        Only levels in the smoothed label set matter: an L-smooth program
+        never addresses clusters at other levels, and the cycle schedule
+        legitimately splits levels strictly between ``i_{s+1}`` and ``i_s``
+        while a cycle is in flight (cf. Figure 2's intermediate snapshots).
+        """
+        v = self.v
+        for i in self.smoothed.label_set:
+            size = cluster_size(v, i)
+            for j in range(1 << i):
+                slots = sorted(
+                    self.pid_to_slot[pid] for pid in range(j * size, (j + 1) * size)
+                )
+                if slots[-1] - slots[0] != size - 1:
+                    raise AssertionError(
+                        f"Invariant 2 violated: cluster C_{j}^({i}) occupies "
+                        f"non-contiguous slots {slots}"
+                    )

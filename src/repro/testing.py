@@ -1,0 +1,117 @@
+"""Deterministic pseudo-random D-BSP programs, for tests and benchmarks.
+
+The equivalence tests run the *same* program through the direct D-BSP
+executor, the HMM simulation, the BT simulation and the Brent
+self-simulation and require bit-identical final contexts; the benchmark
+harness sweeps such programs to measure simulation slowdowns on
+unstructured label profiles.  Programs built here are fully deterministic
+functions of their parameters:
+
+* each superstep gets a pseudo-random label;
+* every processor mixes its ``ctx["w"]`` word with the payloads received,
+  then sends its word to a partner obtained by XOR-ing its intra-cluster
+  index with a per-step mask — a bijection, so every processor sends and
+  receives exactly one message (h = 1) and the mu-relation cap is never
+  exceeded.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.dbsp.cluster import cluster_size, log2_exact
+from repro.dbsp.program import ProcView, Program, Superstep
+
+__all__ = ["random_program", "random_label_sequence"]
+
+_MOD = (1 << 31) - 1
+
+
+def random_label_sequence(
+    v: int, n_steps: int, seed: int = 0, bias: str = "uniform"
+) -> list[int]:
+    """A pseudo-random label sequence.
+
+    ``bias`` selects the profile: ``"uniform"`` over ``0..log v``;
+    ``"fine"`` favours deep labels (submachine-local programs);
+    ``"coarse"`` favours shallow labels (global programs).
+    """
+    log_v = log2_exact(v)
+    rng = random.Random(seed)
+    labels = []
+    for _ in range(n_steps):
+        if bias == "uniform":
+            labels.append(rng.randint(0, log_v))
+        elif bias == "fine":
+            labels.append(max(rng.randint(0, log_v), rng.randint(0, log_v)))
+        elif bias == "coarse":
+            labels.append(min(rng.randint(0, log_v), rng.randint(0, log_v)))
+        else:
+            raise ValueError(f"unknown bias {bias!r}")
+    return labels
+
+
+def random_program(
+    v: int,
+    n_steps: int = 8,
+    mu: int = 8,
+    seed: int = 0,
+    labels: Sequence[int] | None = None,
+    local_work: int = 1,
+) -> Program:
+    """Build a deterministic pseudo-random program.
+
+    Every superstep routes a 1-relation within its label's clusters and
+    mixes the routed words into the receivers' state, so any scheduling
+    error in an engine (lost message, wrong delivery round, wrong cluster)
+    changes the final contexts.
+    """
+    log_v = log2_exact(v)
+    if labels is None:
+        labels = random_label_sequence(v, n_steps, seed=seed)
+    rng = random.Random(seed ^ 0x5EED)
+    steps = []
+    for idx, label in enumerate(labels):
+        csize = cluster_size(v, label)
+        mask = rng.randrange(csize)
+        steps.append(
+            Superstep(label, _MixStep(idx, label, mask, local_work),
+                      name=f"rand{idx}-l{label}")
+        )
+    steps.append(Superstep(0, _MixStep(len(labels), 0, 0, local_work),
+                           name="rand-final"))
+
+    def make_context(pid: int) -> dict:
+        return {"w": (pid * 2654435761 + seed) % _MOD}
+
+    return Program(
+        v, mu, steps, make_context=make_context,
+        name=f"random(v={v},steps={n_steps},seed={seed})",
+    )
+
+
+class _MixStep:
+    """Superstep body: absorb, mix, and route to the XOR partner."""
+
+    __slots__ = ("idx", "label", "mask", "local_work")
+
+    def __init__(self, idx: int, label: int, mask: int, local_work: int):
+        self.idx = idx
+        self.label = label
+        self.mask = mask
+        self.local_work = local_work
+
+    def __call__(self, view: ProcView) -> None:
+        w = view.ctx["w"]
+        for msg in view.inbox:
+            w = (w * 31 + msg.payload + msg.src) % _MOD
+        # a little deterministic local churn, charged explicitly
+        for k in range(self.local_work):
+            w = (w * 1103515245 + 12345 + k) % _MOD
+        view.ctx["w"] = w
+        view.charge(self.local_work)
+        csize = view.v >> self.label
+        base = view.pid - view.pid % csize
+        partner = base + ((view.pid - base) ^ self.mask)
+        view.send(partner, (w + self.idx) % _MOD)

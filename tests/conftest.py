@@ -1,0 +1,55 @@
+"""Shared fixtures: the access-function zoo and small program zoo."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    LogarithmicAccess,
+    PolynomialAccess,
+    bitonic_sort_program,
+    broadcast_program,
+    convolution_program,
+    fft_dag_program,
+    fft_recursive_program,
+    list_ranking_program,
+    matmul_program,
+    prefix_sums_program,
+    reduce_program,
+)
+from repro.testing import random_program
+
+ACCESS_FUNCTIONS = [
+    PolynomialAccess(0.3),
+    PolynomialAccess(0.5),
+    PolynomialAccess(0.7),
+    LogarithmicAccess(),
+]
+
+CASE_STUDY_FUNCTIONS = [PolynomialAccess(0.5), LogarithmicAccess()]
+
+
+@pytest.fixture(params=ACCESS_FUNCTIONS, ids=lambda f: f.name)
+def access_function(request):
+    return request.param
+
+
+@pytest.fixture(params=CASE_STUDY_FUNCTIONS, ids=lambda f: f.name)
+def case_function(request):
+    return request.param
+
+
+def program_zoo(v: int = 16):
+    """Small representative programs plus their result extractors."""
+    return [
+        (bitonic_sort_program(v), lambda cs: [c["key"] for c in cs]),
+        (fft_dag_program(v), lambda cs: [c["x"] for c in cs]),
+        (fft_recursive_program(v), lambda cs: [c["x"] for c in cs]),
+        (matmul_program(v), lambda cs: [c["c"] for c in cs]),
+        (broadcast_program(v), lambda cs: [c.get("bcast") for c in cs]),
+        (reduce_program(v), lambda cs: [c.get("sum") for c in cs]),
+        (prefix_sums_program(v), lambda cs: [c.get("prefix") for c in cs]),
+        (list_ranking_program(v), lambda cs: [c["rank"] for c in cs]),
+        (convolution_program(v), lambda cs: [round(c["coeff"], 9) for c in cs]),
+        (random_program(v, n_steps=10, seed=3), lambda cs: [c["w"] for c in cs]),
+    ]

@@ -1,0 +1,141 @@
+"""Analysis toolkit: bounds, fitting, figure renderings."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.bounds import (
+    brent_bound,
+    program_stats,
+    theorem5_bound,
+    theorem12_bound,
+)
+from repro.analysis.figures import (
+    render_cluster_movements,
+    render_mm_assignment,
+    render_unpack_layout,
+)
+from repro.analysis.fitting import bounded_ratio, fit_loglog_slope
+from repro.algorithms.matmul import mm_assignment_rounds
+from repro.dbsp.machine import DBSPMachine
+from repro.functions import ConstantAccess, LogarithmicAccess, PolynomialAccess
+from repro.hmm.algorithms import (
+    hmm_fft_lower_bound,
+    hmm_matmul_lower_bound,
+    hmm_sorting_lower_bound,
+    hmm_touching_bound,
+)
+from repro.sim.bt_sim import BTSimulator
+from repro.sim.hmm_sim import HMMSimulator
+from repro.testing import random_program
+
+
+class TestFitting:
+    def test_slope_recovers_exponent(self):
+        xs = [2**k for k in range(4, 14)]
+        ys = [7.3 * x**1.5 for x in xs]
+        assert fit_loglog_slope(xs, ys) == pytest.approx(1.5, abs=1e-9)
+
+    def test_slope_with_noise(self):
+        rng = np.random.default_rng(0)
+        xs = [2**k for k in range(4, 16)]
+        ys = [x**2 * rng.uniform(0.9, 1.1) for x in xs]
+        assert fit_loglog_slope(xs, ys) == pytest.approx(2.0, abs=0.05)
+
+    def test_slope_needs_two_points(self):
+        with pytest.raises(ValueError):
+            fit_loglog_slope([1], [1])
+
+    def test_bounded_ratio(self):
+        check = bounded_ratio([10, 20, 40], [5, 10, 20])
+        assert check.min_ratio == check.max_ratio == 2.0
+        assert check.spread == 1.0
+        assert check.is_bounded(1.5)
+
+    def test_bounded_ratio_detects_drift(self):
+        check = bounded_ratio([1, 10, 100], [1, 1, 1])
+        assert not check.is_bounded(10.0)
+
+    def test_bounded_ratio_validation(self):
+        with pytest.raises(ValueError):
+            bounded_ratio([], [])
+        with pytest.raises(ValueError):
+            bounded_ratio([1, 2], [1])
+        with pytest.raises(ValueError):
+            bounded_ratio([0.0], [1.0])
+
+
+class TestBounds:
+    def test_theorem5_formula(self):
+        f = PolynomialAccess(0.5)
+        got = theorem5_bound(f, v=16, mu=2, tau=3.0, lambdas={0: 1, 2: 2})
+        want = 16 * (3.0 + 2 * (1 * f(32) + 2 * f(8)))
+        assert got == pytest.approx(want)
+
+    def test_theorem12_formula_ignores_f(self):
+        got = theorem12_bound(v=16, mu=2, tau=3.0, lambdas={0: 1})
+        assert got == pytest.approx(16 * (3.0 + 2 * math.log2(32)))
+
+    def test_brent_formula(self):
+        g = LogarithmicAccess()
+        got = brent_bound(g, v=16, v_host=4, mu=2, tau=1.0, lambdas={1: 1})
+        assert got == pytest.approx(4 * (1.0 + 2 * g(16)))
+
+    def test_program_stats(self):
+        prog = random_program(8, n_steps=4, seed=0)
+        res = DBSPMachine(ConstantAccess()).run(prog.with_global_sync())
+        tau, lambdas = program_stats(res)
+        assert tau >= len(prog.with_global_sync().supersteps)
+        assert sum(lambdas.values()) == len(prog.with_global_sync().supersteps)
+
+    def test_hmm_reference_bounds(self):
+        f5 = PolynomialAccess(0.5)
+        f7 = PolynomialAccess(0.7)
+        lg = LogarithmicAccess()
+        n = 1 << 10
+        assert hmm_touching_bound(f5, n) == n * f5(n)
+        assert hmm_matmul_lower_bound(f7, n) == pytest.approx(n**1.7)
+        assert hmm_matmul_lower_bound(f5, n) == pytest.approx(n**1.5 * 10)
+        assert hmm_matmul_lower_bound(lg, n) == pytest.approx(n**1.5)
+        assert hmm_fft_lower_bound(f5, n) == pytest.approx(n**1.5)
+        assert hmm_fft_lower_bound(lg, n) == pytest.approx(
+            n * 10 * math.log2(10)
+        )
+        assert hmm_sorting_lower_bound(f5, n) == pytest.approx(n**1.5)
+        assert hmm_sorting_lower_bound(lg, n) == pytest.approx(n * 10)
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(ValueError):
+            hmm_matmul_lower_bound(ConstantAccess(), 16)
+
+
+class TestFigures:
+    def test_figure2_rendering(self):
+        f = PolynomialAccess(0.5)
+        prog = random_program(16, labels=[2, 0], seed=0)
+        res = HMMSimulator(f, record_trace=True).simulate(prog)
+        text = render_cluster_movements(res.trace, cluster_level=2, v=16)
+        assert "mem[0]" in text and "t ->" in text
+        assert len(text.splitlines()) >= 5
+
+    def test_figure2_empty_trace(self):
+        assert "no snapshots" in render_cluster_movements([], 1, 4)
+
+    def test_figure3_rendering(self):
+        text = render_mm_assignment(mm_assignment_rounds())
+        assert "Round 1" in text and "Round 2" in text
+        assert "C0: A11,B11" in text
+        assert "C0: A12,B21" in text
+
+    def test_figure4_rendering(self):
+        f = PolynomialAccess(0.5)
+        prog = random_program(8, n_steps=2, seed=0)
+        res = BTSimulator(f, record_layout=True).simulate(prog)
+        text = render_unpack_layout(res.layout_trace[:2])
+        lines = text.splitlines()
+        assert "initial" in lines[0]
+        assert "unpack(0)" in lines[1]
+        assert "P0 __ P1 __ P2 P3 __ __ P4 P5 P6 P7" in lines[1]

@@ -1,0 +1,92 @@
+"""Phase-attributed cost breakdowns of the simulation engines."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.functions import PolynomialAccess
+from repro.sim.bt_sim import BTSimulator
+from repro.sim.hmm_sim import HMMSimulator
+from repro.testing import random_program
+
+F = PolynomialAccess(0.5)
+
+
+class TestHMMBreakdown:
+    @given(seed=st.integers(min_value=0, max_value=200))
+    @settings(max_examples=15, deadline=None)
+    def test_phases_partition_total_time(self, seed):
+        prog = random_program(32, n_steps=6, seed=seed)
+        res = HMMSimulator(F).simulate(prog)
+        assert sum(res.breakdown.values()) == pytest.approx(res.time)
+        assert all(v >= 0 for v in res.breakdown.values())
+
+    def test_expected_phase_keys(self):
+        res = HMMSimulator(F).simulate(random_program(8, n_steps=3, seed=0))
+        assert set(res.breakdown) == {
+            "local", "cycling", "delivery", "swaps", "dummies"
+        }
+
+    def test_steady_profile_has_no_swap_cost(self):
+        """Consecutive equal labels never trigger step 4."""
+        prog = random_program(16, labels=[0, 0, 0, 0], seed=1)
+        res = HMMSimulator(F).simulate(prog)
+        assert res.breakdown["swaps"] == 0.0
+        assert res.breakdown["dummies"] == 0.0
+
+    def test_oscillating_profile_pays_swaps(self):
+        prog = random_program(16, labels=[4, 0, 4, 0], seed=1)
+        res = HMMSimulator(F).simulate(prog, label_set=[0, 2, 4])
+        assert res.breakdown["swaps"] > 0.0
+        assert res.breakdown["dummies"] > 0.0
+
+    def test_local_phase_tracks_charged_work(self):
+        light = HMMSimulator(F).simulate(
+            random_program(16, n_steps=4, seed=2, local_work=1))
+        heavy = HMMSimulator(F).simulate(
+            random_program(16, n_steps=4, seed=2, local_work=50))
+        assert heavy.breakdown["local"] > 10 * light.breakdown["local"]
+        # the memory-movement phases are workload-independent
+        assert heavy.breakdown["cycling"] == pytest.approx(
+            light.breakdown["cycling"])
+
+    def test_deep_labels_cut_cycling_cost(self):
+        v = 64
+        coarse = random_program(v, labels=[0] * 6, seed=3)
+        deep = random_program(v, labels=[5] * 6, seed=3)
+        c = HMMSimulator(F).simulate(coarse).breakdown["cycling"]
+        d = HMMSimulator(F).simulate(deep).breakdown["cycling"]
+        assert d < c / 2
+
+
+class TestBTBreakdown:
+    @given(seed=st.integers(min_value=0, max_value=200))
+    @settings(max_examples=10, deadline=None)
+    def test_phases_partition_total_time(self, seed):
+        prog = random_program(16, n_steps=5, seed=seed)
+        res = BTSimulator(F).simulate(prog)
+        assert sum(res.breakdown.values()) == pytest.approx(res.time)
+
+    def test_expected_phase_keys(self):
+        res = BTSimulator(F).simulate(random_program(8, n_steps=3, seed=0))
+        assert set(res.breakdown) == {
+            "pack_unpack", "compute", "delivery", "swaps", "dummies"
+        }
+
+    def test_delivery_dominates_for_fine_grained_programs(self):
+        """Theorem 12's discussion: the sorting in Step 2 is the dominant
+        term of the BT simulation."""
+        prog = random_program(64, n_steps=8, seed=4)
+        res = BTSimulator(F).simulate(prog)
+        assert res.breakdown["delivery"] == max(res.breakdown.values())
+
+    def test_transpose_delivery_is_cheaper(self):
+        prog = random_program(32, n_steps=6, seed=5)
+        generic = BTSimulator(F, sort="ams").simulate(prog)
+        regular = BTSimulator(F, sort="transpose").simulate(prog)
+        assert regular.breakdown["delivery"] < generic.breakdown["delivery"]
+        # everything else is the same machinery
+        assert regular.breakdown["compute"] == pytest.approx(
+            generic.breakdown["compute"])

@@ -1,0 +1,107 @@
+"""The D-BSP self-simulation (Section 4): Brent's-lemma analogue."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.bounds import brent_bound, program_stats
+from repro.dbsp.machine import DBSPMachine
+from repro.functions import LogarithmicAccess, PolynomialAccess
+from repro.sim.brent import BrentSimulator
+from repro.sim.hmm_sim import HMMSimulator
+from repro.testing import random_program
+
+from tests.conftest import program_zoo
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("v_host", [1, 2, 4, 8, 16])
+    def test_zoo_matches_direct_execution(self, v_host):
+        f = PolynomialAccess(0.5)
+        direct = DBSPMachine(f)
+        sim = BrentSimulator(f, v_host=v_host)
+        for prog, extract in program_zoo(16):
+            want = extract(direct.run(prog).contexts)
+            got = extract(sim.simulate(prog).contexts)
+            assert got == want, f"{prog.name} on v'={v_host}"
+
+    @given(
+        seed=st.integers(min_value=0, max_value=200),
+        log_vh=st.integers(min_value=0, max_value=4),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_random_programs_match(self, seed, log_vh):
+        f = LogarithmicAccess()
+        prog = random_program(16, n_steps=7, seed=seed)
+        want = [c["w"] for c in DBSPMachine(f).run(prog.with_global_sync()).contexts]
+        got = BrentSimulator(f, v_host=1 << log_vh).simulate(prog)
+        assert [c["w"] for c in got.contexts] == want
+
+    def test_host_wider_than_guest_rejected(self):
+        with pytest.raises(ValueError):
+            BrentSimulator(PolynomialAccess(0.5), v_host=32).simulate(
+                random_program(16, n_steps=2, seed=0)
+            )
+
+    def test_degenerate_host_equals_guest(self):
+        f = PolynomialAccess(0.5)
+        prog = random_program(8, n_steps=5, seed=4)
+        guest = DBSPMachine(f).run(prog.with_global_sync())
+        res = BrentSimulator(f, v_host=8).simulate(prog)
+        assert res.time == pytest.approx(guest.total_time)
+        assert [c["w"] for c in res.contexts] == [c["w"] for c in guest.contexts]
+
+    def test_v_host_one_matches_hmm_simulation_time(self):
+        """With v' = 1 the self-simulation degenerates to Section 3."""
+        f = PolynomialAccess(0.5)
+        prog = random_program(16, n_steps=6, seed=8)
+        brent = BrentSimulator(f, v_host=1).simulate(prog)
+        hmm = HMMSimulator(f).simulate(prog)
+        assert brent.time == pytest.approx(hmm.time)
+
+
+class TestCost:
+    def test_theorem10_bound_holds(self):
+        f = PolynomialAccess(0.5)
+        prog = random_program(64, n_steps=8, seed=12)
+        stats = DBSPMachine(f).run(prog.with_global_sync())
+        tau, lambdas = program_stats(stats)
+        for v_host in (1, 2, 4, 8, 16, 32):
+            bound = brent_bound(f, 64, v_host, prog.mu, tau, lambdas)
+            res = BrentSimulator(f, v_host=v_host).simulate(prog)
+            assert res.time < 30 * bound, f"v'={v_host}"
+
+    def test_corollary11_slowdown_scales_with_v_over_vhost(self):
+        """Full (here: fine-grained) programs: slowdown Theta(v/v')."""
+        f = PolynomialAccess(0.5)
+        prog = random_program(64, n_steps=8, seed=13)
+        guest = DBSPMachine(f).run(prog.with_global_sync())
+        normalized = []
+        for v_host in (1, 2, 4, 8, 16):
+            res = BrentSimulator(f, v_host=v_host).simulate(prog)
+            slowdown = res.slowdown(guest.total_time)
+            normalized.append(slowdown / (64 / v_host))
+        # the normalized slowdown stays within a constant band
+        assert max(normalized) / min(normalized) < 6.0
+
+    def test_time_decreases_with_more_host_processors(self):
+        f = LogarithmicAccess()
+        prog = random_program(32, n_steps=6, seed=14)
+        times = [
+            BrentSimulator(f, v_host=v_host).simulate(prog).time
+            for v_host in (1, 2, 4, 8, 16, 32)
+        ]
+        assert times == sorted(times, reverse=True)
+
+    def test_run_records_cover_program(self):
+        f = PolynomialAccess(0.5)
+        prog = random_program(16, n_steps=6, seed=15)
+        res = BrentSimulator(f, v_host=4).simulate(prog)
+        covered = sum(r.n_steps for r in res.runs)
+        assert covered == len(prog.with_global_sync().supersteps)
+        assert {r.kind for r in res.runs} <= {"coarse", "fine"}
+        # maximal runs alternate in kind
+        for a, b in zip(res.runs, res.runs[1:]):
+            assert a.kind != b.kind

@@ -1,0 +1,167 @@
+"""BT algorithm substrate: touching (Fact 2), sorting, transposition."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bt.machine import BTMachine
+from repro.bt.permutation import (
+    blocked_transpose_supported,
+    bt_rational_permutation_bound,
+    bt_transpose_permute,
+)
+from repro.bt.sorting import bt_merge_sort, bt_sorting_bound
+from repro.bt.touching import bt_touch_all, bt_touching_bound
+from repro.functions import LogarithmicAccess, PolynomialAccess
+from repro.hmm.machine import HMMMachine
+from repro.hmm.touching import hmm_touch_all
+
+
+class TestTouching:
+    def test_digest_matches_sum(self):
+        m = BTMachine(PolynomialAccess(0.5), 64)
+        m.mem[32:64] = list(range(32))
+        bt_touch_all(m, 32)
+        assert m.mem[0] == sum(range(32))
+
+    @pytest.mark.parametrize("f", [PolynomialAccess(0.5), LogarithmicAccess()],
+                             ids=["x^0.5", "log"])
+    def test_fact2_cost_shape(self, f):
+        """Touching costs Theta(n f*(n)) — flat ratio over a sweep."""
+        ratios = []
+        for n in (1 << 9, 1 << 12, 1 << 15):
+            m = BTMachine(f, 2 * n)
+            m.mem[n : 2 * n] = [1] * n
+            cost = bt_touch_all(m, n)
+            ratios.append(cost / bt_touching_bound(f, n))
+        assert max(ratios) / min(ratios) < 2.0
+
+    def test_bt_beats_hmm_touching(self):
+        """The added power of block transfer (Fact 2 vs Fact 1)."""
+        f = PolynomialAccess(0.5)
+        n = 1 << 15
+        bt = BTMachine(f, 2 * n)
+        bt.mem[n : 2 * n] = [1] * n
+        bt_cost = bt_touch_all(bt, n)
+        hmm = HMMMachine(f, n)
+        hmm.mem[:n] = [1] * n
+        hmm_cost = hmm_touch_all(hmm, n)
+        assert bt_cost < hmm_cost / 10
+
+    def test_insufficient_memory_rejected(self):
+        with pytest.raises(ValueError):
+            bt_touch_all(BTMachine(PolynomialAccess(0.5), 10), 8)
+
+
+class TestMergeSort:
+    def run_sort(self, data, f=PolynomialAccess(0.5)):
+        m = len(data)
+        base = max(64, m)
+        machine = BTMachine(f, base + 2 * max(m, 1) + 64)
+        machine.mem[base : base + m] = list(data)
+        cost = bt_merge_sort(machine, base, m)
+        return machine.mem[base : base + m], cost
+
+    def test_sorts_random_data(self):
+        rng = random.Random(7)
+        data = [rng.randrange(10**6) for _ in range(500)]
+        out, _ = self.run_sort(data)
+        assert out == sorted(data)
+
+    def test_sorts_with_duplicates_and_stability(self):
+        data = [(k % 5, k) for k in range(100)]
+        m = len(data)
+        machine = BTMachine(PolynomialAccess(0.5), 64 + 3 * m + 64)
+        base = max(64, m)
+        machine.mem[base : base + m] = list(data)
+        bt_merge_sort(machine, base, m, key=lambda r: r[0])
+        out = machine.mem[base : base + m]
+        assert [r[0] for r in out] == sorted(k % 5 for k in range(100))
+        # stability: equal keys keep original (second-component) order
+        for key in range(5):
+            seconds = [r[1] for r in out if r[0] == key]
+            assert seconds == sorted(seconds)
+
+    def test_empty_and_single(self):
+        assert self.run_sort([])[0] == []
+        assert self.run_sort([42])[0] == [42]
+
+    @given(st.lists(st.integers(min_value=-1000, max_value=1000), max_size=80))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_python_sorted(self, data):
+        out, _ = self.run_sort(data)
+        assert out == sorted(data)
+
+    def test_cost_near_m_log_m_with_fstar_factor(self):
+        """Operational sort is O(m log m * f*(m)) — the documented gap
+        to Approx-Median-Sort's bound."""
+        f = PolynomialAccess(0.5)
+        rng = random.Random(3)
+        ratios = []
+        for m in (1 << 8, 1 << 10, 1 << 12):
+            data = [rng.randrange(10**6) for _ in range(m)]
+            _, cost = self.run_sort(data, f)
+            ratios.append(cost / (bt_sorting_bound(f, m) * f.star(m)))
+        assert max(ratios) / min(ratios) < 3.0
+
+    def test_scratch_requirement_enforced(self):
+        machine = BTMachine(PolynomialAccess(0.5), 100)
+        with pytest.raises(ValueError):
+            bt_merge_sort(machine, 60, 40)  # needs up to 140 cells
+
+
+class TestTranspose:
+    def run_transpose(self, rows, cols, f=PolynomialAccess(0.4)):
+        s = rows * cols
+        base = max(256, s)
+        machine = BTMachine(f, base + 2 * s + 256)
+        machine.mem[base : base + s] = list(range(s))
+        cost = bt_transpose_permute(machine, base, rows, cols, base + s)
+        return machine.mem[base : base + s], cost
+
+    @pytest.mark.parametrize("rows,cols", [(4, 4), (8, 8), (16, 8), (8, 32),
+                                           (1, 16), (16, 1), (32, 32)])
+    def test_correct_permutation(self, rows, cols):
+        out, _ = self.run_transpose(rows, cols)
+        want = [(k % rows) * cols + k // rows for k in range(rows * cols)]
+        assert out == want
+
+    @given(
+        lr=st.integers(min_value=0, max_value=5),
+        lc=st.integers(min_value=0, max_value=5),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_transpose_twice_is_identity(self, lr, lc):
+        rows, cols = 1 << lr, 1 << lc
+        s = rows * cols
+        base = max(256, s)
+        machine = BTMachine(LogarithmicAccess(), base + 2 * s + 256)
+        data = [f"e{k}" for k in range(s)]
+        machine.mem[base : base + s] = list(data)
+        bt_transpose_permute(machine, base, rows, cols, base + s)
+        bt_transpose_permute(machine, base, cols, rows, base + s)
+        assert machine.mem[base : base + s] == data
+
+    def test_cost_shape_for_supported_functions(self):
+        """Theta(s f*(s)) for f = x^alpha (alpha < 1/2) and f = log x."""
+        for f in (PolynomialAccess(0.4), LogarithmicAccess()):
+            ratios = []
+            for side in (16, 32, 64):
+                _, cost = self.run_transpose(side, side, f)
+                s = side * side
+                ratios.append(cost / bt_rational_permutation_bound(f, s))
+            assert max(ratios) / min(ratios) < 3.0, f.name
+
+    def test_supported_predicate(self):
+        assert blocked_transpose_supported(PolynomialAccess(0.4), 1 << 16)
+        assert blocked_transpose_supported(LogarithmicAccess(), 1 << 16)
+        assert not blocked_transpose_supported(PolynomialAccess(0.7), 1 << 16)
+
+    def test_bound_values(self):
+        f = LogarithmicAccess()
+        assert bt_rational_permutation_bound(f, 1024) == 1024 * f.star(1024)
+        assert bt_sorting_bound(f, 1024) == pytest.approx(1024 * 10)

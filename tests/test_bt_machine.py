@@ -1,0 +1,75 @@
+"""The operational BT machine: charged block transfer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bt.machine import BTMachine
+from repro.functions import ConstantAccess, LogarithmicAccess, PolynomialAccess
+
+
+class TestBlockCopyCost:
+    def test_formula_max_f_plus_b(self):
+        f = PolynomialAccess(0.5)
+        m = BTMachine(f, 1000)
+        # copy [100, 110) -> [500, 510): endpoints 109 and 509
+        want = max(f(109), f(509)) + 10
+        assert m.block_copy_cost(100, 500, 10) == pytest.approx(want)
+
+    def test_long_transfers_amortize_latency(self):
+        f = PolynomialAccess(0.5)
+        m = BTMachine(f, 1 << 20)
+        b = 1 << 16
+        per_word = m.block_copy_cost(0, 1 << 19, b) / b
+        assert per_word < 1.1  # pipelined: ~1 time unit per word
+
+    def test_zero_length_rejected(self):
+        m = BTMachine(ConstantAccess(), 100)
+        with pytest.raises(ValueError):
+            m.block_copy_cost(0, 10, 0)
+
+
+class TestBlockMove:
+    def test_moves_data_and_counts_transfers(self):
+        m = BTMachine(ConstantAccess(), 100)
+        m.mem[0:4] = list("abcd")
+        m.block_move(0, 50, 4)
+        assert m.mem[50:54] == list("abcd")
+        assert m.mem[0:4] == list("abcd")  # source intact (copy semantics)
+        assert m.block_transfers == 1
+
+    def test_overlap_rejected(self):
+        m = BTMachine(ConstantAccess(), 100)
+        with pytest.raises(ValueError, match="overlap"):
+            m.block_move(0, 2, 4)
+
+    def test_block_swap_uses_three_transfers(self):
+        m = BTMachine(LogarithmicAccess(), 100)
+        m.mem[0:2] = ["a", "b"]
+        m.mem[10:12] = ["x", "y"]
+        m.block_swap(0, 10, 2, scratch=20)
+        assert m.mem[0:2] == ["x", "y"]
+        assert m.mem[10:12] == ["a", "b"]
+        assert m.block_transfers == 3
+
+    def test_block_swap_scratch_must_be_disjoint(self):
+        m = BTMachine(ConstantAccess(), 100)
+        with pytest.raises(ValueError):
+            m.block_swap(0, 10, 4, scratch=12)
+
+    def test_word_access_keeps_hmm_cost(self):
+        f = PolynomialAccess(0.5)
+        m = BTMachine(f, 100)
+        m.write(49, 1)
+        assert m.time == pytest.approx(f(49))
+
+
+class TestBTvsHMMPower:
+    def test_bulk_move_beats_word_moves(self):
+        """The defining feature: one block transfer vs n word accesses."""
+        f = PolynomialAccess(0.5)
+        n = 1 << 14
+        bt = BTMachine(f, 4 * n)
+        bt.block_move(2 * n, 0, n)
+        word_cost = 2 * sum(f(x) for x in (0, n - 1, 2 * n, 3 * n - 1)) / 4 * n
+        assert bt.time < word_cost / 10

@@ -1,0 +1,127 @@
+"""The D-BSP -> BT simulation (Section 5, Theorem 12)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.bounds import program_stats, theorem12_bound
+from repro.dbsp.machine import DBSPMachine
+from repro.functions import LogarithmicAccess, PolynomialAccess
+from repro.sim.bt_sim import BTSimulator
+from repro.testing import random_program
+
+from tests.conftest import program_zoo
+
+
+class TestCorrectness:
+    def test_zoo_matches_direct_execution(self, case_function):
+        sim = BTSimulator(case_function, check_invariants=True)
+        direct = DBSPMachine(case_function)
+        for prog, extract in program_zoo(16):
+            want = extract(direct.run(prog).contexts)
+            got = extract(sim.simulate(prog).contexts)
+            assert got == want, prog.name
+
+    @given(seed=st.integers(min_value=0, max_value=300))
+    @settings(max_examples=15, deadline=None)
+    def test_random_programs_match(self, seed):
+        f = PolynomialAccess(0.5)
+        prog = random_program(16, n_steps=7, seed=seed)
+        want = [c["w"] for c in DBSPMachine(f).run(prog.with_global_sync()).contexts]
+        got = [c["w"] for c in BTSimulator(f).simulate(prog).contexts]
+        assert got == want
+
+    def test_mergesort_delivery_mode(self):
+        f = PolynomialAccess(0.5)
+        prog = random_program(16, n_steps=6, seed=5)
+        want = [c["w"] for c in DBSPMachine(f).run(prog.with_global_sync()).contexts]
+        got = BTSimulator(f, sort="mergesort").simulate(prog)
+        assert [c["w"] for c in got.contexts] == want
+
+    def test_unchunked_compute_ablation_mode(self):
+        f = PolynomialAccess(0.5)
+        prog = random_program(16, n_steps=6, seed=6)
+        want = [c["w"] for c in DBSPMachine(f).run(prog.with_global_sync()).contexts]
+        got = BTSimulator(f, chunked_compute=False).simulate(prog)
+        assert [c["w"] for c in got.contexts] == want
+
+    @given(
+        log_v=st.integers(min_value=0, max_value=5),
+        seed=st.integers(min_value=0, max_value=50),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_various_machine_widths(self, log_v, seed):
+        f = LogarithmicAccess()
+        v = 1 << log_v
+        prog = random_program(v, n_steps=5, seed=seed)
+        want = [c["w"] for c in DBSPMachine(f).run(prog.with_global_sync()).contexts]
+        got = [c["w"] for c in BTSimulator(f).simulate(prog).contexts]
+        assert got == want
+
+
+class TestLayout:
+    def test_unpack0_produces_figure4_layout(self):
+        """The v=8 layout of Figure 4: P0 _ P1 _ P2 P3 _ _ P4 P5 P6 P7."""
+        f = PolynomialAccess(0.5)
+        prog = random_program(8, n_steps=2, seed=0)
+        res = BTSimulator(f, record_layout=True).simulate(prog)
+        after_unpack = next(s for s in res.layout_trace if s.stage == "unpack(0)")
+        assert after_unpack.slots[:16] == (
+            0, None, 1, None, 2, 3, None, None, 4, 5, 6, 7,
+            None, None, None, None,
+        )
+
+    def test_layout_snapshots_preserve_processors(self):
+        f = PolynomialAccess(0.5)
+        prog = random_program(8, n_steps=4, seed=1)
+        res = BTSimulator(f, record_layout=True).simulate(prog)
+        for snap in res.layout_trace:
+            pids = [p for p in snap.slots if p is not None]
+            assert sorted(pids) == list(range(8)), snap.stage
+
+    def test_block_transfers_counted(self):
+        f = PolynomialAccess(0.5)
+        prog = random_program(8, n_steps=4, seed=2)
+        res = BTSimulator(f).simulate(prog)
+        assert res.block_transfers > 0
+
+
+class TestCost:
+    def test_theorem12_bound_holds(self):
+        for f in (PolynomialAccess(0.5), LogarithmicAccess()):
+            ratios = []
+            for log_v in (3, 4, 5):
+                v = 1 << log_v
+                prog = random_program(v, n_steps=6, seed=9)
+                stats = DBSPMachine(f).run(prog.with_global_sync())
+                tau, lambdas = program_stats(stats)
+                bound = theorem12_bound(v, prog.mu, tau, lambdas)
+                res = BTSimulator(f).simulate(prog)
+                ratios.append(res.time / bound)
+            assert max(ratios) < 60.0, f.name
+            assert max(ratios) / min(ratios) < 4.0, f.name
+
+    def test_cost_nearly_independent_of_f(self):
+        """Theorem 12's hallmark: the bound does not mention f."""
+        prog = random_program(32, n_steps=6, seed=10)
+        times = []
+        for f in (PolynomialAccess(0.3), PolynomialAccess(0.5),
+                  LogarithmicAccess()):
+            times.append(BTSimulator(f).simulate(prog).time)
+        assert max(times) / min(times) < 2.5
+
+    def test_chunked_compute_beats_direct_on_deep_clusters(self):
+        """The Fig. 6 ablation: COMPUTE's chunking pays off."""
+        f = PolynomialAccess(0.5)
+        prog = random_program(64, labels=[0] * 4, seed=3)
+        chunked = BTSimulator(f).simulate(prog).time
+        direct = BTSimulator(f, chunked_compute=False).simulate(prog).time
+        assert chunked < direct
+
+    def test_single_processor_machine(self):
+        f = PolynomialAccess(0.5)
+        prog = random_program(1, n_steps=3, seed=0)
+        res = BTSimulator(f).simulate(prog)
+        want = [c["w"] for c in DBSPMachine(f).run(prog.with_global_sync()).contexts]
+        assert [c["w"] for c in res.contexts] == want

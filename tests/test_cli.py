@@ -1,0 +1,91 @@
+"""The command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import PROGRAMS, build_parser, main, parse_access_function
+from repro.functions import (
+    ConstantAccess,
+    LinearAccess,
+    LogarithmicAccess,
+    PolynomialAccess,
+    StaircaseAccess,
+)
+
+
+class TestParseAccessFunction:
+    def test_polynomial(self):
+        f = parse_access_function("x^0.5")
+        assert isinstance(f, PolynomialAccess) and f.alpha == 0.5
+
+    def test_log_aliases(self):
+        for spec in ("log", "LOG", "log x"):
+            assert isinstance(parse_access_function(spec), LogarithmicAccess)
+
+    def test_const_linear_staircase(self):
+        assert isinstance(parse_access_function("const"), ConstantAccess)
+        assert isinstance(parse_access_function("linear"), LinearAccess)
+        assert isinstance(parse_access_function("staircase"), StaircaseAccess)
+
+    def test_bad_specs(self):
+        import argparse
+
+        for spec in ("x^2", "x^", "bogus"):
+            with pytest.raises(argparse.ArgumentTypeError):
+                parse_access_function(spec)
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in PROGRAMS:
+            assert name in out
+
+    def test_run_direct(self, capsys):
+        assert main(["run", "sort", "--v", "16", "--engine", "direct"]) == 0
+        out = capsys.readouterr().out
+        assert "direct D-BSP" in out
+
+    @pytest.mark.parametrize("engine", ["hmm", "bt", "brent"])
+    def test_run_each_engine(self, capsys, engine):
+        assert main(["run", "reduce", "--v", "8", "--engine", engine]) == 0
+        out = capsys.readouterr().out
+        assert engine in out
+        assert "slowdown" in out
+
+    def test_run_all_engines(self, capsys):
+        assert main(["run", "random", "--v", "8", "--f", "log"]) == 0
+        out = capsys.readouterr().out
+        for engine in ("hmm", "bt", "brent"):
+            assert engine in out
+
+    def test_run_unknown_program(self):
+        with pytest.raises(SystemExit):
+            main(["run", "nope", "--v", "8"])
+
+    def test_touch(self, capsys):
+        assert main(["touch", "--n", "4096", "--f", "log"]) == 0
+        out = capsys.readouterr().out
+        assert "Fact 1" in out and "Fact 2" in out
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["run", "sort"])
+        assert args.v == 64 and args.engine == "all"
+        assert isinstance(args.f, PolynomialAccess)
+
+    def test_brent_host_width_flag(self, capsys):
+        assert main(["run", "sort", "--v", "16", "--engine", "brent",
+                     "--v-host", "2"]) == 0
+        assert "v'=2" in capsys.readouterr().out
+
+
+class TestCLIErrors:
+    def test_bad_program_parameters_fail_cleanly(self):
+        with pytest.raises(SystemExit, match="cannot build"):
+            main(["run", "matmul", "--v", "8"])  # needs a power of 4
+
+    def test_conv_too_small_fails_cleanly(self):
+        with pytest.raises(SystemExit, match="cannot build"):
+            main(["run", "conv", "--v", "2"])

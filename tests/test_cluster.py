@@ -1,0 +1,122 @@
+"""The D-BSP decomposition tree."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dbsp.cluster import (
+    ClusterTree,
+    cluster_of,
+    cluster_range,
+    cluster_size,
+    is_power_of_two,
+    log2_exact,
+    same_cluster,
+)
+
+log_vs = st.integers(min_value=0, max_value=8)
+
+
+class TestHelpers:
+    def test_power_of_two(self):
+        assert is_power_of_two(1) and is_power_of_two(64)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(12)
+        assert not is_power_of_two(-4)
+
+    def test_log2_exact(self):
+        assert log2_exact(1) == 0
+        assert log2_exact(256) == 8
+        with pytest.raises(ValueError):
+            log2_exact(6)
+
+    def test_cluster_size_and_range(self):
+        assert cluster_size(16, 0) == 16
+        assert cluster_size(16, 4) == 1
+        assert cluster_range(16, 2, 3) == (12, 16)
+
+    def test_cluster_of(self):
+        assert cluster_of(5, 16, 2) == 1
+        assert cluster_of(5, 16, 4) == 5
+        assert cluster_of(5, 16, 0) == 0
+
+    def test_same_cluster(self):
+        assert same_cluster(0, 15, 16, 0)
+        assert not same_cluster(0, 15, 16, 1)
+        assert same_cluster(4, 7, 16, 2)
+
+
+class TestClusterTree:
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            ClusterTree(12)
+
+    def test_levels_and_counts(self):
+        tree = ClusterTree(8)
+        assert list(tree.levels()) == [0, 1, 2, 3]
+        assert tree.n_clusters(0) == 1
+        assert tree.n_clusters(3) == 8
+        assert tree.size(1) == 4
+
+    def test_members(self):
+        tree = ClusterTree(8)
+        assert list(tree.members(1, 1)) == [4, 5, 6, 7]
+        assert list(tree.members(3, 5)) == [5]
+
+    def test_children_partition_parent(self):
+        tree = ClusterTree(16)
+        for i in range(4):
+            for j in range(1 << i):
+                (ia, ja), (ib, jb) = tree.children(i, j)
+                merged = list(tree.members(ia, ja)) + list(tree.members(ib, jb))
+                assert merged == list(tree.members(i, j))
+
+    def test_parent_inverts_children(self):
+        tree = ClusterTree(16)
+        for i in range(1, 5):
+            for j in range(1 << i):
+                pi, pj = tree.parent(i, j)
+                assert (i, j) in tree.children(pi, pj)
+
+    def test_leaves_have_no_children(self):
+        tree = ClusterTree(4)
+        with pytest.raises(ValueError):
+            tree.children(2, 0)
+
+    def test_root_has_no_parent(self):
+        with pytest.raises(ValueError):
+            ClusterTree(4).parent(0, 0)
+
+    def test_bad_level_and_pid(self):
+        tree = ClusterTree(4)
+        with pytest.raises(ValueError):
+            tree.size(3)
+        with pytest.raises(ValueError):
+            tree.cluster_of(4, 0)
+        with pytest.raises(ValueError):
+            tree.members(1, 2)
+
+    @given(log_v=log_vs, data=st.data())
+    @settings(max_examples=60)
+    def test_cluster_of_consistent_with_members(self, log_v, data):
+        v = 1 << log_v
+        tree = ClusterTree(v)
+        i = data.draw(st.integers(min_value=0, max_value=log_v))
+        pid = data.draw(st.integers(min_value=0, max_value=v - 1))
+        j = tree.cluster_of(pid, i)
+        assert pid in tree.members(i, j)
+
+    @given(log_v=log_vs, data=st.data())
+    @settings(max_examples=60)
+    def test_same_cluster_is_equivalence_at_each_level(self, log_v, data):
+        v = 1 << log_v
+        i = data.draw(st.integers(min_value=0, max_value=log_v))
+        p = data.draw(st.integers(min_value=0, max_value=v - 1))
+        q = data.draw(st.integers(min_value=0, max_value=v - 1))
+        assert same_cluster(p, p, v, i)
+        assert same_cluster(p, q, v, i) == same_cluster(q, p, v, i)
+        # refinement: same at level i+1 implies same at level i
+        if i < log_v and same_cluster(p, q, v, i + 1):
+            assert same_cluster(p, q, v, i)

@@ -1,0 +1,90 @@
+"""Sequential program composition (``concat_programs``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dbsp.machine import DBSPMachine
+from repro.dbsp.program import Program, Superstep, concat_programs
+from repro.functions import ConstantAccess, PolynomialAccess
+from repro.sim.bt_sim import BTSimulator
+from repro.sim.hmm_sim import HMMSimulator
+from repro.algorithms.sorting import bitonic_sort_program
+from repro.algorithms.primitives import broadcast_program
+
+RAM = ConstantAccess()
+F = PolynomialAccess(0.5)
+
+
+def bump(amount):
+    def body(view):
+        view.ctx["x"] = view.ctx.get("x", 0) + amount
+
+    return body
+
+
+class TestConcat:
+    def test_runs_phases_in_order(self):
+        a = Program(4, 4, [Superstep(0, bump(1))],
+                    make_context=lambda pid: {"x": 0})
+        b = Program(4, 4, [Superstep(0, bump(10))])
+        combo = concat_programs(a, b)
+        res = DBSPMachine(RAM).run(combo)
+        assert [c["x"] for c in res.contexts] == [11] * 4
+
+    def test_second_make_context_ignored(self):
+        a = Program(4, 4, [Superstep(0, bump(1))],
+                    make_context=lambda pid: {"x": 100 * pid})
+        b = Program(4, 4, [Superstep(0, bump(1))],
+                    make_context=lambda pid: {"x": -999})
+        res = DBSPMachine(RAM).run(concat_programs(a, b))
+        assert [c["x"] for c in res.contexts] == [100 * p + 2 for p in range(4)]
+
+    def test_seam_sync_inserted_only_when_needed(self):
+        a = Program(4, 4, [Superstep(2, bump(1))])
+        b = Program(4, 4, [Superstep(1, bump(1))])
+        combo = concat_programs(a, b)
+        assert combo.labels() == [2, 0, 1]
+        a_synced = Program(4, 4, [Superstep(0, bump(1))])
+        combo2 = concat_programs(a_synced, b)
+        assert combo2.labels() == [0, 1]
+
+    def test_shape_mismatch_rejected(self):
+        a = Program(4, 4, [])
+        with pytest.raises(ValueError):
+            concat_programs(a, Program(8, 4, []))
+        with pytest.raises(ValueError):
+            concat_programs(a, Program(4, 8, []))
+
+    def test_name_defaults_to_joined(self):
+        a = Program(4, 4, [], name="alpha")
+        b = Program(4, 4, [], name="beta")
+        assert concat_programs(a, b).name == "alpha;beta"
+        assert concat_programs(a, b, name="custom").name == "custom"
+
+    def test_sort_then_broadcast_pipeline(self):
+        """Realistic composition: sort the keys, then broadcast the
+        minimum (now at P0) to everyone."""
+        v = 16
+        sort = bitonic_sort_program(v, make_key=lambda pid: (v - pid) * 3)
+
+        def seed_bcast(view):
+            if view.pid == 0:
+                view.ctx["bcast"] = view.ctx["key"]
+
+        bridge = Program(v, 8, [Superstep(0, seed_bcast)])
+        bcast = broadcast_program(v)
+        combo = concat_programs(concat_programs(sort, bridge), bcast)
+        res = DBSPMachine(RAM).run(combo)
+        minimum = 3  # smallest key
+        assert all(c["bcast"] == minimum for c in res.contexts)
+
+    def test_composed_program_simulates_identically(self):
+        from repro.testing import random_program
+
+        a = random_program(16, n_steps=4, seed=20)
+        b = random_program(16, n_steps=4, seed=21)
+        combo = concat_programs(a, b)
+        want = [c["w"] for c in DBSPMachine(F).run(combo.with_global_sync()).contexts]
+        assert [c["w"] for c in HMMSimulator(F).simulate(combo).contexts] == want
+        assert [c["w"] for c in BTSimulator(F).simulate(combo).contexts] == want

@@ -1,0 +1,158 @@
+"""Direct D-BSP execution: semantics and cost accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dbsp.machine import DBSPMachine, superstep_cost
+from repro.dbsp.program import DUMMY, Program, Superstep
+from repro.functions import ConstantAccess, LogarithmicAccess, PolynomialAccess
+
+
+def build(v, mu, steps, ctx=None):
+    return Program(v, mu, steps, make_context=ctx or (lambda pid: {"x": pid}))
+
+
+class TestSemantics:
+    def test_messages_arrive_next_superstep(self):
+        order = []
+
+        def send_step(view):
+            order.append(("send", view.pid, list(view.received())))
+            view.send(view.pid ^ 1, view.pid * 10)
+
+        def recv_step(view):
+            view.ctx["got"] = list(view.received())
+
+        prog = build(2, 4, [Superstep(0, send_step), Superstep(0, recv_step)])
+        res = DBSPMachine(ConstantAccess()).run(prog)
+        # nothing was pending during the sending superstep
+        assert all(received == [] for _, _, received in order)
+        assert res.contexts[0]["got"] == [10]
+        assert res.contexts[1]["got"] == [0]
+
+    def test_inbox_sorted_by_sender(self):
+        def fanin(view):
+            if view.pid != 0:
+                view.send(0, view.pid)
+
+        def collect(view):
+            view.ctx["got"] = list(view.received())
+
+        prog = build(4, 8, [Superstep(0, fanin), Superstep(0, collect)])
+        res = DBSPMachine(ConstantAccess()).run(prog)
+        assert res.contexts[0]["got"] == [1, 2, 3]
+
+    def test_messages_persist_through_dummy(self):
+        def send_step(view):
+            view.send(view.pid, "self")
+
+        def collect(view):
+            view.ctx["got"] = list(view.received())
+
+        prog = build(2, 4, [
+            Superstep(0, send_step),
+            Superstep(0, DUMMY, name="dummy"),
+            Superstep(0, collect),
+        ])
+        res = DBSPMachine(ConstantAccess()).run(prog)
+        assert res.contexts[0]["got"] == ["self"]
+
+    def test_receive_degree_over_mu_rejected(self):
+        def flood(view):
+            if view.pid != 0:
+                view.send(0, view.pid)
+
+        prog = build(8, 4, [Superstep(0, flood)])
+        with pytest.raises(ValueError, match="receives 7 messages"):
+            DBSPMachine(ConstantAccess()).run(prog)
+
+    def test_validation_can_be_disabled(self):
+        def flood(view):
+            if view.pid != 0:
+                view.send(0, view.pid)
+
+        prog = build(8, 4, [Superstep(0, flood)])
+        DBSPMachine(ConstantAccess(), validate=False).run(prog)
+
+    def test_contexts_are_returned(self):
+        def bump(view):
+            view.ctx["x"] += 1
+
+        prog = build(4, 4, [Superstep(0, bump), Superstep(0, bump)])
+        res = DBSPMachine(ConstantAccess()).run(prog)
+        assert [c["x"] for c in res.contexts] == [2, 3, 4, 5]
+
+
+class TestCostModel:
+    def test_superstep_cost_formula(self):
+        g = PolynomialAccess(0.5)
+        # i-superstep on v=16, mu=2: tau + h * g(mu * v / 2^i)
+        assert superstep_cost(g, 2, 16, 2, tau=3.0, h=2) == pytest.approx(
+            3.0 + 2 * g(2 * 4)
+        )
+
+    def test_run_cost_sums_superstep_costs(self):
+        g = LogarithmicAccess()
+
+        def exchange(view):
+            view.send(view.pid ^ 1, 0)
+            view.charge(4)
+
+        prog = build(4, 4, [Superstep(1, exchange), Superstep(0, exchange)])
+        res = DBSPMachine(g).run(prog)
+        want = (5.0 + 1 * g(4 * 2)) + (5.0 + 1 * g(4 * 4))
+        assert res.total_time == pytest.approx(want)
+        assert [r.label for r in res.records] == [1, 0]
+        assert [r.h for r in res.records] == [1, 1]
+        assert [r.tau for r in res.records] == [5.0, 5.0]
+
+    def test_tau_is_max_over_processors(self):
+        def lopsided(view):
+            view.charge(10 if view.pid == 3 else 0)
+
+        prog = build(4, 4, [Superstep(0, lopsided)])
+        res = DBSPMachine(ConstantAccess()).run(prog)
+        assert res.records[0].tau == 11.0
+
+    def test_h_counts_max_of_sent_and_received(self):
+        def fanin(view):
+            if view.pid in (1, 2, 3):
+                view.send(0, None)
+
+        prog = build(4, 8, [Superstep(0, fanin)])
+        res = DBSPMachine(ConstantAccess()).run(prog)
+        assert res.records[0].h == 3
+
+    def test_dummy_costs_unit_tau(self):
+        prog = build(4, 4, [Superstep(2, DUMMY)])
+        res = DBSPMachine(LogarithmicAccess()).run(prog)
+        assert res.total_time == pytest.approx(1.0)
+        assert res.records[0].h == 0
+
+    def test_finer_labels_are_cheaper(self):
+        g = PolynomialAccess(0.5)
+
+        def exchange(label):
+            def body(view):
+                size = view.v >> label
+                base = view.pid - view.pid % size
+                view.send(base + (view.pid - base) ^ 0, 0)
+
+            return body
+
+        costs = []
+        for label in (0, 1, 2, 3):
+            prog = build(16, 4, [Superstep(label, exchange(label))])
+            costs.append(DBSPMachine(g).run(prog).total_time)
+        assert costs == sorted(costs, reverse=True)
+
+    def test_label_counts_and_max_local_time(self):
+        def work(view):
+            view.charge(2)
+
+        prog = build(8, 4, [Superstep(0, work), Superstep(2, work),
+                            Superstep(2, work)])
+        res = DBSPMachine(ConstantAccess()).run(prog)
+        assert res.label_counts() == {0: 1, 2: 2}
+        assert res.max_local_time() == pytest.approx(9.0)

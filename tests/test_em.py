@@ -1,0 +1,105 @@
+"""The EM machine and the flat BSP-on-EM baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dbsp.machine import DBSPMachine
+from repro.em.machine import EMMachine
+from repro.em.simulation import FlatBSPOnEMSimulator
+from repro.functions import ConstantAccess
+from repro.testing import random_label_sequence, random_program
+
+from tests.conftest import program_zoo
+
+
+class TestEMMachine:
+    def test_load_counts_one_io(self):
+        m = EMMachine(M=64, B=16, disk_blocks=8)
+        m.load(3)
+        assert m.io_count == 1
+
+    def test_resident_blocks_are_free(self):
+        m = EMMachine(M=64, B=16, disk_blocks=8)
+        m.load(3)
+        m.load(3)
+        assert m.io_count == 1
+
+    def test_capacity_eviction_lru(self):
+        m = EMMachine(M=32, B=16, disk_blocks=8)  # 2 frames
+        m.load(0)
+        m.load(1)
+        m.load(2)  # evicts 0
+        assert m.io_count == 3
+        m.load(1)  # still resident
+        assert m.io_count == 3
+        m.load(0)  # was evicted: new I/O
+        assert m.io_count == 4
+
+    def test_store_roundtrip(self):
+        m = EMMachine(M=64, B=4, disk_blocks=4)
+        frame = m.load(2)
+        frame[0] = "x"
+        m.store(2)
+        m.evict_all()
+        assert m.load(2)[0] == "x"
+        assert m.io_count == 3
+
+    def test_store_requires_resident_or_data(self):
+        m = EMMachine(M=64, B=4, disk_blocks=4)
+        with pytest.raises(KeyError):
+            m.store(1)
+        m.store(1, ["a", "b", "c", "d"])
+        with pytest.raises(ValueError):
+            m.store(1, ["too-short"])
+
+    def test_bounds(self):
+        m = EMMachine(M=64, B=16, disk_blocks=2)
+        with pytest.raises(IndexError):
+            m.load(2)
+        with pytest.raises(ValueError):
+            EMMachine(M=8, B=16, disk_blocks=1)
+
+
+class TestFlatSimulation:
+    def test_zoo_matches_direct_execution(self):
+        sim = FlatBSPOnEMSimulator(M=128, B=8)
+        direct = DBSPMachine(ConstantAccess())
+        for prog, extract in program_zoo(16):
+            want = extract(direct.run(prog.with_global_sync()).contexts)
+            got = extract(sim.simulate(prog).contexts)
+            assert got == want, prog.name
+
+    def test_io_scales_with_contexts(self):
+        ios = []
+        for v in (16, 64, 256):
+            prog = random_program(v, n_steps=6, seed=1)
+            ios.append(FlatBSPOnEMSimulator(M=128, B=8)
+                       .simulate(prog).io_count)
+        assert ios[1] > 2 * ios[0]
+        assert ios[2] > 2 * ios[1]
+
+    def test_label_oblivious(self):
+        """The flat baseline's defining limitation: identical I/O cost for
+        submachine-local and global programs of the same size."""
+        v = 64
+        fine = random_label_sequence(v, 8, seed=2, bias="fine")
+        coarse = [0] * 8
+        sim = FlatBSPOnEMSimulator(M=128, B=8)
+        io_fine = sim.simulate(random_program(v, labels=fine, seed=2)).io_count
+        io_coarse = sim.simulate(
+            random_program(v, labels=coarse, seed=2)).io_count
+        assert io_fine == io_coarse
+
+    def test_dummy_supersteps_cost_nothing(self):
+        from repro.dbsp.program import DUMMY, Program, Superstep
+
+        prog = Program(8, 4, [Superstep(0, DUMMY)])
+        res = FlatBSPOnEMSimulator(M=64, B=8).simulate(prog)
+        assert res.io_count == 0
+
+    def test_superstep_ios_recorded(self):
+        prog = random_program(16, n_steps=4, seed=3)
+        res = FlatBSPOnEMSimulator(M=128, B=8).simulate(prog)
+        assert len(res.superstep_ios) == len(prog.with_global_sync().supersteps)
+        assert sum(res.superstep_ios) == res.io_count

@@ -1,0 +1,192 @@
+"""Edge cases of the simulation engines that the main suites don't pin down."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dbsp.machine import DBSPMachine
+from repro.dbsp.program import Message, Program, Superstep
+from repro.functions import LogarithmicAccess, PolynomialAccess
+from repro.sim.brent import BrentSimulator
+from repro.sim.bt_sim import BTSimulator
+from repro.sim.hmm_sim import HMMSimulator
+
+F = PolynomialAccess(0.5)
+
+
+def make(v, mu, steps, ctx=None):
+    return Program(v, mu, steps, make_context=ctx or (lambda pid: {"x": pid}))
+
+
+class TestBrentRunBoundaries:
+    """Messages crossing coarse/fine run boundaries must survive the
+    handoff between the host superstep loop and the embedded Section 3
+    simulations."""
+
+    def coarse_to_fine_program(self, v=16, v_host=4):
+        log_vh = 2  # log v_host
+
+        def send_coarse(view):
+            # a 0-superstep (coarse for any v_host > 1)
+            view.send((view.pid + v // 2) % v, ("c", view.pid))
+
+        def consume_fine(view):
+            # a (log v)-superstep: strictly local, runs inside a fine run
+            view.ctx["got"] = sorted(m.payload for m in view.inbox)
+
+        def send_fine(view):
+            # fine superstep: message within the finest 2-cluster
+            view.send(view.pid ^ 1, ("f", view.pid))
+
+        def consume_coarse(view):
+            view.ctx["got2"] = sorted(m.payload for m in view.inbox)
+
+        log_v = 4
+        return make(v, 8, [
+            Superstep(0, send_coarse, name="send@coarse"),
+            Superstep(log_v, consume_fine, name="consume@fine"),
+            Superstep(log_v - 1, send_fine, name="send@fine"),
+            Superstep(0, consume_coarse, name="consume@coarse"),
+        ])
+
+    @pytest.mark.parametrize("v_host", [1, 2, 4, 8, 16])
+    def test_messages_cross_run_boundaries(self, v_host):
+        prog = self.coarse_to_fine_program()
+        want = DBSPMachine(F).run(prog.with_global_sync()).contexts
+        got = BrentSimulator(F, v_host=v_host).simulate(prog).contexts
+        assert [c.get("got") for c in got] == [c.get("got") for c in want]
+        assert [c.get("got2") for c in got] == [c.get("got2") for c in want]
+
+    def test_fine_run_label_shift_respects_clusters(self):
+        """A label exactly log v_host is a fine run of local 0-supersteps."""
+        v, v_host = 16, 4
+
+        def exchange(view):
+            # within my (log v_host)-cluster = my host processor's guests
+            base = view.pid - view.pid % (v // v_host)
+            view.send(base + (view.pid + 1 - base) % (v // v_host), view.pid)
+
+        def collect(view):
+            view.ctx["got"] = list(view.received())
+
+        prog = make(v, 8, [Superstep(2, exchange), Superstep(2, collect)])
+        want = DBSPMachine(F).run(prog.with_global_sync()).contexts
+        got = BrentSimulator(F, v_host=v_host).simulate(prog).contexts
+        assert [c.get("got") for c in got] == [c.get("got") for c in want]
+
+
+class TestSimulatorOverrides:
+    def test_hmm_initial_contexts_and_pending(self):
+        def collect(view):
+            view.ctx["got"] = list(view.received())
+
+        prog = make(4, 4, [Superstep(0, collect)])
+        contexts = [{"x": 10 * p} for p in range(4)]
+        pending = [[Message(3, "hello")] if p == 0 else [] for p in range(4)]
+        res = HMMSimulator(F).simulate(
+            prog, initial_contexts=contexts, initial_pending=pending
+        )
+        assert res.contexts[0]["got"] == ["hello"]
+        assert res.contexts[0]["x"] == 0  # the provided context object
+        assert res.contexts is not None
+
+    def test_hmm_invalid_label_set_rejected(self):
+        prog = make(8, 4, [Superstep(0, lambda v: None)])
+        with pytest.raises(ValueError):
+            HMMSimulator(F).simulate(prog, label_set=[0, 5])
+        with pytest.raises(ValueError):
+            BTSimulator(F).simulate(prog, label_set=[1, 3])
+
+    def test_trace_cap_respected(self):
+        from repro.testing import random_program
+
+        prog = random_program(16, labels=[4] * 4, seed=0)
+        sim = HMMSimulator(F, record_trace=True, max_trace_rounds=5)
+        res = sim.simulate(prog)
+        assert len(res.trace) == 5
+        assert res.rounds > 5
+
+    def test_bt_layout_cap_respected(self):
+        from repro.testing import random_program
+
+        prog = random_program(16, labels=[4] * 4, seed=0)
+        sim = BTSimulator(F, record_layout=True, max_layout_snapshots=3)
+        res = sim.simulate(prog)
+        assert len(res.layout_trace) == 3
+
+
+class TestDegeneratePrograms:
+    def test_empty_program(self):
+        prog = make(4, 4, [])
+        res = DBSPMachine(F).run(prog)
+        assert res.total_time == 0.0
+        # the engines normalize with a global sync and still terminate
+        assert HMMSimulator(F).simulate(prog).contexts is not None
+        assert BTSimulator(F).simulate(prog).contexts is not None
+        assert BrentSimulator(F, v_host=2).simulate(prog).contexts is not None
+
+    def test_single_superstep_single_processor(self):
+        prog = make(1, 4, [Superstep(0, lambda v: v.charge(5))])
+        res = HMMSimulator(F).simulate(prog)
+        assert res.time > 0
+
+    def test_message_to_self(self):
+        def selfsend(view):
+            view.send(view.pid, "me")
+
+        def collect(view):
+            view.ctx["got"] = list(view.received())
+
+        prog = make(4, 4, [Superstep(2, selfsend), Superstep(0, collect)])
+        for engine in (
+            lambda: DBSPMachine(F).run(prog.with_global_sync()).contexts,
+            lambda: HMMSimulator(F).simulate(prog).contexts,
+            lambda: BTSimulator(F).simulate(prog).contexts,
+            lambda: BrentSimulator(F, v_host=2).simulate(prog).contexts,
+        ):
+            assert [c["got"] for c in engine()] == [["me"]] * 4
+
+    def test_all_engines_on_linear_access(self):
+        from repro.testing import random_program
+
+        from repro.functions import LinearAccess
+
+        f = LinearAccess()
+        prog = random_program(8, n_steps=4, seed=9)
+        want = [c["w"] for c in DBSPMachine(f).run(prog.with_global_sync()).contexts]
+        assert [c["w"] for c in HMMSimulator(f).simulate(prog).contexts] == want
+        assert [c["w"] for c in
+                BrentSimulator(f, v_host=2).simulate(prog).contexts] == want
+
+
+class TestCostMonotonicity:
+    def test_hmm_sim_time_monotone_in_access_function(self):
+        """A pointwise-larger f can only make the simulation dearer."""
+        from repro.testing import random_program
+
+        prog = random_program(32, n_steps=6, seed=10)
+        t3 = HMMSimulator(PolynomialAccess(0.3)).simulate(prog).time
+        t5 = HMMSimulator(PolynomialAccess(0.5)).simulate(prog).time
+        t7 = HMMSimulator(PolynomialAccess(0.7)).simulate(prog).time
+        assert t3 < t5 < t7
+
+    def test_guest_time_monotone_in_bandwidth_function(self):
+        from repro.testing import random_program
+
+        prog = random_program(32, n_steps=6, seed=11)
+        t_log = DBSPMachine(LogarithmicAccess()).run(prog.with_global_sync())
+        t_pol = DBSPMachine(PolynomialAccess(0.5)).run(prog.with_global_sync())
+        assert t_log.total_time < t_pol.total_time  # log(x) < sqrt(x) here
+
+    def test_more_local_work_costs_more_everywhere(self):
+        from repro.testing import random_program
+
+        light = random_program(16, n_steps=4, seed=12, local_work=1)
+        heavy = random_program(16, n_steps=4, seed=12, local_work=40)
+        for engine in (
+            lambda p: DBSPMachine(F).run(p.with_global_sync()).total_time,
+            lambda p: HMMSimulator(F).simulate(p).time,
+            lambda p: BTSimulator(F).simulate(p).time,
+            lambda p: BrentSimulator(F, v_host=4).simulate(p).time,
+        ):
+            assert engine(heavy) > engine(light)

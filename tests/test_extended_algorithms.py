@@ -1,0 +1,176 @@
+"""Extended algorithms: list ranking, convolution, staircase hierarchies."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.convolution import convolution_program
+from repro.algorithms.listranking import (
+    list_ranking_program,
+    random_list_successors,
+)
+from repro.dbsp.machine import DBSPMachine
+from repro.functions import (
+    ConstantAccess,
+    LogarithmicAccess,
+    PolynomialAccess,
+    StaircaseAccess,
+    two_c_uniformity,
+)
+from repro.sim.bt_sim import BTSimulator
+from repro.sim.hmm_sim import HMMSimulator
+
+RAM = ConstantAccess()
+
+
+def true_ranks(succ):
+    ranks = {}
+
+    def rank(p):
+        if p not in ranks:
+            s = succ[p]
+            ranks[p] = 0 if s is None else 1 + rank(s)
+        return ranks[p]
+
+    return [rank(p) for p in range(len(succ))]
+
+
+class TestListRanking:
+    @pytest.mark.parametrize("v", [1, 2, 4, 16, 64])
+    def test_ranks_random_list(self, v):
+        succ = random_list_successors(v, seed=v)
+        prog = list_ranking_program(v, succ)
+        res = DBSPMachine(RAM).run(prog)
+        assert [c["rank"] for c in res.contexts] == true_ranks(succ)
+
+    @given(seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=20, deadline=None)
+    def test_ranks_arbitrary_lists(self, seed):
+        v = 32
+        succ = random_list_successors(v, seed=seed)
+        prog = list_ranking_program(v, succ)
+        res = DBSPMachine(RAM).run(prog)
+        assert [c["rank"] for c in res.contexts] == true_ranks(succ)
+
+    def test_multiple_short_lists(self):
+        # two disjoint lists: 0->1->2 (tail 2) and 3->4 (tail 4), 5..7 singletons
+        succ = [1, 2, None, 4, None, None, None, None]
+        prog = list_ranking_program(8, succ)
+        res = DBSPMachine(RAM).run(prog)
+        assert [c["rank"] for c in res.contexts] == [2, 1, 0, 1, 0, 0, 0, 0]
+
+    def test_all_supersteps_are_global(self):
+        prog = list_ranking_program(16)
+        assert all(s.label == 0 for s in prog.supersteps)
+
+    def test_simulates_on_hmm_and_bt(self):
+        f = PolynomialAccess(0.5)
+        succ = random_list_successors(16, seed=9)
+        prog = list_ranking_program(16, succ)
+        want = true_ranks(succ)
+        hmm = HMMSimulator(f).simulate(prog)
+        bt = BTSimulator(f).simulate(prog)
+        assert [c["rank"] for c in hmm.contexts] == want
+        assert [c["rank"] for c in bt.contexts] == want
+
+    def test_bad_successor_length_rejected(self):
+        with pytest.raises(ValueError):
+            list_ranking_program(8, successors=[None] * 4)
+
+
+class TestConvolution:
+    def check(self, v, a, b):
+        prog = convolution_program(v, a, b)
+        res = DBSPMachine(RAM).run(prog)
+        got = np.array([res.contexts[k]["coeff"] for k in range(v)])
+        want = np.convolve(np.array(a, dtype=float), np.array(b, dtype=float))
+        assert np.allclose(got[: len(want)], want, atol=1e-8)
+        assert np.allclose(got[len(want):], 0.0, atol=1e-8)
+
+    @pytest.mark.parametrize("v", [4, 8, 16, 64, 256])
+    def test_default_instance(self, v):
+        prog = convolution_program(v)
+        res = DBSPMachine(RAM).run(prog)
+        half = v // 2
+        a = [prog.make_context(p)["x"].real for p in range(half)]
+        b = [prog.make_context(p)["x"].imag for p in range(half)]
+        got = np.array([res.contexts[k]["coeff"] for k in range(v)])
+        want = np.convolve(np.array(a), np.array(b))
+        assert np.allclose(got[: len(want)], want, atol=1e-8)
+
+    @given(seed=st.integers(min_value=0, max_value=300))
+    @settings(max_examples=20, deadline=None)
+    def test_random_polynomials(self, seed):
+        rng = random.Random(seed)
+        v = 32
+        a = [rng.uniform(-2, 2) for _ in range(rng.randint(1, v // 2))]
+        b = [rng.uniform(-2, 2) for _ in range(rng.randint(1, v // 2))]
+        self.check(v, a, b)
+
+    def test_short_polynomials_zero_padded(self):
+        self.check(16, [1.0, 2.0], [3.0])
+
+    def test_too_many_coefficients_rejected(self):
+        with pytest.raises(ValueError):
+            convolution_program(8, [1.0] * 5, [1.0])
+
+    def test_too_small_machine_rejected(self):
+        with pytest.raises(ValueError):
+            convolution_program(2)
+
+    def test_runs_on_all_engines(self):
+        f = LogarithmicAccess()
+        prog = convolution_program(16, [1, 2, 3], [4, 5])
+        want = [c["coeff"] for c in DBSPMachine(f).run(prog).contexts]
+        got_hmm = [c["coeff"] for c in HMMSimulator(f).simulate(prog).contexts]
+        got_bt = [c["coeff"] for c in BTSimulator(f).simulate(prog).contexts]
+        assert got_hmm == want
+        assert got_bt == want
+
+
+class TestStaircase:
+    def test_values_step_at_capacities(self):
+        f = StaircaseAccess(((8, 1.0), (64, 4.0)), beyond=16.0)
+        assert f(0) == 1.0 and f(7) == 1.0
+        assert f(8) == 4.0 and f(63) == 4.0
+        assert f(64) == 16.0 and f(10**6) == 16.0
+
+    def test_default_is_2c_uniform(self):
+        assert two_c_uniformity(StaircaseAccess(), 1 << 24) <= 8.0
+
+    def test_vectorized_matches_scalar(self):
+        f = StaircaseAccess()
+        xs = np.array([0, 100, 1 << 13, 1 << 20, 1 << 27])
+        assert np.allclose(f.evaluate(xs), [f(x) for x in xs])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StaircaseAccess(())
+        with pytest.raises(ValueError):
+            StaircaseAccess(((8, 1.0), (8, 2.0)))
+        with pytest.raises(ValueError):
+            StaircaseAccess(((8, 4.0), (16, 1.0)))
+        with pytest.raises(ValueError):
+            StaircaseAccess(((8, 1.0),), beyond=0.5)
+
+    def test_star_converges(self):
+        assert StaircaseAccess().star(1 << 24) <= 3
+
+    def test_full_pipeline_on_staircase(self):
+        """The paper's theorems hold for any (2, c)-uniform f — including
+        a realistic cache staircase."""
+        f = StaircaseAccess(((16, 1.0), (128, 4.0), (1024, 16.0)),
+                            beyond=64.0)
+        from repro.testing import random_program
+
+        prog = random_program(32, n_steps=6, seed=61)
+        want = [c["w"] for c in DBSPMachine(f).run(prog.with_global_sync()).contexts]
+        res = HMMSimulator(f, check_invariants="full").simulate(prog)
+        assert [c["w"] for c in res.contexts] == want
+        bt = BTSimulator(f).simulate(prog)
+        assert [c["w"] for c in bt.contexts] == want

@@ -1,0 +1,177 @@
+"""Access functions, (2, c)-uniformity, iterated stars, cost tables."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.functions import (
+    ConstantAccess,
+    CostTable,
+    LinearAccess,
+    LogarithmicAccess,
+    PolynomialAccess,
+    iterated_star,
+    log_star,
+    two_c_uniformity,
+)
+
+
+class TestPolynomialAccess:
+    def test_values(self):
+        f = PolynomialAccess(0.5)
+        assert f(0) == 1.0
+        assert f(3) == 2.0
+        assert f(99) == pytest.approx(10.0)
+
+    def test_name(self):
+        assert PolynomialAccess(0.5).name == "x^0.5"
+        assert PolynomialAccess(0.25).name == "x^0.25"
+
+    @pytest.mark.parametrize("alpha", [0.0, 1.0, -0.5, 2.0])
+    def test_alpha_out_of_range_rejected(self, alpha):
+        with pytest.raises(ValueError):
+            PolynomialAccess(alpha)
+
+    def test_vectorized_matches_scalar(self):
+        f = PolynomialAccess(0.7)
+        xs = np.array([0, 1, 5, 100, 10_000])
+        assert np.allclose(f.evaluate(xs), [f(x) for x in xs])
+
+    def test_uniformity_constant_is_two_to_alpha(self):
+        f = PolynomialAccess(0.5)
+        assert two_c_uniformity(f) <= 2**0.5 + 1e-9
+
+    def test_hashable_and_frozen(self):
+        f = PolynomialAccess(0.5)
+        assert hash(f) == hash(PolynomialAccess(0.5))
+        with pytest.raises(Exception):
+            f.alpha = 0.3  # type: ignore[misc]
+
+
+class TestLogarithmicAccess:
+    def test_values(self):
+        f = LogarithmicAccess()
+        assert f(0) == 1.0
+        assert f(2) == 2.0
+        assert f(1022) == pytest.approx(10.0)
+
+    def test_two_two_uniform(self):
+        assert two_c_uniformity(LogarithmicAccess()) <= 2.0 + 1e-9
+
+    def test_vectorized_matches_scalar(self):
+        f = LogarithmicAccess()
+        xs = np.array([0, 1, 7, 1000])
+        assert np.allclose(f.evaluate(xs), [f(x) for x in xs])
+
+
+class TestOtherFunctions:
+    def test_constant(self):
+        f = ConstantAccess()
+        assert f(0) == f(10**9) == 1.0
+        assert two_c_uniformity(f) == 1.0
+
+    def test_linear(self):
+        f = LinearAccess()
+        assert f(0) == 1.0 and f(9) == 10.0
+        assert two_c_uniformity(f) <= 2.0
+
+    @given(st.integers(min_value=0, max_value=10**9))
+    def test_all_nonnegative_and_monotone(self, x):
+        for f in (PolynomialAccess(0.5), LogarithmicAccess(),
+                  ConstantAccess(), LinearAccess()):
+            assert f(x) > 0
+            assert f(x + 1) >= f(x)
+
+
+class TestIteratedStar:
+    def test_polynomial_grows_like_loglog(self):
+        f = PolynomialAccess(0.5)
+        small = iterated_star(f, 2**8)
+        large = iterated_star(f, 2**24)
+        assert small <= large <= small + 4
+        assert large <= 3 * math.log2(math.log2(2**24))
+
+    def test_log_grows_like_logstar(self):
+        f = LogarithmicAccess()
+        assert iterated_star(f, 2**20) <= 5
+        assert iterated_star(f, 2**20) >= iterated_star(f, 2**4)
+
+    def test_matches_log_star_helper(self):
+        # the helper iterates pure log2; the access function log2(x+2)
+        # differs by at most one iteration on sane inputs
+        for n in (16, 2**10, 2**16, 2**20):
+            assert abs(log_star(n) - iterated_star(LogarithmicAccess(), n)) <= 1
+
+    def test_small_inputs_give_one(self):
+        assert iterated_star(PolynomialAccess(0.5), 1) == 1
+        assert iterated_star(LogarithmicAccess(), 0) == 1
+
+    def test_star_method_delegates(self):
+        f = PolynomialAccess(0.5)
+        assert f.star(12345) == iterated_star(f, 12345)
+
+
+class TestCostTable:
+    def test_access_matches_function(self):
+        f = PolynomialAccess(0.5)
+        table = CostTable(f, 100)
+        for x in (0, 1, 50, 99):
+            assert table.access(x) == pytest.approx(f(x))
+
+    def test_range_cost_is_sum(self):
+        f = LogarithmicAccess()
+        table = CostTable(f, 64)
+        want = sum(f(x) for x in range(10, 30))
+        assert table.range_cost(10, 30) == pytest.approx(want)
+
+    def test_prefix_cost_fact1_shape(self):
+        """Fact 1: touching the first n cells costs Theta(n f(n))."""
+        for f in (PolynomialAccess(0.5), LogarithmicAccess()):
+            table = CostTable(f, 1 << 16)
+            ratios = [
+                table.prefix_cost(n) / (n * f(n))
+                for n in (1 << 8, 1 << 10, 1 << 12, 1 << 14, 1 << 16)
+            ]
+            assert max(ratios) / min(ratios) < 1.5
+            assert all(0.1 < r <= 1.0 + 1e-9 for r in ratios)
+
+    def test_bounds_checked(self):
+        table = CostTable(PolynomialAccess(0.5), 10)
+        with pytest.raises(IndexError):
+            table.access(10)
+        with pytest.raises(IndexError):
+            table.range_cost(5, 11)
+        with pytest.raises(IndexError):
+            table.range_cost(-1, 5)
+
+    def test_empty_range_is_free(self):
+        table = CostTable(PolynomialAccess(0.5), 10)
+        assert table.range_cost(4, 4) == 0.0
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            CostTable(PolynomialAccess(0.5), 0)
+
+    @given(
+        lo=st.integers(min_value=0, max_value=200),
+        mid=st.integers(min_value=0, max_value=200),
+        hi=st.integers(min_value=0, max_value=200),
+    )
+    @settings(max_examples=60)
+    def test_range_cost_additive(self, lo, mid, hi):
+        lo, mid, hi = sorted((lo, mid, hi))
+        table = CostTable(LogarithmicAccess(), 256)
+        total = table.range_cost(lo, hi)
+        split = table.range_cost(lo, mid) + table.range_cost(mid, hi)
+        assert total == pytest.approx(split)
+
+    @given(n=st.integers(min_value=1, max_value=255))
+    @settings(max_examples=40)
+    def test_prefix_monotone(self, n):
+        table = CostTable(PolynomialAccess(0.3), 256)
+        assert table.prefix_cost(n) >= table.prefix_cost(n - 1)

@@ -1,0 +1,74 @@
+"""The hierarchy-aware blocked matmul (native [1]-style upper bound)."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.functions import LogarithmicAccess, PolynomialAccess
+from repro.hmm.blocked import hmm_blocked_matmul
+from repro.hmm.flat import hmm_flat_matmul
+from repro.hmm.machine import HMMMachine
+
+
+def run_blocked(side, f=PolynomialAccess(0.5), seed=0):
+    s = side * side
+    rng = random.Random(seed)
+    machine = HMMMachine(f, 6 * s)
+    machine.mem[3 * s : 4 * s] = [rng.uniform(-1, 1) for _ in range(s)]
+    machine.mem[4 * s : 5 * s] = [rng.uniform(-1, 1) for _ in range(s)]
+    cost = hmm_blocked_matmul(machine, side)
+    A = np.array(machine.mem[3 * s : 4 * s]).reshape(side, side)
+    B = np.array(machine.mem[4 * s : 5 * s]).reshape(side, side)
+    C = np.array(machine.mem[5 * s : 6 * s]).reshape(side, side)
+    return A, B, C, cost
+
+
+class TestBlockedMatmul:
+    @pytest.mark.parametrize("side", [1, 2, 4, 8, 16, 32])
+    def test_matches_numpy(self, side):
+        A, B, C, _ = run_blocked(side, seed=side)
+        assert np.allclose(C, A @ B)
+
+    def test_memory_requirement(self):
+        with pytest.raises(ValueError):
+            hmm_blocked_matmul(HMMMachine(PolynomialAccess(0.5), 100), 8)
+
+    @pytest.mark.parametrize(
+        "alpha,bound",
+        [
+            (0.7, lambda s: s**1.7),
+            (0.5, lambda s: s**1.5 * math.log2(s)),
+            (0.3, lambda s: s**1.5),
+        ],
+    )
+    def test_cost_matches_prop7_reference_shape(self, alpha, bound):
+        """The recursion hits [1]'s Theta for each alpha regime (slowly
+        converging geometric sums leave a <2x residual drift)."""
+        f = PolynomialAccess(alpha)
+        ratios = []
+        for side in (8, 16, 32, 64):
+            _, _, _, cost = run_blocked(side, f)
+            ratios.append(cost / bound(side * side))
+        assert max(ratios) / min(ratios) < 2.0
+
+    def test_beats_flat_loop_asymptotically(self):
+        """flat/blocked = Theta(sqrt(s)/log s): the ratio must grow."""
+        f = PolynomialAccess(0.5)
+        gaps = []
+        for side in (8, 16, 32, 64):
+            _, _, _, blocked = run_blocked(side, f)
+            s = side * side
+            machine = HMMMachine(f, 3 * s)
+            machine.mem[: 2 * s] = [1.0] * (2 * s)
+            flat = hmm_flat_matmul(machine, side)
+            gaps.append(flat / blocked)
+        assert all(b > a for a, b in zip(gaps, gaps[1:])), gaps
+
+    def test_works_on_log_access(self):
+        A, B, C, cost = run_blocked(16, LogarithmicAccess())
+        assert np.allclose(C, A @ B)
+        assert cost > 0

@@ -1,0 +1,113 @@
+"""The operational HMM machine and the touching problem (Fact 1)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.functions import ConstantAccess, LogarithmicAccess, PolynomialAccess
+from repro.hmm.machine import HMMMachine
+from repro.hmm.touching import hmm_touch_all
+
+
+class TestAccounting:
+    def test_read_write_charge_f(self):
+        m = HMMMachine(PolynomialAccess(0.5), 100)
+        m.write(3, "v")
+        assert m.time == pytest.approx(2.0)  # f(3) = 2
+        assert m.read(3) == "v"
+        assert m.time == pytest.approx(4.0)
+
+    def test_charge_op_includes_unit_cost(self):
+        m = HMMMachine(PolynomialAccess(0.5), 100, op_cost=1.0)
+        m.charge_op((0, 3))
+        assert m.time == pytest.approx(1.0 + 1.0 + 2.0)
+        assert m.ops == 1
+
+    def test_touch_range_uses_prefix_sums(self):
+        f = LogarithmicAccess()
+        m = HMMMachine(f, 50)
+        m.touch_range(5, 15)
+        assert m.time == pytest.approx(sum(f(x) for x in range(5, 15)))
+
+    def test_move_range_copies_and_charges_both_sides(self):
+        f = ConstantAccess()
+        m = HMMMachine(f, 20)
+        m.mem[0:3] = ["a", "b", "c"]
+        m.move_range(0, 10, 3)
+        assert m.mem[10:13] == ["a", "b", "c"]
+        assert m.time == pytest.approx(6.0)
+
+    def test_swap_ranges_exchanges_and_charges_twice(self):
+        f = ConstantAccess()
+        m = HMMMachine(f, 20)
+        m.mem[0:2] = ["a", "b"]
+        m.mem[5:7] = ["x", "y"]
+        m.swap_ranges(0, 5, 2)
+        assert m.mem[0:2] == ["x", "y"]
+        assert m.mem[5:7] == ["a", "b"]
+        assert m.time == pytest.approx(2 * (2 + 2))
+
+    def test_overlapping_ranges_rejected(self):
+        m = HMMMachine(ConstantAccess(), 20)
+        with pytest.raises(ValueError, match="overlap"):
+            m.swap_ranges(0, 1, 3)
+        with pytest.raises(ValueError, match="overlap"):
+            m.move_range(4, 2, 3)
+
+    def test_out_of_bounds_rejected(self):
+        m = HMMMachine(ConstantAccess(), 10)
+        with pytest.raises(IndexError):
+            m.move_range(0, 8, 3)
+        with pytest.raises(ValueError):
+            m.move_range(0, 5, -1)
+
+    def test_negative_charge_rejected(self):
+        m = HMMMachine(ConstantAccess(), 10)
+        with pytest.raises(ValueError):
+            m.charge(-1.0)
+
+    def test_reset_clock_keeps_memory(self):
+        m = HMMMachine(ConstantAccess(), 10)
+        m.write(0, 42)
+        m.reset_clock()
+        assert m.time == 0.0
+        assert m.mem[0] == 42
+
+    @given(
+        a=st.integers(min_value=0, max_value=30),
+        b=st.integers(min_value=40, max_value=70),
+        length=st.integers(min_value=0, max_value=10),
+    )
+    @settings(max_examples=40)
+    def test_swap_is_involution(self, a, b, length):
+        m = HMMMachine(LogarithmicAccess(), 100)
+        m.mem = list(range(100))
+        before = list(m.mem)
+        m.swap_ranges(a, b, length)
+        m.swap_ranges(a, b, length)
+        assert m.mem == before
+
+
+class TestTouching:
+    def test_digest_observable(self):
+        m = HMMMachine(ConstantAccess(), 10)
+        m.mem[:5] = [1, 2, 3, 4, 5]
+        hmm_touch_all(m, 5)
+        assert m.mem[0] == 15
+
+    def test_cost_is_theta_n_f_n(self):
+        """Fact 1 on the live machine."""
+        for f in (PolynomialAccess(0.5), LogarithmicAccess()):
+            ratios = []
+            for n in (1 << 8, 1 << 11, 1 << 14):
+                m = HMMMachine(f, n)
+                m.mem[:n] = [1] * n
+                cost = hmm_touch_all(m, n)
+                ratios.append(cost / (n * f(n)))
+            assert max(ratios) / min(ratios) < 1.6
+
+    def test_too_large_touch_rejected(self):
+        with pytest.raises(ValueError):
+            hmm_touch_all(HMMMachine(ConstantAccess(), 4), 5)

@@ -1,0 +1,137 @@
+"""The D-BSP -> HMM simulation (Section 3, Theorem 5, Corollary 6)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.bounds import program_stats, theorem5_bound
+from repro.dbsp.machine import DBSPMachine
+from repro.functions import LogarithmicAccess, PolynomialAccess
+from repro.sim.hmm_sim import HMMSimulator
+from repro.testing import random_program
+
+from tests.conftest import program_zoo
+
+
+class TestCorrectness:
+    def test_zoo_matches_direct_execution(self, case_function):
+        sim = HMMSimulator(case_function, check_invariants="full")
+        direct = DBSPMachine(case_function)
+        for prog, extract in program_zoo(16):
+            want = extract(direct.run(prog).contexts)
+            got = extract(sim.simulate(prog).contexts)
+            assert got == want, prog.name
+
+    @given(seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=25, deadline=None)
+    def test_random_programs_match(self, seed):
+        f = PolynomialAccess(0.5)
+        prog = random_program(16, n_steps=9, seed=seed)
+        want = [c["w"] for c in DBSPMachine(f).run(prog.with_global_sync()).contexts]
+        got = [c["w"] for c in HMMSimulator(f, check_invariants="full")
+               .simulate(prog).contexts]
+        assert got == want
+
+    @given(
+        log_v=st.integers(min_value=0, max_value=6),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_various_machine_widths(self, log_v, seed):
+        f = LogarithmicAccess()
+        v = 1 << log_v
+        prog = random_program(v, n_steps=6, seed=seed)
+        want = [c["w"] for c in DBSPMachine(f).run(prog.with_global_sync()).contexts]
+        got = [c["w"] for c in HMMSimulator(f).simulate(prog).contexts]
+        assert got == want
+
+    def test_explicit_label_set_override(self):
+        f = PolynomialAccess(0.5)
+        prog = random_program(16, n_steps=6, seed=1)
+        want = [c["w"] for c in DBSPMachine(f).run(prog.with_global_sync()).contexts]
+        for L in ([0, 1, 2, 3, 4], [0, 4], [0, 3, 4]):
+            got = [c["w"] for c in HMMSimulator(f).simulate(prog, label_set=L)
+                   .contexts]
+            assert got == want
+
+
+class TestSchedule:
+    def test_round_count_is_sum_of_cluster_counts(self):
+        f = PolynomialAccess(0.5)
+        prog = random_program(16, n_steps=6, seed=2)
+        res = HMMSimulator(f).simulate(prog)
+        want = sum(1 << s.label for s in res.smoothed.program.supersteps)
+        assert res.rounds == want
+
+    def test_trace_records_rounds(self):
+        f = PolynomialAccess(0.5)
+        prog = random_program(8, n_steps=4, seed=0)
+        res = HMMSimulator(f, record_trace=True).simulate(prog)
+        assert len(res.trace) == res.rounds
+        assert res.trace[0].slot_to_pid == tuple(range(8))
+        # every snapshot is a permutation of the processors
+        for snap in res.trace:
+            assert sorted(snap.slot_to_pid) == list(range(8))
+
+    def test_cycle_visits_every_cluster_once_per_superstep(self):
+        f = PolynomialAccess(0.5)
+        prog = random_program(16, n_steps=5, seed=4)
+        res = HMMSimulator(f, record_trace=True).simulate(prog)
+        seen: dict[tuple[int, int], int] = {}
+        for snap in res.trace:
+            csize = 16 >> snap.label
+            cluster = snap.slot_to_pid[0] // csize
+            key = (snap.superstep, cluster)
+            seen[key] = seen.get(key, 0) + 1
+        assert all(count == 1 for count in seen.values())
+        for s, step in enumerate(res.smoothed.program.supersteps):
+            assert sum(1 for (ss, _c) in seen if ss == s) == 1 << step.label
+
+
+class TestCost:
+    def test_theorem5_bound_holds_and_is_tight(self):
+        """measured / bound stays in a narrow band across v (Theta)."""
+        for f in (PolynomialAccess(0.5), LogarithmicAccess()):
+            ratios = []
+            for log_v in (3, 4, 5, 6):
+                v = 1 << log_v
+                prog = random_program(v, n_steps=8, seed=7)
+                stats = DBSPMachine(f).run(prog.with_global_sync())
+                tau, lambdas = program_stats(stats)
+                bound = theorem5_bound(f, v, prog.mu, tau, lambdas)
+                res = HMMSimulator(f).simulate(prog)
+                ratios.append(res.time / bound)
+            assert max(ratios) < 30.0, f.name
+            assert max(ratios) / min(ratios) < 4.0, f.name
+
+    def test_corollary6_linear_slowdown(self):
+        """With g = f the slowdown is Theta(v): slowdown/v stays flat."""
+        f = PolynomialAccess(0.5)
+        normalized = []
+        for log_v in (3, 4, 5, 6):
+            v = 1 << log_v
+            prog = random_program(v, n_steps=8, seed=11)
+            guest = DBSPMachine(f).run(prog.with_global_sync())
+            res = HMMSimulator(f).simulate(prog)
+            normalized.append(res.slowdown(guest.total_time) / v)
+        assert max(normalized) / min(normalized) < 3.0
+
+    def test_dummies_do_not_dominate(self):
+        f = PolynomialAccess(0.5)
+        # a descent-heavy program maximizes inserted dummies
+        labels = [4, 0, 4, 0, 4, 0]
+        prog = random_program(16, labels=labels, seed=3)
+        res = HMMSimulator(f).simulate(prog)
+        assert res.smoothed.n_dummies > 0
+        stats = DBSPMachine(f).run(prog.with_global_sync())
+        tau, lambdas = program_stats(stats)
+        assert res.time < 30 * theorem5_bound(f, 16, prog.mu, tau, lambdas)
+
+    def test_single_processor_machine(self):
+        f = PolynomialAccess(0.5)
+        prog = random_program(1, n_steps=3, seed=0)
+        res = HMMSimulator(f).simulate(prog)
+        assert res.time > 0
+        want = [c["w"] for c in DBSPMachine(f).run(prog.with_global_sync()).contexts]
+        assert [c["w"] for c in res.contexts] == want

@@ -1,0 +1,86 @@
+"""The mesh-of-HMMs contrast model (Bilardi-Preparata M_1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.functions import two_c_uniformity
+from repro.mesh.model import (
+    MeshAccess,
+    MeshMachine,
+    mesh_native_time,
+    mesh_simulation_time,
+)
+
+
+class TestMeshAccess:
+    def test_module_staircase(self):
+        f = MeshAccess(4)
+        assert f(0) == 1 and f(3) == 1
+        assert f(4) == 2 and f(7) == 2
+        assert f(8) == 3
+
+    def test_2c_uniform(self):
+        assert two_c_uniformity(MeshAccess(64), 1 << 16) <= 2.0 + 1e-9
+
+    def test_bad_module_size(self):
+        with pytest.raises(ValueError):
+            MeshAccess(0)
+
+
+class TestMeshMachine:
+    def test_scan_costs_grow_with_depth(self):
+        node = MeshMachine(m=8, contexts=4)
+        costs = []
+        for j in range(4):
+            before = node.time
+            node.scan_context(j)
+            costs.append(node.time - before)
+        assert costs == sorted(costs)
+        assert costs[0] == pytest.approx(8.0)  # top module: 8 x cost 1
+        assert costs[3] == pytest.approx(8.0 * 4)  # 4th module: cost 4
+
+    def test_neighbour_message_costs_far_access(self):
+        node = MeshMachine(m=8, contexts=4)
+        node.neighbour_message()
+        assert node.time == pytest.approx(4.0)  # f(31) = ceil(32/8)
+
+    def test_cycle_never_cheaper_than_constant_factor(self):
+        node = MeshMachine(m=8, contexts=8)
+        node.cycle_context(7)
+        cycled = node.time
+        node.time = 0.0
+        node.scan_context(7)
+        scanned = node.time
+        assert 0.5 < cycled / scanned < 4.0
+
+
+class TestContrast:
+    def test_native_time_linear_in_steps(self):
+        assert mesh_native_time(64, 16, 10) == pytest.approx(
+            10 * mesh_native_time(64, 16, 1)
+        )
+
+    def test_simulation_superlinear_slowdown(self):
+        """The [16,18] phenomenon: slowdown/(n/p) — Lambda — grows with
+        n/p for the lockstep workload, unlike D-BSP's Theorem 10."""
+        n, m, steps = 256, 16, 4
+        native = mesh_native_time(n, m, steps)
+        lambdas = []
+        for p in (128, 32, 8, 2):
+            host = mesh_simulation_time(n, p, m, steps)
+            slowdown = host / native
+            lambdas.append(slowdown / (n / p))
+        assert all(b > a for a, b in zip(lambdas, lambdas[1:])), lambdas
+        assert lambdas[-1] > 4 * lambdas[0]
+
+    def test_both_schedules_same_order(self):
+        a = mesh_simulation_time(64, 8, 16, 2, schedule="cycle")
+        b = mesh_simulation_time(64, 8, 16, 2, schedule="in-place")
+        assert 0.2 < a / b < 5.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mesh_simulation_time(64, 7, 16, 1)
+        with pytest.raises(ValueError):
+            mesh_simulation_time(64, 8, 16, 1, schedule="bogus")

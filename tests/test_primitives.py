@@ -1,0 +1,110 @@
+"""Broadcast / reduce / prefix / permutation primitives."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.primitives import (
+    broadcast_program,
+    permutation_program,
+    prefix_sums_program,
+    reduce_program,
+)
+from repro.dbsp.machine import DBSPMachine
+from repro.functions import ConstantAccess, PolynomialAccess
+
+RAM = ConstantAccess()
+
+
+class TestBroadcast:
+    @pytest.mark.parametrize("v", [1, 2, 8, 64])
+    def test_everyone_receives_root_value(self, v):
+        prog = broadcast_program(v, make_value=lambda pid: f"val{pid}")
+        res = DBSPMachine(RAM).run(prog)
+        assert all(c["bcast"] == "val0" for c in res.contexts)
+
+    def test_labels_ascend(self):
+        prog = broadcast_program(16)
+        labels = [s.label for s in prog.supersteps[:-1]]
+        assert labels == sorted(labels)
+        assert labels == [0, 1, 2, 3]
+
+
+class TestReduce:
+    @pytest.mark.parametrize("v", [1, 2, 8, 64])
+    def test_sum_lands_at_p0(self, v):
+        prog = reduce_program(v, make_value=lambda pid: pid + 1)
+        res = DBSPMachine(RAM).run(prog)
+        assert res.contexts[0]["sum"] == v * (v + 1) // 2
+
+    def test_custom_op(self):
+        prog = reduce_program(8, op=max, make_value=lambda pid: (pid * 5) % 7)
+        res = DBSPMachine(RAM).run(prog)
+        assert res.contexts[0]["sum"] == max((p * 5) % 7 for p in range(8))
+
+    def test_labels_descend(self):
+        prog = reduce_program(16)
+        labels = [s.label for s in prog.supersteps[:-1]]
+        assert labels == [3, 2, 1, 0]
+
+
+class TestPrefixSums:
+    @pytest.mark.parametrize("v", [1, 2, 4, 32])
+    def test_inclusive_prefix(self, v):
+        prog = prefix_sums_program(v, make_value=lambda pid: pid + 1)
+        res = DBSPMachine(RAM).run(prog)
+        want = 0
+        for pid in range(v):
+            want += pid + 1
+            assert res.contexts[pid]["prefix"] == want
+
+    def test_non_commutative_safe(self):
+        # string concatenation: order sensitivity catches scheduling bugs
+        prog = prefix_sums_program(8, make_value=lambda pid: chr(97 + pid))
+        res = DBSPMachine(RAM).run(prog)
+        assert res.contexts[7]["prefix"] == "abcdefgh"
+
+
+class TestPermutation:
+    @given(seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=25, deadline=None)
+    def test_routes_random_permutation(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        v = 16
+        perm = list(range(v))
+        rng.shuffle(perm)
+        prog = permutation_program(v, perm, make_value=lambda pid: pid * 10)
+        res = DBSPMachine(RAM).run(prog)
+        for src in range(v):
+            assert res.contexts[perm[src]]["x"] == src * 10
+
+    def test_identity_gets_finest_label(self):
+        prog = permutation_program(8, list(range(8)))
+        assert prog.supersteps[0].label == 3
+
+    def test_local_swap_label(self):
+        # swapping within pairs only needs 2-clusters: label log v - 1
+        perm = [1, 0, 3, 2, 5, 4, 7, 6]
+        prog = permutation_program(8, perm)
+        assert prog.supersteps[0].label == 2
+
+    def test_global_reversal_needs_label0(self):
+        perm = list(range(7, -1, -1))
+        prog = permutation_program(8, perm)
+        assert prog.supersteps[0].label == 0
+
+    def test_invalid_permutation_rejected(self):
+        with pytest.raises(ValueError):
+            permutation_program(4, [0, 0, 1, 2])
+
+    def test_cost_reflects_locality(self):
+        g = PolynomialAccess(0.5)
+        local = permutation_program(16, [p ^ 1 for p in range(16)])
+        global_ = permutation_program(16, list(range(15, -1, -1)))
+        t_local = DBSPMachine(g).run(local).total_time
+        t_global = DBSPMachine(g).run(global_).total_time
+        assert t_local < t_global

@@ -1,0 +1,111 @@
+"""Program / Superstep / ProcView semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dbsp.program import DUMMY, Message, ProcView, Program, Superstep
+
+
+def noop(view):
+    view.charge(1)
+
+
+class TestProgram:
+    def test_label_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            Program(8, 4, [Superstep(4, noop)])
+
+    def test_non_power_of_two_v_rejected(self):
+        with pytest.raises(ValueError):
+            Program(6, 4, [])
+
+    def test_nonpositive_mu_rejected(self):
+        with pytest.raises(ValueError):
+            Program(8, 0, [])
+
+    def test_label_counts(self):
+        prog = Program(8, 4, [Superstep(0, noop), Superstep(2, noop),
+                              Superstep(2, noop)])
+        assert prog.label_counts() == {0: 1, 2: 2}
+
+    def test_with_global_sync_appends_once(self):
+        prog = Program(8, 4, [Superstep(2, noop)])
+        assert not prog.ends_with_global_sync()
+        synced = prog.with_global_sync()
+        assert synced.ends_with_global_sync()
+        assert len(synced) == 2
+        assert synced.supersteps[-1].is_dummy
+        # idempotent
+        assert len(synced.with_global_sync()) == 2
+
+    def test_initial_contexts_use_factory(self):
+        prog = Program(4, 4, [], make_context=lambda pid: {"p": pid * pid})
+        assert [c["p"] for c in prog.initial_contexts()] == [0, 1, 4, 9]
+
+    def test_replace_supersteps_preserves_shape(self):
+        prog = Program(4, 4, [Superstep(1, noop)], name="x")
+        other = prog.replace_supersteps([Superstep(0, noop), Superstep(2, noop)])
+        assert other.v == 4 and other.mu == 4 and other.name == "x"
+        assert other.labels() == [0, 2]
+
+    def test_dummy_detection(self):
+        assert Superstep(0, DUMMY).is_dummy
+        assert not Superstep(0, noop).is_dummy
+
+
+class TestProcView:
+    def make_view(self, pid=3, v=8, mu=4, label=1, inbox=()):
+        return ProcView(pid, v, mu, label, {}, list(inbox))
+
+    def test_send_within_cluster_ok(self):
+        view = self.make_view(pid=5, label=1)  # 1-cluster {4..7}
+        view.send(7, "hi")
+        assert view.outbox == [(7, Message(5, "hi"))]
+
+    def test_send_outside_cluster_rejected(self):
+        view = self.make_view(pid=5, label=1)
+        with pytest.raises(ValueError, match="different 1-clusters"):
+            view.send(2)
+
+    def test_send_label0_reaches_anywhere(self):
+        view = self.make_view(pid=0, label=0)
+        view.send(7)
+
+    def test_send_bad_destination(self):
+        view = self.make_view()
+        with pytest.raises(ValueError):
+            view.send(8)
+        with pytest.raises(ValueError):
+            view.send(-1)
+
+    def test_outbox_capacity_is_mu(self):
+        view = self.make_view(pid=0, label=0, mu=2)
+        view.send(1)
+        view.send(2)
+        with pytest.raises(ValueError, match="mu=2"):
+            view.send(3)
+
+    def test_charge_accumulates_on_base_one(self):
+        view = self.make_view()
+        assert view.local_time == 1.0
+        view.charge(2.5)
+        assert view.local_time == 3.5
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            self.make_view().charge(-1)
+
+    def test_received_yields_payloads_in_order(self):
+        inbox = [Message(0, "a"), Message(2, "b")]
+        view = self.make_view(inbox=inbox)
+        assert list(view.received()) == ["a", "b"]
+
+
+class TestMessage:
+    def test_ordering_by_sender(self):
+        msgs = [Message(3, "x"), Message(1, "y"), Message(2, "z")]
+        assert [m.src for m in sorted(msgs)] == [1, 2, 3]
+
+    def test_payload_not_compared(self):
+        assert Message(1, "a") == Message(1, "b")

@@ -1,0 +1,47 @@
+"""The report aggregator and its CLI command."""
+
+from __future__ import annotations
+
+from repro.analysis.report import build_report
+from repro.cli import main
+
+
+class TestBuildReport:
+    def test_empty_directory(self, tmp_path):
+        text = build_report(tmp_path)
+        assert "No benchmark results" in text
+
+    def test_missing_directory(self, tmp_path):
+        text = build_report(tmp_path / "nope")
+        assert "No benchmark results" in text
+
+    def test_groups_known_experiments(self, tmp_path):
+        (tmp_path / "test_fact1_x.txt").write_text("FACT1 TABLE\n")
+        (tmp_path / "test_fact2_y.txt").write_text("FACT2 TABLE\n")
+        text = build_report(tmp_path)
+        assert "## E1 — Fact 1: HMM touching" in text
+        assert "FACT1 TABLE" in text
+        assert text.index("FACT1 TABLE") < text.index("FACT2 TABLE")
+
+    def test_unknown_files_go_to_other(self, tmp_path):
+        (tmp_path / "test_something_new.txt").write_text("NEW\n")
+        text = build_report(tmp_path)
+        assert "## Other results" in text
+        assert "NEW" in text
+
+    def test_each_file_appears_once(self, tmp_path):
+        (tmp_path / "test_theorem5_on_staircase.txt").write_text("STAIR\n")
+        text = build_report(tmp_path)
+        assert text.count("STAIR") == 1
+        # must land in E11, not E3 (prefix overlap with test_theorem5)
+        assert "## E11" in text
+
+    def test_cli_report_command(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "test_fact1_z.txt").write_text("T\n")
+        out = tmp_path / "REPORT.md"
+        assert main(["report", "--results", str(results),
+                     "--output", str(out)]) == 0
+        assert out.exists()
+        assert "Reproduction report" in out.read_text()

@@ -1,0 +1,70 @@
+"""The restricted BT machine (§2's feasibility remark)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bt.machine import BTMachine
+from repro.bt.restricted import RestrictedBTMachine
+from repro.functions import LogarithmicAccess, PolynomialAccess
+
+
+class TestRestrictedTransfers:
+    def test_legal_transfer_costs_one_latency(self):
+        f = PolynomialAccess(0.5)
+        m = RestrictedBTMachine(f, 1 << 12)
+        # at address ~4000, f ~ 63: a 32-cell transfer is legal
+        cost = m.block_copy_cost(4000, 100, 32)
+        assert cost == pytest.approx(f(4031))
+
+    def test_overlong_transfer_rejected(self):
+        m = RestrictedBTMachine(PolynomialAccess(0.5), 1 << 12)
+        with pytest.raises(ValueError, match="exceeds the f-cap"):
+            m.block_copy_cost(100, 2000, 512)
+
+    def test_long_move_moves_the_data(self):
+        m = RestrictedBTMachine(LogarithmicAccess(), 1 << 12)
+        m.mem[1000:1200] = list(range(200))
+        m.long_move(1000, 3000, 200)
+        assert m.mem[3000:3200] == list(range(200))
+
+    @given(
+        length=st.integers(min_value=1, max_value=2000),
+        alpha=st.sampled_from([0.3, 0.5, 0.7]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_constant_slowdown_vs_unrestricted(self, length, alpha):
+        """The §2 claim: emulating an arbitrary transfer with capped
+        pieces costs only a constant factor more."""
+        f = PolynomialAccess(alpha)
+        size = 1 << 14
+        src, dst = 4096, 9000
+        restricted = RestrictedBTMachine(f, size)
+        cost_r = restricted.long_move(src, dst, length)
+        full = BTMachine(f, size)
+        cost_u = full.block_copy_cost(src, dst, length)
+        assert cost_r >= cost_u * 0.49  # can't beat the real machine
+        assert cost_r <= 8.0 * cost_u  # constant slowdown
+
+    def test_slowdown_flat_across_scales(self):
+        f = LogarithmicAccess()
+        ratios = []
+        for k in (10, 14, 18):
+            size = 1 << (k + 1)
+            restricted = RestrictedBTMachine(f, size)
+            length = 1 << (k - 1)
+            cost_r = restricted.long_move(0, 1 << k, length)
+            cost_u = BTMachine(f, size).block_copy_cost(0, 1 << k, length)
+            ratios.append(cost_r / cost_u)
+        assert max(ratios) / min(ratios) < 3.0
+        assert max(ratios) < 10.0
+
+    def test_piece_count_is_about_length_over_f(self):
+        f = PolynomialAccess(0.5)
+        m = RestrictedBTMachine(f, 1 << 14)
+        length = 1 << 10
+        m.long_move(8192, 4096, length)
+        expected = length / f(8192)
+        assert m.block_transfers <= 3 * expected + 10

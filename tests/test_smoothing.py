@@ -1,0 +1,159 @@
+"""L-smoothness (Definition 3), label sets, and the smoothing transformation."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dbsp.machine import DBSPMachine
+from repro.dbsp.program import Program, Superstep
+from repro.functions import ConstantAccess, LogarithmicAccess, PolynomialAccess
+from repro.sim.smoothing import (
+    build_label_set_bt,
+    build_label_set_hmm,
+    is_l_smooth,
+    smooth_program,
+)
+from repro.testing import random_program
+
+
+class TestLabelSetHMM:
+    def test_spans_zero_to_log_v(self):
+        for f in (PolynomialAccess(0.5), LogarithmicAccess()):
+            L = build_label_set_hmm(f, 256, 8)
+            assert L[0] == 0 and L[-1] == 8
+            assert L == sorted(set(L))
+
+    def test_costs_drop_geometrically(self):
+        f = PolynomialAccess(0.5)
+        mu, v, c2 = 4, 1 << 10, 0.5
+        L = build_label_set_hmm(f, v, mu, c2)
+        for a, b in zip(L, L[1:-1]):
+            # interior steps satisfy the c2 drop by construction
+            assert f(mu * (v >> b)) <= c2 * f(mu * (v >> a)) + 1e-9
+
+    def test_polynomial_halving_step(self):
+        # f = x^0.5 halves when the argument drops 4x: steps of 2 levels
+        L = build_label_set_hmm(PolynomialAccess(0.5), 1 << 8, 1)
+        assert all(b - a >= 2 for a, b in zip(L, L[1:-1]))
+
+    def test_constant_function_degenerates(self):
+        # f never drops: L = {0, log v}
+        assert build_label_set_hmm(ConstantAccess(), 64, 8) == [0, 6]
+
+    def test_bad_c2_rejected(self):
+        with pytest.raises(ValueError):
+            build_label_set_hmm(PolynomialAccess(0.5), 16, 1, c2=1.0)
+
+    def test_v_one(self):
+        assert build_label_set_hmm(PolynomialAccess(0.5), 1, 4) == [0]
+
+
+class TestLabelSetBT:
+    def test_spans_and_monotone(self):
+        for f in (PolynomialAccess(0.5), LogarithmicAccess()):
+            L = build_label_set_bt(f, 1 << 10, 8)
+            assert L[0] == 0 and L[-1] == 10
+            assert L == sorted(set(L))
+
+    def test_log_drop_property(self):
+        mu, v, c2, d1 = 8, 1 << 12, 0.75, 2.0
+        L = build_label_set_bt(PolynomialAccess(0.5), v, mu, c2, d1)
+        for a, b in zip(L, L[1:-1]):
+            assert math.log2(d1 * mu * (v >> b)) <= c2 * math.log2(
+                d1 * mu * (v >> a)
+            ) + 1e-9
+
+    def test_property_c_for_case_functions(self):
+        """f(mu v / 2^{l_i}) <= d2 * mu v / 2^{l_{i+1}} (needed by Fig. 7)."""
+        mu, v = 8, 1 << 12
+        for f in (PolynomialAccess(0.5), LogarithmicAccess()):
+            L = build_label_set_bt(f, v, mu)
+            for a, b in zip(L, L[1:]):
+                assert f(mu * (v >> a)) <= 16 * mu * (v >> b)
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ValueError):
+            build_label_set_bt(PolynomialAccess(0.5), 16, 1, c2=0.0)
+        with pytest.raises(ValueError):
+            build_label_set_bt(PolynomialAccess(0.5), 16, 1, d1=1.0)
+
+
+class TestIsLSmooth:
+    def test_accepts_valid(self):
+        assert is_l_smooth([0, 2, 4, 2, 0], [0, 2, 4])
+
+    def test_rejects_label_outside_set(self):
+        assert not is_l_smooth([0, 3], [0, 2, 4])
+
+    def test_rejects_steep_descent(self):
+        assert not is_l_smooth([4, 0], [0, 2, 4])
+
+    def test_ascents_unconstrained(self):
+        assert is_l_smooth([0, 4], [0, 2, 4])
+
+
+class TestSmoothProgram:
+    def noop_program(self, labels, v=16):
+        steps = [Superstep(l, lambda view: None) for l in labels]
+        return Program(v, 4, steps)
+
+    def test_upgrades_to_largest_not_greater(self):
+        prog = self.noop_program([3, 2, 1])
+        sm = smooth_program(prog, [0, 2, 4])
+        # 3 -> 2, 2 -> 2, 1 -> 0, then the appended global sync (0)
+        real = [s.label for s, o in zip(sm.program.supersteps, sm.origin)
+                if o is not None]
+        assert real == [2, 2, 0, 0]
+
+    def test_inserts_dummies_on_steep_descents(self):
+        prog = self.noop_program([4, 0])
+        sm = smooth_program(prog, [0, 2, 4])
+        assert sm.program.labels() == [4, 2, 0]
+        assert sm.origin == [0, None, 1]
+        assert sm.n_dummies == 1
+        assert sm.program.supersteps[1].is_dummy
+
+    def test_result_is_l_smooth(self):
+        prog = self.noop_program([4, 3, 4, 1, 2, 4, 0])
+        sm = smooth_program(prog, [0, 2, 4])
+        assert is_l_smooth(sm.program.labels(), sm.label_set)
+
+    def test_appends_global_sync(self):
+        prog = self.noop_program([4])
+        sm = smooth_program(prog, [0, 2, 4])
+        assert sm.program.ends_with_global_sync()
+
+    def test_bad_label_set_rejected(self):
+        prog = self.noop_program([0])
+        with pytest.raises(ValueError):
+            smooth_program(prog, [0, 2])  # does not span to log v
+        with pytest.raises(ValueError):
+            smooth_program(prog, [1, 4])
+        with pytest.raises(ValueError):
+            smooth_program(prog, [0, 3, 3, 4])
+
+    @given(seed=st.integers(min_value=0, max_value=400))
+    @settings(max_examples=30, deadline=None)
+    def test_semantics_preserved(self, seed):
+        """Running the smoothed program directly gives identical contexts."""
+        prog = random_program(16, n_steps=8, seed=seed)
+        machine = DBSPMachine(ConstantAccess())
+        base = machine.run(prog.with_global_sync())
+        for L in ([0, 2, 4], [0, 1, 2, 3, 4], [0, 4]):
+            sm = smooth_program(prog, L)
+            got = machine.run(sm.program)
+            assert [c["w"] for c in got.contexts] == [
+                c["w"] for c in base.contexts
+            ]
+
+    @given(seed=st.integers(min_value=0, max_value=400))
+    @settings(max_examples=20, deadline=None)
+    def test_smooth_output_is_l_smooth(self, seed):
+        prog = random_program(32, n_steps=12, seed=seed)
+        L = build_label_set_hmm(PolynomialAccess(0.5), 32, prog.mu)
+        sm = smooth_program(prog, L)
+        assert is_l_smooth(sm.program.labels(), L)

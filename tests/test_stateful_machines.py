@@ -1,0 +1,160 @@
+"""Stateful property tests: random operation sequences against shadow models.
+
+Hypothesis drives arbitrary interleavings of machine operations and
+checks, after every step, that (a) the machine's data agrees with a plain
+Python shadow, (b) charged time/IO counters are nonnegative and strictly
+monotone where they must be.  These catch bookkeeping bugs that fixed
+scenarios miss.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.bt.machine import BTMachine
+from repro.em.machine import EMMachine
+from repro.functions import LogarithmicAccess
+from repro.hmm.machine import HMMMachine
+
+SIZE = 96
+
+
+class HMMStateMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.machine = HMMMachine(LogarithmicAccess(), SIZE)
+        self.shadow = [None] * SIZE
+        self.last_time = 0.0
+
+    @rule(x=st.integers(0, SIZE - 1), value=st.integers())
+    def write(self, x, value):
+        self.machine.write(x, value)
+        self.shadow[x] = value
+
+    @rule(x=st.integers(0, SIZE - 1))
+    def read(self, x):
+        assert self.machine.read(x) == self.shadow[x]
+
+    @rule(data=st.data())
+    def swap(self, data):
+        length = data.draw(st.integers(0, SIZE // 3))
+        a = data.draw(st.integers(0, max(SIZE // 3 - length, 0)))
+        b = data.draw(st.integers(SIZE // 2, SIZE - max(length, 1)))
+        self.machine.swap_ranges(a, b, length)
+        tmp = self.shadow[a : a + length]
+        self.shadow[a : a + length] = self.shadow[b : b + length]
+        self.shadow[b : b + length] = tmp
+
+    @rule(data=st.data())
+    def move(self, data):
+        length = data.draw(st.integers(0, SIZE // 3))
+        src = data.draw(st.integers(0, max(SIZE // 3 - length, 0)))
+        dst = data.draw(st.integers(SIZE // 2, SIZE - max(length, 1)))
+        self.machine.move_range(src, dst, length)
+        self.shadow[dst : dst + length] = self.shadow[src : src + length]
+
+    @invariant()
+    def memory_matches_shadow(self):
+        if hasattr(self, "machine"):
+            assert self.machine.mem == self.shadow
+
+    @invariant()
+    def time_never_decreases(self):
+        if hasattr(self, "machine"):
+            assert self.machine.time >= self.last_time - 1e-12
+            self.last_time = self.machine.time
+
+
+class BTStateMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.machine = BTMachine(LogarithmicAccess(), SIZE)
+        self.shadow = [None] * SIZE
+        self.transfers = 0
+
+    @rule(x=st.integers(0, SIZE - 1), value=st.integers())
+    def write(self, x, value):
+        self.machine.write(x, value)
+        self.shadow[x] = value
+
+    @rule(data=st.data())
+    def block_move(self, data):
+        length = data.draw(st.integers(1, SIZE // 3))
+        src = data.draw(st.integers(0, SIZE // 3 - length))
+        dst = data.draw(st.integers(SIZE // 2, SIZE - length))
+        before = self.machine.time
+        self.machine.block_move(src, dst, length)
+        self.shadow[dst : dst + length] = self.shadow[src : src + length]
+        self.transfers += 1
+        # cost is exactly max(f(x), f(y)) + b
+        f = self.machine.f
+        want = max(f(src + length - 1), f(dst + length - 1)) + length
+        assert abs((self.machine.time - before) - want) < 1e-9
+
+    @invariant()
+    def memory_and_counters_consistent(self):
+        if hasattr(self, "machine"):
+            assert self.machine.mem == self.shadow
+            assert self.machine.block_transfers == self.transfers
+
+
+class EMStateMachine(RuleBasedStateMachine):
+    BLOCKS = 12
+    B = 4
+
+    @initialize()
+    def setup(self):
+        self.machine = EMMachine(M=3 * self.B, B=self.B,
+                                 disk_blocks=self.BLOCKS)
+        self.shadow_disk = [[None] * self.B for _ in range(self.BLOCKS)]
+        self.last_io = 0
+
+    @rule(blk=st.integers(0, BLOCKS - 1), pos=st.integers(0, B - 1),
+          value=st.integers())
+    def load_modify_store(self, blk, pos, value):
+        frame = self.machine.load(blk)
+        assert frame == self.shadow_disk[blk] or frame is not None
+        frame[pos] = value
+        self.machine.store(blk)
+        self.shadow_disk[blk] = list(frame)
+
+    @rule(blk=st.integers(0, BLOCKS - 1))
+    def load_and_check(self, blk):
+        frame = self.machine.load(blk)
+        # a resident frame may hold newer (unsaved) data only if we wrote
+        # it ourselves; in this machine every modification is stored, so
+        # it must match the disk shadow
+        assert frame == self.shadow_disk[blk] or all(
+            w is None for w in self.shadow_disk[blk]
+        )
+
+    @rule()
+    def evict_all(self):
+        self.machine.evict_all()
+
+    @invariant()
+    def residency_capacity_respected(self):
+        if hasattr(self, "machine"):
+            assert len(self.machine.resident) <= self.machine.capacity_blocks
+
+    @invariant()
+    def io_monotone(self):
+        if hasattr(self, "machine"):
+            assert self.machine.io_count >= self.last_io
+            self.last_io = self.machine.io_count
+
+
+TestHMMStateMachine = HMMStateMachine.TestCase
+TestBTStateMachine = BTStateMachine.TestCase
+TestEMStateMachine = EMStateMachine.TestCase
+
+for case in (TestHMMStateMachine, TestBTStateMachine, TestEMStateMachine):
+    case.settings = settings(max_examples=25, stateful_step_count=30,
+                             deadline=None)
