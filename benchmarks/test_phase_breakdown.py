@@ -1,10 +1,12 @@
 """E15: where the simulation time goes — phase-attributed cost profiles.
 
-The engines attribute every charged unit to a phase of the paper's
-schemes.  This experiment profiles the HMM simulation (Fig. 1: context
-cycling / message delivery / cluster swaps / dummies) and the BT
-simulation (Figs. 4-7: pack-unpack / COMPUTE / delivery / swaps) across
-label profiles, quantifying two analysis facts:
+The observability layer (:mod:`repro.obs`) attributes every charged unit
+to a phase of the paper's schemes; ``EngineResult.breakdown`` exposes the
+per-phase totals as a view over the span trace.  This experiment profiles
+the HMM simulation (Fig. 1: context cycling / message delivery / cluster
+swaps / dummies) and the BT simulation (Figs. 4-7: pack-unpack / COMPUTE
+/ delivery / swaps) across label profiles, quantifying two analysis
+facts:
 
 * on the HMM, the *cycling* term is the one Theorem 5's
   ``mu v f(mu v/2^i)`` prices — it shrinks with label depth — while
@@ -17,12 +19,10 @@ label profiles, quantifying two analysis facts:
 
 from __future__ import annotations
 
-from repro.functions import PolynomialAccess
-from repro.sim.bt_sim import BTSimulator
-from repro.sim.hmm_sim import HMMSimulator
+import repro
 from repro.testing import random_label_sequence, random_program
 
-F = PolynomialAccess(0.5)
+F = "x^0.5"
 
 
 def test_hmm_phase_profile(benchmark, reporter):
@@ -30,13 +30,14 @@ def test_hmm_phase_profile(benchmark, reporter):
     profiles = {
         "coarse": [0] * 8,
         "uniform": random_label_sequence(v, 8, seed=91),
-        "deep": [max(5, l) for l in random_label_sequence(v, 8, seed=91)],
+        "deep": [max(5, lab) for lab in random_label_sequence(v, 8, seed=91)],
         "oscillating": [6, 0, 6, 0, 6, 0, 6, 0],
     }
     rows = []
     stats = {}
     for name, labels in profiles.items():
-        res = HMMSimulator(F).simulate(random_program(v, labels=labels, seed=91))
+        res = repro.run(random_program(v, labels=labels, seed=91),
+                        engine="hmm", f=F, baseline=False)
         b = res.breakdown
         stats[name] = b
         rows.append([name, res.time, b["cycling"], b["delivery"],
@@ -60,8 +61,9 @@ def test_hmm_phase_profile(benchmark, reporter):
     assert stats["oscillating"]["swaps"] < 0.8 * osc_total
 
     benchmark.pedantic(
-        lambda: HMMSimulator(F).simulate(
-            random_program(v, labels=profiles["uniform"], seed=91)),
+        lambda: repro.run(
+            random_program(v, labels=profiles["uniform"], seed=91),
+            engine="hmm", f=F, baseline=False),
         rounds=1, iterations=1,
     )
 
@@ -72,7 +74,7 @@ def test_bt_phase_profile(benchmark, reporter):
     shares = []
     for n_steps in (4, 8, 16):
         prog = random_program(v, n_steps=n_steps, seed=93)
-        res = BTSimulator(F).simulate(prog)
+        res = repro.run(prog, engine="bt", f=F, baseline=False)
         b = res.breakdown
         share = b["delivery"] / res.time
         shares.append(share)
@@ -92,6 +94,17 @@ def test_bt_phase_profile(benchmark, reporter):
     assert all(share > 0.4 for share in shares)
 
     benchmark.pedantic(
-        lambda: BTSimulator(F).simulate(random_program(v, n_steps=8, seed=93)),
+        lambda: repro.run(random_program(v, n_steps=8, seed=93),
+                          engine="bt", f=F, baseline=False),
         rounds=1, iterations=1,
     )
+
+
+def test_profile_tree_renders(reporter):
+    """The rendered profile tree partitions the total charged time."""
+    res = repro.run(random_program(32, n_steps=6, seed=95), engine="bt",
+                    f=F, trace="full", baseline=False)
+    text = repro.render_profile(res.trace, total=res.time, title="E15 tree")
+    reporter.title("E15 — BT span-tree profile (v=32)")
+    reporter.note(text)
+    assert abs(sum(s.self_cost for s in res.trace) - res.time) <= 1e-9 * res.time

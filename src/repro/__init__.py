@@ -61,6 +61,15 @@ from repro.algorithms import (
     prefix_sums_program,
     reduce_program,
 )
+from repro.engines import ENGINES, EngineResult, run
+from repro.obs import (
+    Counters,
+    SpanRecord,
+    Tracer,
+    render_profile,
+    spans_from_jsonl,
+    spans_to_jsonl,
+)
 
 __version__ = "1.0.0"
 
@@ -96,5 +105,14 @@ __all__ = [
     "reduce_program",
     "list_ranking_program",
     "convolution_program",
+    "run",
+    "ENGINES",
+    "EngineResult",
+    "Tracer",
+    "Counters",
+    "SpanRecord",
+    "render_profile",
+    "spans_to_jsonl",
+    "spans_from_jsonl",
     "__version__",
 ]

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from repro.functions import AccessFunction
 from repro.hmm.machine import HMMMachine
+from repro.obs.counters import NULL_COUNTERS, Counters, NullCounters
 
 __all__ = ["BTMachine"]
 
@@ -22,8 +23,14 @@ __all__ = ["BTMachine"]
 class BTMachine(HMMMachine):
     """An ``f(x)``-HMM augmented with charged block transfer."""
 
-    def __init__(self, f: AccessFunction, size: int, op_cost: float = 1.0):
-        super().__init__(f, size, op_cost)
+    def __init__(
+        self,
+        f: AccessFunction,
+        size: int,
+        op_cost: float = 1.0,
+        counters: Counters | NullCounters = NULL_COUNTERS,
+    ):
+        super().__init__(f, size, op_cost, counters)
         #: number of block transfers issued (for instrumentation/ablations)
         self.block_transfers: int = 0
 
@@ -48,6 +55,8 @@ class BTMachine(HMMMachine):
         self._check_disjoint(src, dst, length)
         self.time += self.block_copy_cost(src, dst, length)
         self.block_transfers += 1
+        self.counters.add("block_transfers")
+        self.counters.add("words_moved", length)
         self.mem[dst : dst + length] = self.mem[src : src + length]
 
     def block_swap(self, a: int, b: int, length: int, scratch: int) -> None:

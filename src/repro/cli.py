@@ -3,89 +3,55 @@
 ::
 
     python -m repro run sort --v 64 --f x^0.5 --engine all
+    python -m repro profile sort --v 64 --f x^0.5 --engine bt
     python -m repro touch --n 65536 --f log
     python -m repro list
 
 ``run`` executes one of the bundled D-BSP programs on the chosen engine(s)
 and prints the charged costs plus, for simulations, the slowdown against
-the direct D-BSP run.  ``touch`` contrasts Fact 1 and Fact 2 at a given
-size.  ``list`` enumerates programs and access functions.
+the direct D-BSP run.  ``profile`` runs one engine with full tracing and
+renders the span tree as a per-phase cost profile.  ``touch`` contrasts
+Fact 1 and Fact 2 at a given size.  ``list`` enumerates programs and
+access functions.  ``run``, ``profile`` and ``touch`` all take ``--json``
+for machine-readable output.
+
+All commands are thin shells over the engine registry
+(:mod:`repro.engines`): they build a program, pick an engine from
+:data:`~repro.engines.ENGINES`, and format the resulting
+:class:`~repro.engines.EngineResult`.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import pathlib
 import sys
-from typing import Callable
 
-from repro.algorithms.convolution import convolution_program
-from repro.algorithms.fft import fft_dag_program, fft_recursive_program
-from repro.algorithms.listranking import list_ranking_program
-from repro.algorithms.matmul import matmul_program
-from repro.algorithms.primitives import (
-    broadcast_program,
-    prefix_sums_program,
-    reduce_program,
-)
-from repro.algorithms.sorting import bitonic_sort_program
 from repro.bt.machine import BTMachine
 from repro.bt.touching import bt_touch_all, bt_touching_bound
-from repro.dbsp.machine import DBSPMachine
-from repro.functions import (
-    AccessFunction,
-    ConstantAccess,
-    LinearAccess,
-    LogarithmicAccess,
-    PolynomialAccess,
-    StaircaseAccess,
+from repro.engines import (
+    ENGINES,
+    FUNCTION_HELP,
+    PROGRAMS,
+    build_program,
+    resolve_access_function,
 )
+from repro.functions import AccessFunction
 from repro.hmm.algorithms import hmm_touching_bound
 from repro.hmm.machine import HMMMachine
 from repro.hmm.touching import hmm_touch_all
-from repro.sim.brent import BrentSimulator
-from repro.sim.bt_sim import BTSimulator
-from repro.sim.hmm_sim import HMMSimulator
-from repro.testing import random_program
+from repro.obs.export import render_profile, spans_to_jsonl
 
 __all__ = ["main", "parse_access_function", "PROGRAMS"]
 
-PROGRAMS: dict[str, tuple[Callable[..., object], str]] = {
-    "sort": (bitonic_sort_program, "bitonic n-sorting (Prop. 9)"),
-    "fft-dag": (fft_dag_program, "n-DFT, straight DAG schedule (Prop. 8)"),
-    "fft-rec": (fft_recursive_program, "n-DFT, recursive schedule (Prop. 8)"),
-    "matmul": (matmul_program, "n-MM, recursive quadrants (Prop. 7, Fig. 3)"),
-    "broadcast": (broadcast_program, "tree broadcast from P0"),
-    "reduce": (reduce_program, "tree reduction to P0"),
-    "prefix": (prefix_sums_program, "Hillis-Steele prefix sums (locality-free)"),
-    "listrank": (list_ranking_program, "pointer-jumping list ranking"),
-    "conv": (convolution_program, "polynomial multiplication via FFT"),
-    "random": (random_program, "pseudo-random mixing program"),
-}
-
-FUNCTION_HELP = (
-    "x^A (0<A<1, e.g. x^0.5) | log | const | linear | staircase"
-)
-
 
 def parse_access_function(spec: str) -> AccessFunction:
-    """Parse an access-function spec like ``x^0.5`` or ``log``."""
-    spec = spec.strip().lower()
-    if spec in ("log", "log x", "logx"):
-        return LogarithmicAccess()
-    if spec in ("const", "constant", "1", "ram"):
-        return ConstantAccess()
-    if spec in ("linear", "x"):
-        return LinearAccess()
-    if spec == "staircase":
-        return StaircaseAccess()
-    if spec.startswith("x^"):
-        try:
-            return PolynomialAccess(float(spec[2:]))
-        except ValueError as exc:
-            raise argparse.ArgumentTypeError(str(exc)) from None
-    raise argparse.ArgumentTypeError(
-        f"unknown access function {spec!r}; expected {FUNCTION_HELP}"
-    )
+    """Argparse adapter around :func:`repro.engines.resolve_access_function`."""
+    try:
+        return resolve_access_function(spec)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
 
 
 def _build_program(name: str, v: int, mu: int):
@@ -93,11 +59,20 @@ def _build_program(name: str, v: int, mu: int):
         raise SystemExit(
             f"unknown program {name!r}; try: {', '.join(sorted(PROGRAMS))}"
         )
-    builder, _ = PROGRAMS[name]
     try:
-        return builder(v, mu=mu)
+        return build_program(name, v, mu)
     except ValueError as exc:
         raise SystemExit(f"cannot build {name} with v={v}, mu={mu}: {exc}")
+
+
+def _engine_opts(engine: str, args) -> dict:
+    if engine == "brent":
+        return {"v_host": args.v_host or max(1, args.v // 4)}
+    return {}
+
+
+def _dump_json(doc) -> None:
+    print(json.dumps(doc, indent=2, sort_keys=True))
 
 
 def cmd_list(_args) -> int:
@@ -109,41 +84,99 @@ def cmd_list(_args) -> int:
     return 0
 
 
+def _engine_extra(res) -> str:
+    if res.engine == "hmm":
+        return f"rounds={res.counters.get('rounds', 0)}"
+    if res.engine == "bt":
+        return f"block transfers={res.counters.get('block_transfers', 0)}"
+    if res.engine == "brent":
+        return f"v'={res.meta.get('v_host')}"
+    return ""
+
+
 def cmd_run(args) -> int:
     f = args.f
     program = _build_program(args.program, args.v, args.mu)
+    if args.engine == "direct":
+        engines: list[str] = []
+    elif args.engine == "all":
+        engines = ["hmm", "bt", "brent"]
+    else:
+        engines = [args.engine]
+
+    direct = ENGINES["direct"].run(program, f)
+    results = []
+    for engine in engines:
+        res = ENGINES[engine].run(program, f, **_engine_opts(engine, args))
+        res.baseline_time = direct.time
+        res.slowdown = res.time / direct.time if direct.time > 0 else None
+        results.append(res)
+
+    if args.json:
+        _dump_json({
+            "program": program.name,
+            "v": args.v,
+            "mu": args.mu,
+            "f": f.name,
+            "supersteps": len(program),
+            "direct": direct.to_json(include_trace=False),
+            "engines": {
+                res.engine: res.to_json(include_trace=False)
+                for res in results
+            },
+        })
+        return 0
+
     print(f"program: {program.name}  (v={args.v}, mu={args.mu}, "
           f"{len(program)} supersteps)")
     print(f"access/bandwidth function: {f.name}\n")
+    print(f"{'direct D-BSP':14s} T = {direct.time:14.1f}")
+    for res in results:
+        slowdown = (f"{res.slowdown:10.1f}" if res.slowdown is not None
+                    else f"{'n/a':>10s}")
+        print(f"{res.engine:14s} T = {res.time:14.1f}  "
+              f"slowdown = {slowdown}  ({_engine_extra(res)})")
+    return 0
 
-    guest = DBSPMachine(f).run(program.with_global_sync())
-    print(f"{'direct D-BSP':14s} T = {guest.total_time:14.1f}")
-    engines = ([args.engine] if args.engine != "all"
-               else ["hmm", "bt", "brent"])
-    if args.engine == "direct":
-        engines = []
-    for engine in engines:
-        if engine == "hmm":
-            res = HMMSimulator(f).simulate(program)
-            extra = f"rounds={res.rounds}"
-        elif engine == "bt":
-            res = BTSimulator(f).simulate(program)
-            extra = f"block transfers={res.block_transfers}"
-        elif engine == "brent":
-            v_host = args.v_host or max(1, args.v // 4)
-            res = BrentSimulator(f, v_host=v_host).simulate(program)
-            extra = f"v'={v_host}"
-        else:
-            raise SystemExit(f"unknown engine {engine!r}")
-        slowdown = res.time / guest.total_time if guest.total_time else 0.0
-        print(f"{engine:14s} T = {res.time:14.1f}  "
-              f"slowdown = {slowdown:10.1f}  ({extra})")
+
+def cmd_profile(args) -> int:
+    f = args.f
+    program = _build_program(args.program, args.v, args.mu)
+    res = ENGINES[args.engine].run(
+        program, f, trace="full", **_engine_opts(args.engine, args)
+    )
+
+    if args.jsonl:
+        out = pathlib.Path(args.jsonl)
+        try:
+            out.write_text(spans_to_jsonl(res.trace))
+        except OSError as exc:
+            raise SystemExit(f"cannot write trace to {out}: {exc}")
+        if not args.json:
+            print(f"wrote {len(res.trace)} spans to {out}")
+
+    if args.json:
+        _dump_json(res.to_json(include_trace=not args.jsonl))
+        return 0
+
+    title = (f"{args.engine}: {program.name} "
+             f"(v={args.v}, mu={args.mu}, f={f.name})")
+    print(render_profile(res.trace, total=res.time, title=title))
+    if res.breakdown:
+        print("\nphase breakdown:")
+        for phase, cost in sorted(
+            res.breakdown.items(), key=lambda kv: -kv[1]
+        ):
+            share = 100.0 * cost / res.time if res.time > 0 else 0.0
+            print(f"  {phase:12s} {cost:16.1f}  {share:5.1f}%")
+    if res.counters:
+        print("\ncounters:")
+        for name, value in res.counters.items():
+            print(f"  {name:16s} {value:>16}")
     return 0
 
 
 def cmd_report(args) -> int:
-    import pathlib
-
     from repro.analysis.report import build_report
 
     text = build_report(args.results)
@@ -161,11 +194,22 @@ def cmd_touch(args) -> int:
     bt = BTMachine(f, 2 * n)
     bt.mem[n : 2 * n] = [1] * n
     bt_cost = bt_touch_all(bt, n)
+    hmm_bound = hmm_touching_bound(f, n)
+    bt_bound = bt_touching_bound(f, n)
+    if args.json:
+        _dump_json({
+            "n": n,
+            "f": f.name,
+            "hmm": {"cost": hmm_cost, "fact1_bound": hmm_bound},
+            "bt": {"cost": bt_cost, "fact2_bound": bt_bound},
+            "bt_advantage": hmm_cost / bt_cost,
+        })
+        return 0
     print(f"touching n = {n} cells, f = {f.name}")
     print(f"  HMM: {hmm_cost:14.1f}   (Fact 1: ~ n f(n) "
-          f"= {hmm_touching_bound(f, n):.1f})")
+          f"= {hmm_bound:.1f})")
     print(f"  BT : {bt_cost:14.1f}   (Fact 2: ~ n f*(n) "
-          f"= {bt_touching_bound(f, n):.1f})")
+          f"= {bt_bound:.1f})")
     print(f"  block transfer wins by {hmm_cost / bt_cost:.1f}x")
     return 0
 
@@ -196,11 +240,37 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["direct", "hmm", "bt", "brent", "all"])
     p_run.add_argument("--v-host", type=int, default=None,
                        help="host width for the brent engine (default v/4)")
+    p_run.add_argument("--json", action="store_true",
+                       help="emit a JSON document instead of text")
     p_run.set_defaults(func=cmd_run)
+
+    p_prof = sub.add_parser(
+        "profile",
+        help="run one engine with full tracing; render the cost profile",
+    )
+    p_prof.add_argument("program",
+                        help=f"one of: {', '.join(sorted(PROGRAMS))}")
+    p_prof.add_argument("--v", type=int, default=64,
+                        help="number of D-BSP processors (power of two)")
+    p_prof.add_argument("--mu", type=int, default=8,
+                        help="context size in words")
+    p_prof.add_argument("--f", type=parse_access_function, default="x^0.5",
+                        help=f"access function: {FUNCTION_HELP}")
+    p_prof.add_argument("--engine", default="bt",
+                        choices=["direct", "hmm", "bt", "brent"])
+    p_prof.add_argument("--v-host", type=int, default=None,
+                        help="host width for the brent engine (default v/4)")
+    p_prof.add_argument("--json", action="store_true",
+                        help="emit the full result (trace included) as JSON")
+    p_prof.add_argument("--jsonl", metavar="PATH", default=None,
+                        help="also export the span trace as JSON lines")
+    p_prof.set_defaults(func=cmd_profile)
 
     p_touch = sub.add_parser("touch", help="Fact 1 vs Fact 2 at one size")
     p_touch.add_argument("--n", type=int, default=1 << 16)
     p_touch.add_argument("--f", type=parse_access_function, default="x^0.5")
+    p_touch.add_argument("--json", action="store_true",
+                         help="emit a JSON document instead of text")
     p_touch.set_defaults(func=cmd_touch)
 
     p_report = sub.add_parser(

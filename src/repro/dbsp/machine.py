@@ -44,6 +44,11 @@ class SuperstepRecord:
     cost: float  #: tau + h * g(mu v / 2^label)
 
 
+#: phase categories of the direct execution: a superstep's cost splits
+#: into ``compute`` (tau) and ``communication`` (h * g(mu v / 2^i))
+DBSP_PHASES = ("compute", "communication")
+
+
 @dataclass
 class DBSPRunResult:
     """Outcome of a direct D-BSP run."""
@@ -51,6 +56,11 @@ class DBSPRunResult:
     contexts: list[dict]
     total_time: float
     records: list[SuperstepRecord] = field(default_factory=list)
+    #: per-phase charged time: ``compute`` = sum of tau, ``communication``
+    #: = sum of h * g(mu v / 2^i) (a view over ``records``)
+    breakdown: dict[str, float] = field(default_factory=dict)
+    #: event counters: supersteps executed, messages routed, max h seen
+    counters: dict[str, int | float] = field(default_factory=dict)
 
     def label_counts(self) -> dict[int, int]:
         counts: dict[int, int] = {}
@@ -77,12 +87,18 @@ class DBSPMachine:
         inboxes: list[list[Message]] = [[] for _ in range(v)]
         records: list[SuperstepRecord] = []
         total = 0.0
+        compute_total = 0.0
+        comm_total = 0.0
+        n_messages = 0
+        n_dummies = 0
+        max_h = 0
 
         for index, step in enumerate(program.supersteps):
             tau = 1.0
             h = 0
             if step.is_dummy:
                 next_inboxes = inboxes  # nothing sent; pending stay empty
+                n_dummies += 1
             else:
                 next_inboxes = [[] for _ in range(v)]
                 sent_counts = [0] * v
@@ -102,14 +118,29 @@ class DBSPMachine:
                 for pid in range(v):
                     next_inboxes[pid].sort()
                 h = max(max(sent_counts), max(recv_counts))
+                n_messages += sum(sent_counts)
             cost = superstep_cost(self.g, mu, v, step.label, tau, h)
             records.append(
                 SuperstepRecord(index, step.label, step.name, tau, h, cost)
             )
             total += cost
+            compute_total += tau
+            comm_total += cost - tau
+            max_h = max(max_h, h)
             inboxes = next_inboxes
 
-        return DBSPRunResult(contexts=contexts, total_time=total, records=records)
+        return DBSPRunResult(
+            contexts=contexts,
+            total_time=total,
+            records=records,
+            breakdown={"compute": compute_total, "communication": comm_total},
+            counters={
+                "supersteps": len(records),
+                "dummy_supersteps": n_dummies,
+                "messages": n_messages,
+                "max_h": max_h,
+            },
+        )
 
     @staticmethod
     def _check_degrees(

@@ -181,17 +181,16 @@ class StaircaseAccess(AccessFunction):
     ):
         if not levels:
             raise ValueError("need at least one level")
-        caps = [c for c, _ in levels]
-        lats = [l for _, l in levels]
+        caps = [cap for cap, _ in levels]
+        lats = [lat for _, lat in levels]
         if caps != sorted(set(caps)):
             raise ValueError(f"capacities must strictly increase: {caps}")
         if lats != sorted(lats) or lats[0] <= 0:
             raise ValueError(f"latencies must be positive, nondecreasing: {lats}")
-        self.levels = tuple((int(c), float(l)) for c, l in levels)
+        self.levels = tuple((int(cap), float(lat)) for cap, lat in levels)
         self.beyond = float(beyond if beyond is not None else lats[-1])
         if self.beyond < lats[-1]:
             raise ValueError("beyond-capacity latency cannot shrink")
-        sizes = ", ".join(str(c) for c, _ in self.levels)
         self.name = f"staircase[{len(self.levels)}]"
         self._caps = np.asarray(caps, dtype=np.float64)
         self._lats = np.asarray(lats + [self.beyond], dtype=np.float64)

@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import Any, Iterable
 
 from repro.functions import AccessFunction, CostTable
+from repro.obs.counters import NULL_COUNTERS, Counters, NullCounters
 
 __all__ = ["HMMMachine"]
 
@@ -41,14 +42,26 @@ class HMMMachine:
         Cost of the computational part of one operation (the ``1 +`` in
         ``1 + sum f(x_i)``).  Kept explicit so tests can isolate pure
         memory cost by setting it to 0.
+    counters:
+        Observability hook (:mod:`repro.obs`): bulk primitives report
+        words touched/moved here.  Defaults to the shared no-op
+        registry, so an uninstrumented machine pays one no-op call per
+        bulk primitive.
     """
 
-    def __init__(self, f: AccessFunction, size: int, op_cost: float = 1.0):
+    def __init__(
+        self,
+        f: AccessFunction,
+        size: int,
+        op_cost: float = 1.0,
+        counters: Counters | NullCounters = NULL_COUNTERS,
+    ):
         self.f = f
         self.size = int(size)
         self.table = CostTable(f, self.size)
         self.mem: list[Any] = [None] * self.size
         self.op_cost = float(op_cost)
+        self.counters = counters
         self.time: float = 0.0
         self.ops: int = 0
 
@@ -70,25 +83,30 @@ class HMMMachine:
         Cost is ``op_cost + sum_i f(x_i)`` per the HMM definition.
         """
         self.ops += 1
+        self.counters.add("ops")
         self.time += self.op_cost
         for x in addresses:
             self.time += self.table.access(x)
+            self.counters.add("words_touched")
 
     # ---------------------------------------------------- word-level access
     def read(self, x: int) -> Any:
         """Read word ``x``, charging ``f(x)``."""
         self.time += self.table.access(x)
+        self.counters.add("words_touched")
         return self.mem[x]
 
     def write(self, x: int, value: Any) -> None:
         """Write word ``x``, charging ``f(x)``."""
         self.time += self.table.access(x)
+        self.counters.add("words_touched")
         self.mem[x] = value
 
     # --------------------------------------------------------- bulk access
     def touch_range(self, lo: int, hi: int) -> None:
         """Charge one access to every address in ``[lo, hi)``."""
         self.time += self.table.range_cost(lo, hi)
+        self.counters.add("words_touched", hi - lo)
 
     def read_range(self, lo: int, hi: int) -> list[Any]:
         """Read ``[lo, hi)`` (charged once per word)."""
@@ -110,6 +128,7 @@ class HMMMachine:
         self._check_disjoint(src, dst, length)
         self.touch_range(src, src + length)
         self.touch_range(dst, dst + length)
+        self.counters.add("words_moved", length)
         self.mem[dst : dst + length] = self.mem[src : src + length]
 
     def swap_ranges(self, a: int, b: int, length: int) -> None:
@@ -123,6 +142,8 @@ class HMMMachine:
             self.table.range_cost(a, a + length)
             + self.table.range_cost(b, b + length)
         )
+        self.counters.add("words_touched", 2 * length)
+        self.counters.add("words_moved", 2 * length)
         tmp = self.mem[a : a + length]
         self.mem[a : a + length] = self.mem[b : b + length]
         self.mem[b : b + length] = tmp

@@ -1,0 +1,78 @@
+"""Event counters for the operational machines and simulation engines.
+
+A :class:`Counters` object is a registry of named monotone counters —
+``ops``, ``words_touched``, ``words_moved``, ``block_transfers``,
+``messages``, ``context_swaps``, ``rounds``, ... — updated through one
+cheap hook, :meth:`Counters.add`.  The machines
+(:class:`~repro.hmm.machine.HMMMachine`,
+:class:`~repro.bt.machine.BTMachine`) hold a counters reference and feed
+it from their bulk-access primitives; the simulators layer scheduler
+events (messages delivered, contexts swapped) on top.
+
+:data:`NULL_COUNTERS` is the disabled end: ``add`` is a no-op, so a
+machine built without observability pays one no-op call per bulk
+primitive — noise next to the numpy prefix-table work each primitive
+already does.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Counters", "NullCounters", "NULL_COUNTERS"]
+
+
+class Counters:
+    """A registry of named monotone event counters."""
+
+    __slots__ = ("values",)
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.values: dict[str, int | float] = {}
+
+    def add(self, name: str, amount: int | float = 1) -> None:
+        """Increment counter ``name`` by ``amount`` (creating it at 0)."""
+        values = self.values
+        values[name] = values.get(name, 0) + amount
+
+    def get(self, name: str, default: int | float = 0) -> int | float:
+        return self.values.get(name, default)
+
+    def merge(self, other: "Counters | dict[str, int | float]") -> None:
+        """Fold another registry (or snapshot) into this one, summing."""
+        items = other.values if isinstance(other, Counters) else other
+        for name, amount in items.items():
+            self.add(name, amount)
+
+    def snapshot(self) -> dict[str, int | float]:
+        """A plain-dict copy, sorted by counter name (stable output)."""
+        return {name: self.values[name] for name in sorted(self.values)}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(self.values.items()))
+        return f"Counters({inner})"
+
+
+class NullCounters:
+    """No-op counters: every hook call disappears."""
+
+    __slots__ = ()
+
+    enabled = False
+    values: dict[str, int | float] = {}
+
+    def add(self, name: str, amount: int | float = 1) -> None:
+        pass
+
+    def get(self, name: str, default: int | float = 0) -> int | float:
+        return default
+
+    def merge(self, other) -> None:
+        pass
+
+    def snapshot(self) -> dict[str, int | float]:
+        return {}
+
+
+#: shared no-op counters instance
+NULL_COUNTERS = NullCounters()

@@ -1,0 +1,134 @@
+"""Trace exporters: JSON-lines spans and the rendered text profile.
+
+Two consumers of a recorded span trace:
+
+* machines — :func:`spans_to_jsonl` / :func:`spans_from_jsonl` serialize
+  the span list one JSON object per line (round-trippable, streamable,
+  greppable);
+* humans — :func:`render_profile` aggregates the span tree by name path
+  and prints a per-phase cost tree with counts, charged costs and
+  percentages of the total, the structured replacement for the engines'
+  old hand-rolled ``breakdown`` printouts.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Sequence
+
+from repro.obs.trace import SpanRecord
+
+__all__ = [
+    "spans_to_jsonl",
+    "spans_from_jsonl",
+    "render_profile",
+    "render_breakdown",
+]
+
+
+def spans_to_jsonl(spans: Sequence[SpanRecord]) -> str:
+    """Serialize spans as JSON-lines (one span object per line)."""
+    return "\n".join(json.dumps(span.to_json()) for span in spans)
+
+
+def spans_from_jsonl(text: str | Iterable[str]) -> list[SpanRecord]:
+    """Inverse of :func:`spans_to_jsonl`."""
+    lines = text.splitlines() if isinstance(text, str) else text
+    return [
+        SpanRecord.from_json(json.loads(line))
+        for line in lines
+        if line.strip()
+    ]
+
+
+class _Node:
+    """Aggregation node: all spans sharing one name path."""
+
+    __slots__ = ("name", "count", "cost", "self_cost", "children")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.cost = 0.0
+        self.self_cost = 0.0
+        self.children: dict[str, _Node] = {}
+
+
+def _aggregate(spans: Sequence[SpanRecord]) -> _Node:
+    """Fold the span list into a tree keyed by name path.
+
+    Spans with the same name under the same path (e.g. every ``round``)
+    merge into one node accumulating count and cost — the profile shows
+    the *shape* of where cost goes, not each of thousands of rounds.
+    """
+    root = _Node("")
+    # index -> aggregation node, so children find their parent's node
+    node_of: dict[int, _Node] = {}
+    for span in spans:
+        parent = node_of.get(span.parent, root)
+        node = parent.children.get(span.name)
+        if node is None:
+            node = parent.children[span.name] = _Node(span.name)
+        node.count += 1
+        node.cost += span.cost
+        node.self_cost += span.self_cost
+        node_of[span.index] = node
+    return root
+
+
+def render_profile(
+    spans: Sequence[SpanRecord],
+    total: float | None = None,
+    title: str | None = None,
+    max_depth: int = 6,
+) -> str:
+    """Render the aggregated cost tree of a recorded trace.
+
+    ``total`` (default: the summed cost of the root spans) is the 100%
+    mark for the percentage column.  Each line shows the span name, how
+    many spans aggregated into it, their total charged cost, the share
+    of the run total, and the *self* share (cost not covered by child
+    spans).
+    """
+    root = _aggregate(spans)
+    if total is None:
+        total = sum(child.cost for child in root.children.values())
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    denom = total if total > 0 else 1.0
+    name_width = 36
+
+    def emit(node: _Node, depth: int) -> None:
+        label = ("  " * depth + node.name)[:name_width]
+        lines.append(
+            f"{label:<{name_width}s} x{node.count:<7d} "
+            f"{node.cost:16.1f} {100.0 * node.cost / denom:6.1f}% "
+            f"(self {100.0 * node.self_cost / denom:5.1f}%)"
+        )
+        if depth + 1 >= max_depth:
+            return
+        for child in node.children.values():
+            emit(child, depth + 1)
+
+    header = (
+        f"{'span':<{name_width}s} {'count':<8s} "
+        f"{'charged cost':>16s} {'total':>7s} {'self':>12s}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for child in root.children.values():
+        emit(child, 0)
+    lines.append("-" * len(header))
+    lines.append(f"{'total charged time':<{name_width + 9}s} {total:16.1f}")
+    return "\n".join(lines)
+
+
+def render_breakdown(breakdown: dict[str, float], total: float) -> str:
+    """Small per-phase table (used when no full trace was recorded)."""
+    denom = total if total > 0 else 1.0
+    lines = [f"{'phase':<16s} {'charged cost':>16s} {'share':>8s}"]
+    for phase, cost in sorted(breakdown.items(), key=lambda item: -item[1]):
+        lines.append(f"{phase:<16s} {cost:16.1f} {100.0 * cost / denom:7.1f}%")
+    lines.append(f"{'total':<16s} {total:16.1f} {100.0:7.1f}%")
+    return "\n".join(lines)

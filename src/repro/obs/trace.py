@@ -1,0 +1,281 @@
+"""Nested cost spans over an engine's charged-time clock.
+
+A :class:`Tracer` is bound to a *clock* — a zero-argument callable
+returning the engine's accumulated charged cost (e.g. ``machine.time``).
+Engines open a span around each scheduler phase (a round, a PACK, a
+delivery sort, ...); the span's **cost** is the clock delta between open
+and close, and its **self cost** is that delta minus the cost of its
+child spans.  Self costs are attributed to *phase categories* (a span
+without a category inherits its parent's), so summing the per-category
+totals partitions the engine's total charged time — this is the
+invariant the breakdown tests pin down.
+
+Design constraints, in order:
+
+1. Opening/closing a span in ``phases`` mode must cost a handful of
+   Python operations — the engines open spans inside their innermost
+   scheduler loops, and the charged-cost accounting must not slow down
+   measurably when profiling is off.  Hot paths therefore use the
+   explicit :meth:`Tracer.open` / :meth:`Tracer.close` pair; the
+   :meth:`Tracer.span` context manager is sugar over them.
+2. ``full`` mode records a :class:`SpanRecord` per span (bounded by
+   ``max_spans``) carrying enough structure (index/parent/depth) to
+   rebuild the tree for export and profiling.
+3. :data:`NULL_TRACER` must make the entire layer disappear: every
+   method is a no-op and no state is kept.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["SpanRecord", "Tracer", "NullTracer", "NULL_TRACER", "OTHER"]
+
+#: category that uncategorized root-level self cost is attributed to
+OTHER = "other"
+
+
+@dataclass
+class SpanRecord:
+    """One closed span: tree position, clock interval, attributed costs."""
+
+    index: int
+    parent: int  #: index of the enclosing span, or -1 for a root span
+    depth: int
+    name: str
+    category: str  #: effective phase category (inherited when not given)
+    start: float  #: clock value when the span opened
+    end: float = 0.0  #: clock value when the span closed
+    cost: float = 0.0  #: end - start
+    self_cost: float = 0.0  #: cost minus the cost of child spans
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> dict[str, Any]:
+        doc: dict[str, Any] = {
+            "index": self.index,
+            "parent": self.parent,
+            "depth": self.depth,
+            "name": self.name,
+            "category": self.category,
+            "start": self.start,
+            "end": self.end,
+            "cost": self.cost,
+            "self_cost": self.self_cost,
+        }
+        if self.attrs:
+            doc["attrs"] = self.attrs
+        return doc
+
+    @classmethod
+    def from_json(cls, doc: dict[str, Any]) -> "SpanRecord":
+        return cls(
+            index=doc["index"],
+            parent=doc["parent"],
+            depth=doc["depth"],
+            name=doc["name"],
+            category=doc["category"],
+            start=doc["start"],
+            end=doc["end"],
+            cost=doc["cost"],
+            self_cost=doc["self_cost"],
+            attrs=doc.get("attrs", {}),
+        )
+
+
+class _SpanContext:
+    """Context-manager sugar over ``Tracer.open``/``Tracer.close``."""
+
+    __slots__ = ("tracer", "name", "category", "attrs")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        category: str | None,
+        attrs: dict[str, Any] | None,
+    ):
+        self.tracer = tracer
+        self.name = name
+        self.category = category
+        self.attrs = attrs
+
+    def __enter__(self) -> None:
+        self.tracer.open(self.name, self.category, self.attrs)
+
+    def __exit__(self, *exc) -> None:
+        self.tracer.close()
+
+
+class Tracer:
+    """Span emitter bound to a charged-cost clock.
+
+    Parameters
+    ----------
+    clock:
+        Zero-argument callable returning the engine's accumulated
+        charged cost.  Spans measure deltas of this clock, so wall time
+        never enters the picture — traces are deterministic.
+    record:
+        Keep a :class:`SpanRecord` per span (``full`` mode).  Off by
+        default: only per-category totals are aggregated.
+    max_spans:
+        Recording stops (aggregation continues) once this many spans
+        have been stored, bounding trace memory on huge runs.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        clock: Callable[[], float],
+        record: bool = False,
+        max_spans: int = 1 << 20,
+    ):
+        self.clock = clock
+        self.record = record
+        self.max_spans = max_spans
+        self.spans: list[SpanRecord] = []
+        #: per-category self-cost totals (the breakdown substrate)
+        self.totals: dict[str, float] = {}
+        #: per-category span counts
+        self.counts: dict[str, int] = {}
+        # frame: [name, effective_category, start, child_cost, record_index]
+        self._stack: list[list] = []
+        self._truncated = 0
+
+    # ----------------------------------------------------------- span API
+    def span(
+        self,
+        name: str,
+        category: str | None = None,
+        attrs: dict[str, Any] | None = None,
+    ) -> _SpanContext:
+        """``with tracer.span("COMPUTE", "compute"): ...``"""
+        return _SpanContext(self, name, category, attrs)
+
+    def open(
+        self,
+        name: str,
+        category: str | None = None,
+        attrs: dict[str, Any] | None = None,
+    ) -> None:
+        """Open a span; hot-path form (pair with :meth:`close`)."""
+        stack = self._stack
+        if category is None and stack:
+            category = stack[-1][1]
+        now = self.clock()
+        index = -1
+        if self.record:
+            if len(self.spans) < self.max_spans:
+                index = len(self.spans)
+                self.spans.append(
+                    SpanRecord(
+                        index=index,
+                        parent=stack[-1][4] if stack else -1,
+                        depth=len(stack),
+                        name=name,
+                        category=category if category is not None else OTHER,
+                        start=now,
+                        attrs=attrs or {},
+                    )
+                )
+            else:
+                self._truncated += 1
+        stack.append([name, category, now, 0.0, index])
+
+    def close(self) -> None:
+        """Close the innermost open span, attributing its self cost."""
+        frame = self._stack.pop()
+        category, start, child_cost, index = frame[1], frame[2], frame[3], frame[4]
+        now = self.clock()
+        cost = now - start
+        self_cost = cost - child_cost
+        key = category if category is not None else OTHER
+        self.totals[key] = self.totals.get(key, 0.0) + self_cost
+        self.counts[key] = self.counts.get(key, 0) + 1
+        if self._stack:
+            self._stack[-1][3] += cost
+        if index >= 0:
+            rec = self.spans[index]
+            rec.end = now
+            rec.cost = cost
+            rec.self_cost = self_cost
+
+    # ------------------------------------------------------------ queries
+    def phase_totals(self, drop_empty_other: bool = True) -> dict[str, float]:
+        """Per-category self-cost totals; their sum is the traced time.
+
+        ``OTHER`` collects uncategorized root-level self cost; it is
+        dropped when zero (engines that categorize every charge never
+        show it).
+        """
+        totals = dict(self.totals)
+        if drop_empty_other and totals.get(OTHER) == 0.0:
+            del totals[OTHER]
+        return totals
+
+    @property
+    def truncated_spans(self) -> int:
+        """Spans aggregated but not recorded (``max_spans`` exceeded)."""
+        return self._truncated
+
+    def assert_closed(self) -> None:
+        """Raise if any span is still open (engine bookkeeping bug)."""
+        if self._stack:
+            names = " > ".join(frame[0] for frame in self._stack)
+            raise AssertionError(f"unclosed spans at end of run: {names}")
+
+
+class NullTracer:
+    """No-op tracer: the disabled end of the observability layer."""
+
+    enabled = False
+    record = False
+    spans: list[SpanRecord] = []
+    totals: dict[str, float] = {}
+    counts: dict[str, int] = {}
+    truncated_spans = 0
+
+    _NULL_CONTEXT = None  # set after class creation
+
+    def span(
+        self,
+        name: str,
+        category: str | None = None,
+        attrs: dict[str, Any] | None = None,
+    ):
+        return self._NULL_CONTEXT
+
+    def open(
+        self,
+        name: str,
+        category: str | None = None,
+        attrs: dict[str, Any] | None = None,
+    ) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+    def phase_totals(self, drop_empty_other: bool = True) -> dict[str, float]:
+        return {}
+
+    def assert_closed(self) -> None:
+        pass
+
+
+class _NullContext:
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+NullTracer._NULL_CONTEXT = _NullContext()
+
+#: shared no-op tracer instance
+NULL_TRACER = NullTracer()

@@ -29,14 +29,23 @@ hierarchies seamlessly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Literal
 
 from repro.dbsp.cluster import cluster_size, log2_exact
 from repro.dbsp.program import Message, ProcView, Program, Superstep
 from repro.functions import AccessFunction, CostTable
+from repro.obs.counters import NULL_COUNTERS, Counters
+from repro.obs.trace import NULL_TRACER, SpanRecord, Tracer
 from repro.sim.hmm_sim import HMMSimulator
 
-__all__ = ["BrentSimulator", "BrentSimResult", "RunRecord"]
+__all__ = ["BrentSimulator", "BrentSimResult", "RunRecord", "BRENT_PHASES"]
+
+#: phase categories of the Theorem 10 scheme: ``compute`` (cycling guest
+#: contexts through the host HMMs + body execution), ``communication``
+#: (the host (h v/v')-relations), ``filing`` (the extra log v'-superstep
+#: filing received messages), ``fine`` (whole fine runs, simulated by the
+#: embedded Section 3 scheme)
+BRENT_PHASES = ("compute", "communication", "filing", "fine")
 
 
 @dataclass(frozen=True)
@@ -57,6 +66,13 @@ class BrentSimResult:
     time: float
     v_host: int
     runs: list[RunRecord] = field(default_factory=list)
+    #: per-phase charged time (view over the span trace); empty when
+    #: observability is off
+    breakdown: dict[str, float] = field(default_factory=dict)
+    #: event counters, including those of the embedded HMM simulations
+    counters: dict[str, int | float] = field(default_factory=dict)
+    #: recorded spans (``trace="full"`` only)
+    spans: list[SpanRecord] = field(default_factory=list)
 
     def slowdown(self, guest_time: float) -> float:
         return self.time / guest_time if guest_time > 0 else float("inf")
@@ -95,11 +111,20 @@ class _GlobalizedView:
 class BrentSimulator:
     """Theorem 10's self-simulation engine."""
 
-    def __init__(self, g: AccessFunction, v_host: int, c2: float = 0.5):
+    def __init__(
+        self,
+        g: AccessFunction,
+        v_host: int,
+        c2: float = 0.5,
+        trace: Literal["off", "phases", "full"] = "phases",
+    ):
         self.g = g
         self.v_host = v_host
         self.c2 = c2
         self.log_v_host = log2_exact(v_host)
+        if trace not in ("off", "phases", "full"):
+            raise ValueError(f"unknown trace level {trace!r}")
+        self.trace = trace
 
     def simulate(self, program: Program) -> BrentSimResult:
         """Simulate ``program`` on ``D-BSP(v', mu v/v', g)``; charge host time."""
@@ -111,16 +136,37 @@ class BrentSimulator:
             from repro.dbsp.machine import DBSPMachine
 
             run = DBSPMachine(self.g).run(program.with_global_sync())
-            return BrentSimResult(run.contexts, run.total_time, v_host)
+            breakdown: dict[str, float] = {}
+            if self.trace != "off":
+                breakdown = dict.fromkeys(BRENT_PHASES, 0.0)
+                breakdown.update(run.breakdown)
+            return BrentSimResult(
+                run.contexts,
+                run.total_time,
+                v_host,
+                breakdown=breakdown,
+                counters=dict(run.counters) if self.trace != "off" else {},
+            )
 
         normalized = program.with_global_sync()
         state = _BrentRun(self, normalized)
         state.execute()
+        state.tracer.assert_closed()
+        if self.trace == "off":
+            breakdown = {}
+            counters: dict[str, int | float] = {}
+        else:
+            breakdown = dict.fromkeys(BRENT_PHASES, 0.0)
+            breakdown.update(state.tracer.phase_totals())
+            counters = state.counters.snapshot()
         return BrentSimResult(
             contexts=state.contexts,
             time=state.time,
             v_host=v_host,
             runs=state.records,
+            breakdown=breakdown,
+            counters=counters,
+            spans=state.tracer.spans,
         )
 
 
@@ -142,6 +188,14 @@ class _BrentRun:
         self.records: list[RunRecord] = []
         #: pid offset of the host processor currently simulated (fine runs)
         self.current_offset = 0
+        if sim.trace == "off":
+            self.counters = NULL_COUNTERS
+            self.tracer = NULL_TRACER
+        else:
+            self.counters = Counters()
+            self.tracer = Tracer(
+                clock=lambda: self.time, record=(sim.trace == "full")
+            )
 
     # ------------------------------------------------------------- helpers
     def _host_of(self, pid: int) -> int:
@@ -166,9 +220,25 @@ class _BrentRun:
             before = self.time
             if coarse:
                 for s in range(pos, end):
+                    self.tracer.open(
+                        "coarse-superstep",
+                        None,
+                        {"superstep": s, "label": steps[s].label}
+                        if self.tracer.record
+                        else None,
+                    )
                     self._coarse_superstep(steps[s])
+                    self.tracer.close()
             else:
+                self.tracer.open(
+                    "fine-run",
+                    "fine",
+                    {"first_step": pos, "n_steps": end - pos}
+                    if self.tracer.record
+                    else None,
+                )
                 self._fine_run(steps[pos:end])
+                self.tracer.close()
             self.records.append(
                 RunRecord(
                     kind="coarse" if coarse else "fine",
@@ -216,17 +286,27 @@ class _BrentRun:
         # within host i-clusters; message cost g(mu_host * v'/2^i) = g(mu v/2^i)
         h_host = max(max(sent_counts), max(recv_counts), 0)
         comm = h_host * self.sim.g(self.mu_host * cluster_size(self.v_host, step.label))
-        self.time += max(local_times) + comm
+        self.tracer.open("compute", "compute")
+        self.time += max(local_times)
+        self.tracer.close()
+        self.tracer.open("communication", "communication")
+        self.time += comm
+        self.tracer.close()
 
         # host (log v')-superstep: file received messages into the guests'
         # incoming buffers (an access into the destination block)
+        self.tracer.open("filing", "filing")
         filing = [0.0] * self.v_host
+        n_delivered = 0
         for host in range(self.v_host):
+            n_delivered += len(deliveries[host])
             for dest, msg in deliveries[host]:
                 lo, _hi = self._block_range(dest)
                 filing[host] += self.table.access(lo)
                 self.pending[dest].append(msg)
         self.time += max(filing) + 1.0
+        self.tracer.close()
+        self.counters.add("messages", n_delivered)
 
     # --------------------------------------------------------- fine runs
     def _fine_run(self, steps: list[Superstep]) -> None:
@@ -240,7 +320,12 @@ class _BrentRun:
             )
             for s in steps
         ]
-        hmm = HMMSimulator(self.sim.g, c2=self.sim.c2, check_invariants="off")
+        hmm = HMMSimulator(
+            self.sim.g,
+            c2=self.sim.c2,
+            check_invariants="off",
+            trace="off" if self.sim.trace == "off" else "phases",
+        )
         host_times: list[float] = []
         for host in range(self.v_host):
             offset = host * g_per_host
@@ -263,6 +348,7 @@ class _BrentRun:
                 initial_pending=local_pending,
             )
             host_times.append(result.time)
+            self.counters.merge(result.counters)
             # contexts are shared dict objects: mutations already visible
             for k in range(g_per_host):
                 self.pending[offset + k] = [

@@ -40,9 +40,14 @@ from repro.bt.sorting import bt_merge_sort
 from repro.dbsp.cluster import cluster_of, cluster_size
 from repro.dbsp.program import Message, ProcView, Program
 from repro.functions import AccessFunction
+from repro.obs.counters import NULL_COUNTERS, Counters
+from repro.obs.trace import NULL_TRACER, SpanRecord, Tracer
 from repro.sim.smoothing import SmoothedProgram, build_label_set_bt, smooth_program
 
-__all__ = ["BTSimulator", "BTSimResult", "LayoutSnapshot"]
+__all__ = ["BTSimulator", "BTSimResult", "LayoutSnapshot", "BT_PHASES"]
+
+#: phase categories of the Fig. 5 scheme (the breakdown key set)
+BT_PHASES = ("pack_unpack", "compute", "delivery", "swaps", "dummies")
 
 
 @dataclass(frozen=True)
@@ -71,8 +76,14 @@ class BTSimResult:
     #: charged time attributed to each phase: ``pack_unpack`` (Fig. 4
     #: buffer management), ``compute`` (Fig. 6 chunked local execution,
     #: including the guest's local time), ``delivery`` (Fig. 7 sort +
-    #: ALIGN + space dance), ``swaps`` (step 4 cluster swaps), ``dummies``
+    #: ALIGN + space dance), ``swaps`` (step 4 cluster swaps), ``dummies``.
+    #: A view over the span trace: per-category self-cost totals.
     breakdown: dict[str, float] = field(default_factory=dict)
+    #: event counters (block transfers, words moved, messages, ...) —
+    #: empty when observability is off
+    counters: dict[str, int | float] = field(default_factory=dict)
+    #: recorded spans (``trace="full"`` only)
+    spans: list[SpanRecord] = field(default_factory=list)
 
     def slowdown(self, dbsp_time: float) -> float:
         return self.time / dbsp_time if dbsp_time > 0 else float("inf")
@@ -110,6 +121,7 @@ class BTSimulator:
         check_invariants: bool = True,
         record_layout: bool = False,
         max_layout_snapshots: int = 512,
+        trace: Literal["off", "phases", "full"] = "phases",
     ):
         self.f = f
         self.sort = sort
@@ -118,6 +130,9 @@ class BTSimulator:
         self.check_invariants = check_invariants
         self.record_layout = record_layout
         self.max_layout_snapshots = max_layout_snapshots
+        if trace not in ("off", "phases", "full"):
+            raise ValueError(f"unknown trace level {trace!r}")
+        self.trace = trace
 
     def simulate(
         self, program: Program, label_set: list[int] | None = None
@@ -127,6 +142,15 @@ class BTSimulator:
         smoothed = smooth_program(program, label_set)
         run = _BTSimRun(self, smoothed)
         run.execute()
+        run.tracer.assert_closed()
+        if self.trace == "off":
+            breakdown: dict[str, float] = {}
+            counters: dict[str, int | float] = {}
+        else:
+            breakdown = dict.fromkeys(BT_PHASES, 0.0)
+            breakdown.update(run.tracer.phase_totals())
+            run.counters.add("rounds", run.round_index)
+            counters = run.counters.snapshot()
         return BTSimResult(
             contexts=run.contexts,
             time=run.machine.time,
@@ -135,7 +159,9 @@ class BTSimulator:
             f=self.f,
             block_transfers=run.machine.block_transfers,
             layout_trace=run.layout_trace,
-            breakdown=dict(run.breakdown),
+            breakdown=breakdown,
+            counters=counters,
+            spans=run.tracer.spans,
         )
 
 
@@ -155,7 +181,20 @@ class _BTSimRun:
         self.mu = program.mu
         self.steps = program.supersteps
         self.n_slots = self.SLOT_FACTOR * self.v
-        self.machine = BTMachine(sim.f, self.n_slots * self.mu, op_cost=0.0)
+        if sim.trace == "off":
+            self.counters = NULL_COUNTERS
+        else:
+            self.counters = Counters()
+        self.machine = BTMachine(
+            sim.f, self.n_slots * self.mu, op_cost=0.0, counters=self.counters
+        )
+        if sim.trace == "off":
+            self.tracer = NULL_TRACER
+        else:
+            machine = self.machine
+            self.tracer = Tracer(
+                clock=lambda: machine.time, record=(sim.trace == "full")
+            )
         #: slots[k]: pid whose context occupies block k, or None if empty
         self.slots: list[int | None] = list(range(self.v)) + [None] * (
             self.n_slots - self.v
@@ -166,10 +205,6 @@ class _BTSimRun:
         self.next_step = [0] * self.v
         self.round_index = 0
         self.layout_trace: list[LayoutSnapshot] = []
-        self.breakdown: dict[str, float] = {
-            "pack_unpack": 0.0, "compute": 0.0, "delivery": 0.0,
-            "swaps": 0.0, "dummies": 0.0,
-        }
         self._snapshot("initial")
 
     # ------------------------------------------------------------- helpers
@@ -195,6 +230,8 @@ class _BTSimRun:
             self._word(src), self._word(dst), n_blocks * self.mu
         )
         machine.block_transfers += 1
+        self.counters.add("block_transfers")
+        self.counters.add("words_moved", n_blocks * self.mu)
         for k in range(n_blocks):
             pid = self.slots[src + k]
             if self.slots[dst + k] is not None:
@@ -246,27 +283,28 @@ class _BTSimRun:
     # ------------------------------------------------------ PACK / UNPACK
     def unpack(self, i: int) -> None:
         """Fig. 4: intersperse buffers through the topmost i-cluster."""
-        before = self.machine.time
+        self.tracer.open("UNPACK", "pack_unpack")
         log_v = self.program.log_v
         level = i
         while level < log_v:
             n = cluster_size(self.v, level)
             self._charged_block_move(n // 2, n, n // 2)
             level += 1
-        self.breakdown["pack_unpack"] += self.machine.time - before
+        self.tracer.close()
 
     def pack(self, i: int) -> None:
         """Reverse of :meth:`unpack`: compact the topmost i-cluster."""
-        before = self.machine.time
+        self.tracer.open("PACK", "pack_unpack")
         log_v = self.program.log_v
         for level in range(log_v - 1, i - 1, -1):
             n = cluster_size(self.v, level)
             self._charged_block_move(n, n // 2, n // 2)
-        self.breakdown["pack_unpack"] += self.machine.time - before
+        self.tracer.close()
 
     # --------------------------------------------------------------- main
     def execute(self) -> None:
         n_steps = len(self.steps)
+        tracer = self.tracer
         self.unpack(0)  # step 0 of Fig. 5
         self._snapshot("unpack(0)")
         while True:
@@ -280,6 +318,13 @@ class _BTSimRun:
             first_pid = cluster_of(top_pid, self.v, label) * csize
 
             self.round_index += 1
+            tracer.open(
+                "round",
+                None,
+                {"superstep": s, "label": label, "cluster": first_pid // csize}
+                if tracer.record
+                else None,
+            )
             self.pack(label)  # step 1.a
             if self.sim.check_invariants:
                 self._check_invariants(s, first_pid, csize)
@@ -287,36 +332,41 @@ class _BTSimRun:
             self._simulate_superstep(s, first_pid, csize)  # step 2
 
             if self.next_step[self.slots[0]] >= n_steps:  # step 3
+                tracer.close()
                 break
             if s + 1 < n_steps:
                 next_label = self.steps[s + 1].label
                 if next_label < label:  # step 4
                     self._cycle_swaps(label, next_label, first_pid, csize)
             self.unpack(label)  # step 5: UNPACK(is)
+            tracer.close()
             self._snapshot(f"round {self.round_index} end")
 
     # ---------------------------------------------------- step 2 (Fig. 7)
     def _simulate_superstep(self, s: int, first_pid: int, csize: int) -> None:
         step = self.steps[s]
         machine = self.machine
-        mu = self.mu
+        tracer = self.tracer
 
         if step.is_dummy:
+            tracer.open("dummy", "dummies")
             machine.charge(float(csize))
-            self.breakdown["dummies"] += float(csize)
+            tracer.close()
+            self.counters.add("dummy_supersteps")
             for k in range(csize):
                 self.next_step[self.slots[k]] += 1
             return
 
         outgoing: list[tuple[int, Message]] = []
-        before = machine.time
+        tracer.open("COMPUTE", "compute")
         self._compute(csize, s, outgoing)
-        self.breakdown["compute"] += machine.time - before
+        tracer.close()
         for k in range(csize):
             self.next_step[self.slots[k]] += 1
-        before = machine.time
+        tracer.open("DELIVER", "delivery")
         self._deliver_messages(csize, outgoing)
-        self.breakdown["delivery"] += machine.time - before
+        tracer.close()
+        self.counters.add("messages", len(outgoing))
 
     # ------------------------------------------------------------- Fig. 6
     def _chunk_size(self, n: int) -> int:
@@ -401,6 +451,7 @@ class _BTSimRun:
     def _deliver_messages(self, csize: int, outgoing: list) -> None:
         """Sort-based delivery of the superstep's messages (Fig. 7)."""
         machine = self.machine
+        tracer = self.tracer
         mu = self.mu
         m = mu * csize  # elements to sort (constant-size context pieces)
         words_avail = (self.n_slots - csize) * mu
@@ -410,22 +461,29 @@ class _BTSimRun:
         # the cluster out of the way, opening an L(is)-word gap for sorting.
         # All of it is O(L(is)) block-transfer work, dominated by the sort.
         if space > csize * mu:
+            tracer.open("space-dance")
             machine.time += 4.0 * space
+            tracer.close()
 
         if self.sim.sort == "ams":
             # Approx-Median-Sort bound of [2]: O(m log m) for f = O(x^alpha)
+            tracer.open("sort")
             machine.charge(m * math.log2(max(m, 2)))
+            tracer.close()
         elif self.sim.sort == "transpose":
             # Section 6: the superstep routes a known rational permutation,
             # delivered by [2]'s routine at Theta(m f*(m)); no ALIGN needed
             # since regular routing leaves context sizes unchanged
+            tracer.open("transpose-route")
             machine.charge(float(m) * self.sim.f.star(m))
+            tracer.close()
             for dest, msg in outgoing:
                 self.pending[dest].append(msg)
             return
         else:
             # operational delivery sort: order the cluster's elements by
             # destination tag with the chunked BT merge sort
+            tracer.open("sort")
             base = csize * mu
             tags = [
                 (self.pid_to_slot[dest], k)
@@ -434,9 +492,12 @@ class _BTSimRun:
             tags.extend((k // mu, mu + k % mu) for k in range(m - len(tags)))
             machine.mem[base : base + m] = tags
             bt_merge_sort(machine, base, m)
+            tracer.close()
 
         # ALIGN(|C|): restore one context per block
+        tracer.open("ALIGN")
         machine.time += self._align_cost(csize)
+        tracer.close()
 
         # semantics: file every message into its destination's buffer
         for dest, msg in outgoing:
@@ -472,18 +533,20 @@ class _BTSimRun:
         parent_first = cluster_of(first_pid, self.v, next_label) * parent_size
         j = (first_pid - parent_first) // csize
 
-        before = self.machine.time
+        self.tracer.open("cycle-swaps", "swaps")
         if j > 0:
             c0_first = parent_first  # pids of C0
             c0_slot = self.pid_to_slot[c0_first]
             self._check_parked(c0_first, c0_slot, csize)
             self._swap_blocks_via_scratch(0, c0_slot, csize)
+            self.counters.add("context_swaps", 2 * csize)
         if j < b - 1:
             nxt_first = parent_first + (j + 1) * csize
             nxt_slot = self.pid_to_slot[nxt_first]
             self._check_parked(nxt_first, nxt_slot, csize)
             self._swap_blocks_via_scratch(0, nxt_slot, csize)
-        self.breakdown["swaps"] += self.machine.time - before
+            self.counters.add("context_swaps", 2 * csize)
+        self.tracer.close()
 
     def _check_parked(self, first_pid: int, slot: int, csize: int) -> None:
         if not self.sim.check_invariants:

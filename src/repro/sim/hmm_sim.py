@@ -34,9 +34,14 @@ from repro.dbsp.cluster import cluster_of, cluster_size
 from repro.dbsp.program import Message, ProcView, Program
 from repro.functions import AccessFunction
 from repro.hmm.machine import HMMMachine
+from repro.obs.counters import NULL_COUNTERS, Counters
+from repro.obs.trace import NULL_TRACER, SpanRecord, Tracer
 from repro.sim.smoothing import SmoothedProgram, build_label_set_hmm, smooth_program
 
-__all__ = ["HMMSimulator", "HMMSimResult", "RoundSnapshot"]
+__all__ = ["HMMSimulator", "HMMSimResult", "RoundSnapshot", "HMM_PHASES"]
+
+#: phase categories of the Fig. 1 scheme (the breakdown key set)
+HMM_PHASES = ("local", "cycling", "delivery", "swaps", "dummies")
 
 
 @dataclass(frozen=True)
@@ -68,8 +73,14 @@ class HMMSimResult:
     #: charged time attributed to each phase of the scheme:
     #: ``local`` (guest computation), ``cycling`` (contexts to/from the
     #: top inside Step 2), ``delivery`` (message exchange), ``swaps``
-    #: (Step 4 cluster swaps), ``dummies`` (smoothing overhead)
+    #: (Step 4 cluster swaps), ``dummies`` (smoothing overhead).
+    #: A view over the span trace: per-category self-cost totals.
     breakdown: dict[str, float] = field(default_factory=dict)
+    #: event counters (words touched/moved, messages, context swaps,
+    #: rounds, ...) — empty when observability is off
+    counters: dict[str, int | float] = field(default_factory=dict)
+    #: recorded spans (``trace="full"`` only)
+    spans: list[SpanRecord] = field(default_factory=list)
 
     def slowdown(self, dbsp_time: float) -> float:
         """Measured slowdown w.r.t. the guest D-BSP running time."""
@@ -92,6 +103,13 @@ class HMMSimulator:
         ``"off"`` disables checking.
     record_trace:
         Capture a :class:`RoundSnapshot` per round (Figure 2 data).
+    trace:
+        Observability level (:mod:`repro.obs`): ``"phases"`` (default)
+        aggregates per-phase cost totals and event counters — this is
+        what fills ``breakdown``/``counters`` on the result; ``"full"``
+        additionally records every span for export/profiling; ``"off"``
+        disables the layer entirely (no-op hooks; ``breakdown`` and
+        ``counters`` come back empty).
     """
 
     def __init__(
@@ -101,12 +119,16 @@ class HMMSimulator:
         check_invariants: Literal["top", "full", "off"] = "top",
         record_trace: bool = False,
         max_trace_rounds: int = 4096,
+        trace: Literal["off", "phases", "full"] = "phases",
     ):
         self.f = f
         self.c2 = c2
         self.check_invariants = check_invariants
         self.record_trace = record_trace
         self.max_trace_rounds = max_trace_rounds
+        if trace not in ("off", "phases", "full"):
+            raise ValueError(f"unknown trace level {trace!r}")
+        self.trace = trace
 
     # ------------------------------------------------------------ frontend
     def simulate(
@@ -129,6 +151,15 @@ class HMMSimulator:
         smoothed = smooth_program(program, label_set)
         run = _HMMSimRun(self, smoothed, initial_contexts, initial_pending)
         run.execute()
+        run.tracer.assert_closed()
+        if self.trace == "off":
+            breakdown: dict[str, float] = {}
+            counters: dict[str, int | float] = {}
+        else:
+            breakdown = dict.fromkeys(HMM_PHASES, 0.0)
+            breakdown.update(run.tracer.phase_totals())
+            run.counters.add("rounds", run.round_index)
+            counters = run.counters.snapshot()
         return HMMSimResult(
             contexts=run.contexts,
             time=run.machine.time,
@@ -137,7 +168,9 @@ class HMMSimulator:
             f=self.f,
             trace=run.trace,
             pending=run.pending,
-            breakdown=dict(run.breakdown),
+            breakdown=breakdown,
+            counters=counters,
+            spans=run.tracer.spans,
         )
 
 
@@ -158,7 +191,20 @@ class _HMMSimRun:
         self.v = program.v
         self.mu = program.mu
         self.steps = program.supersteps
-        self.machine = HMMMachine(sim.f, self.v * self.mu, op_cost=0.0)
+        if sim.trace == "off":
+            self.counters = NULL_COUNTERS
+        else:
+            self.counters = Counters()
+        self.machine = HMMMachine(
+            sim.f, self.v * self.mu, op_cost=0.0, counters=self.counters
+        )
+        if sim.trace == "off":
+            self.tracer = NULL_TRACER
+        else:
+            machine = self.machine
+            self.tracer = Tracer(
+                clock=lambda: machine.time, record=(sim.trace == "full")
+            )
         # block layout: slot k holds the context of slot_to_pid[k]
         self.slot_to_pid = list(range(self.v))
         self.pid_to_slot = list(range(self.v))
@@ -175,10 +221,6 @@ class _HMMSimRun:
         self.next_step = [0] * self.v
         self.round_index = 0
         self.trace: list[RoundSnapshot] = []
-        self.breakdown: dict[str, float] = {
-            "local": 0.0, "cycling": 0.0, "delivery": 0.0,
-            "swaps": 0.0, "dummies": 0.0,
-        }
 
     # ------------------------------------------------------------- helpers
     def _word(self, slot: int, offset: int = 0) -> int:
@@ -189,11 +231,12 @@ class _HMMSimRun:
 
     def _swap_slot_ranges(self, a: int, b: int, length: int) -> None:
         """Swap the contents of block slots [a, a+length) and [b, b+length)."""
-        before = self.machine.time
+        self.tracer.open("swap", "swaps")
         self.machine.swap_ranges(
             self._word(a), self._word(b), length * self.mu
         )
-        self.breakdown["swaps"] += self.machine.time - before
+        self.tracer.close()
+        self.counters.add("context_swaps", 2 * length)
         for k in range(length):
             pa, pb = self.slot_to_pid[a + k], self.slot_to_pid[b + k]
             self.slot_to_pid[a + k], self.slot_to_pid[b + k] = pb, pa
@@ -202,6 +245,7 @@ class _HMMSimRun:
     # --------------------------------------------------------------- main
     def execute(self) -> None:
         n_steps = len(self.steps)
+        tracer = self.tracer
         while True:
             top_pid = self.slot_to_pid[0]
             s = self.next_step[top_pid]
@@ -224,27 +268,39 @@ class _HMMSimRun:
                     )
                 )
             self.round_index += 1
+            tracer.open(
+                "round",
+                None,
+                {"superstep": s, "label": label, "cluster": first_pid // csize}
+                if tracer.record
+                else None,
+            )
 
             self._simulate_superstep(s, first_pid, csize)
 
-            if self.next_step[self.slot_to_pid[0]] >= n_steps:
-                break
-            if s + 1 < n_steps:
+            done = self.next_step[self.slot_to_pid[0]] >= n_steps
+            if not done and s + 1 < n_steps:
                 next_label = self.steps[s + 1].label
                 if next_label < label:
                     self._cycle_swaps(label, next_label, first_pid, csize)
+            tracer.close()
+            if done:
+                break
 
     # ------------------------------------------------- step 2 of the round
     def _simulate_superstep(self, s: int, first_pid: int, csize: int) -> None:
         """Simulate superstep ``s`` for the cluster on top of memory."""
         step = self.steps[s]
         machine = self.machine
+        tracer = self.tracer
         mu = self.mu
 
         if step.is_dummy:
             # no computation, no communication: only the unit sync charge
+            tracer.open("dummy", "dummies")
             machine.charge(float(csize))
-            self.breakdown["dummies"] += float(csize)
+            tracer.close()
+            self.counters.add("dummy_supersteps")
             for k in range(csize):
                 self.next_step[self.slot_to_pid[k]] += 1
             return
@@ -256,33 +312,35 @@ class _HMMSimRun:
             # bring the context to the top of memory and back: the paper
             # charges a constant number of accesses to blocks k and 0
             if k > 0:
-                before = machine.time
+                tracer.open("cycle-context", "cycling")
                 lo, hi = self._block_range(k)
                 machine.touch_range(lo, hi)
                 machine.touch_range(lo, hi)
                 machine.touch_range(top_lo, top_hi)
                 machine.touch_range(top_lo, top_hi)
-                self.breakdown["cycling"] += machine.time - before
+                tracer.close()
             inbox = sorted(self.pending[pid])
             self.pending[pid] = []
             view = ProcView(pid, self.v, mu, step.label, self.contexts[pid], inbox)
             step.body(view)
+            tracer.open("local", "local")
             machine.charge(view.local_time)
-            self.breakdown["local"] += view.local_time
+            tracer.close()
             outgoing.extend(view.outbox)
             self.next_step[pid] += 1
 
         # message exchange: scan outgoing buffers and deliver each message
         # to the destination's incoming buffer; both endpoints live in the
         # topmost |C| blocks, located via the sorted-by-pid invariant
-        before = machine.time
+        tracer.open("delivery", "delivery")
         for dest, msg in outgoing:
             src_slot = self.pid_to_slot[msg.src]
             dst_slot = self.pid_to_slot[dest]
             machine.touch_range(self._word(src_slot), self._word(src_slot) + 1)
             machine.touch_range(self._word(dst_slot), self._word(dst_slot) + 1)
             self.pending[dest].append(msg)
-        self.breakdown["delivery"] += machine.time - before
+        tracer.close()
+        self.counters.add("messages", len(outgoing))
 
     # ------------------------------------------------- step 4 of the round
     def _cycle_swaps(
@@ -294,12 +352,14 @@ class _HMMSimRun:
         parent_first = cluster_of(first_pid, self.v, next_label) * parent_size
         j = (first_pid - parent_first) // csize
 
+        self.tracer.open("cycle-swaps", "swaps")
         if j > 0:
             # C (on top) <-> C0 (parked at C's home, slot range j)
             self._swap_slot_ranges(0, j * csize, csize)
         if j < b - 1:
             # C0 (now on top) <-> C_{j+1} (at its home, slot range j+1)
             self._swap_slot_ranges(0, (j + 1) * csize, csize)
+        self.tracer.close()
 
     # ---------------------------------------------------------- invariants
     def _check_invariants(

@@ -56,7 +56,7 @@ def build_label_set_hmm(
     """
     if not 0.0 < c2 < 1.0:
         raise ValueError(f"c2 must lie in (0, 1), got {c2}")
-    return _greedy_label_set(lambda l: f(mu * (v >> l)), v, c2)
+    return _greedy_label_set(lambda lab: f(mu * (v >> lab)), v, c2)
 
 
 def build_label_set_bt(
@@ -78,7 +78,7 @@ def build_label_set_bt(
     if d1 <= 1.0:
         raise ValueError(f"d1 must exceed 1, got {d1}")
     return _greedy_label_set(
-        lambda l: math.log2(d1 * mu * (v >> l)), v, c2
+        lambda lab: math.log2(d1 * mu * (v >> lab)), v, c2
     )
 
 
@@ -90,9 +90,9 @@ def _greedy_label_set(phi, v: int, c2: float) -> list[int]:
     while labels[-1] < log_v:
         prev = phi(labels[-1])
         nxt = None
-        for l in range(labels[-1] + 1, log_v + 1):
-            if phi(l) <= c2 * prev:
-                nxt = l
+        for lab in range(labels[-1] + 1, log_v + 1):
+            if phi(lab) <= c2 * prev:
+                nxt = lab
                 break
         if nxt is None:
             break
@@ -104,8 +104,8 @@ def _greedy_label_set(phi, v: int, c2: float) -> list[int]:
 
 def is_l_smooth(labels: list[int], label_set: list[int]) -> bool:
     """Check Definition 3 for a sequence of superstep labels."""
-    index = {l: k for k, l in enumerate(label_set)}
-    if any(l not in index for l in labels):
+    index = {lab: k for k, lab in enumerate(label_set)}
+    if any(lab not in index for lab in labels):
         return False
     for prev, cur in zip(labels, labels[1:]):
         if cur < prev and index[cur] != index[prev] - 1:

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import PROGRAMS, build_parser, main, parse_access_function
@@ -34,6 +36,14 @@ class TestParseAccessFunction:
         for spec in ("x^2", "x^", "bogus"):
             with pytest.raises(argparse.ArgumentTypeError):
                 parse_access_function(spec)
+
+    def test_degenerate_exponents_get_actionable_messages(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError, match="'const'"):
+            parse_access_function("x^0")
+        with pytest.raises(argparse.ArgumentTypeError, match="'linear'"):
+            parse_access_function("x^1")
 
 
 class TestCommands:
@@ -79,6 +89,103 @@ class TestCommands:
         assert main(["run", "sort", "--v", "16", "--engine", "brent",
                      "--v-host", "2"]) == 0
         assert "v'=2" in capsys.readouterr().out
+
+
+class TestJSONOutput:
+    def test_run_json_schema(self, capsys):
+        assert main(["run", "reduce", "--v", "8", "--engine", "hmm",
+                     "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert set(doc) == {"program", "v", "mu", "f", "supersteps",
+                            "direct", "engines"}
+        assert doc["v"] == 8 and doc["f"] == "x^0.5"
+        hmm = doc["engines"]["hmm"]
+        assert set(hmm) == {"engine", "time", "slowdown", "baseline_time",
+                            "breakdown", "counters", "meta"}
+        assert hmm["baseline_time"] == doc["direct"]["time"]
+        assert hmm["slowdown"] == pytest.approx(
+            hmm["time"] / doc["direct"]["time"]
+        )
+
+    def test_touch_json_schema(self, capsys):
+        assert main(["touch", "--n", "1024", "--f", "log", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert set(doc) == {"n", "f", "hmm", "bt", "bt_advantage"}
+        assert doc["hmm"]["cost"] > doc["bt"]["cost"] > 0
+        assert doc["bt_advantage"] == pytest.approx(
+            doc["hmm"]["cost"] / doc["bt"]["cost"]
+        )
+
+
+class TestProfile:
+    def test_profile_text(self, capsys):
+        assert main(["profile", "reduce", "--v", "8", "--engine", "bt"]) == 0
+        out = capsys.readouterr().out
+        assert "total charged time" in out
+        assert "phase breakdown:" in out and "delivery" in out
+        assert "counters:" in out and "block_transfers" in out
+
+    @pytest.mark.parametrize("engine", ["direct", "hmm", "bt", "brent"])
+    def test_profile_every_engine(self, capsys, engine):
+        assert main(["profile", "reduce", "--v", "8",
+                     "--engine", engine]) == 0
+        assert "total charged time" in capsys.readouterr().out
+
+    def test_profile_json_trace_reproduces_total_time(self, capsys):
+        """Acceptance: the exported trace partitions the charged time."""
+        assert main(["profile", "sort", "--v", "64", "--f", "x^0.5",
+                     "--engine", "bt", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["engine"] == "bt" and doc["trace"]
+        total = doc["time"]
+        assert sum(doc["breakdown"].values()) == pytest.approx(
+            total, rel=1e-12
+        )
+        assert sum(s["self_cost"] for s in doc["trace"]) == pytest.approx(
+            total, rel=1e-12
+        )
+        roots = [s for s in doc["trace"] if s["parent"] == -1]
+        assert sum(s["cost"] for s in roots) == pytest.approx(
+            total, rel=1e-12
+        )
+
+    def test_profile_jsonl_export(self, capsys, tmp_path):
+        from repro.obs import spans_from_jsonl
+
+        path = tmp_path / "trace.jsonl"
+        assert main(["profile", "broadcast", "--v", "8", "--engine", "hmm",
+                     "--jsonl", str(path)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        spans = spans_from_jsonl(path.read_text())
+        assert spans and spans[0].depth == 0
+
+    def test_profile_json_with_jsonl_omits_inline_trace(self, capsys,
+                                                        tmp_path):
+        path = tmp_path / "trace.jsonl"
+        assert main(["profile", "broadcast", "--v", "8", "--engine", "hmm",
+                     "--jsonl", str(path), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert "trace" not in doc
+        assert path.exists()
+
+
+class TestSlowdownGuard:
+    def test_zero_direct_time_prints_na(self, capsys, monkeypatch):
+        from repro.cli import ENGINES
+        from repro.engines import EngineResult
+
+        class ZeroDirect:
+            name = "direct"
+            description = "zero-time stand-in"
+
+            def run(self, program, f, trace="phases", **opts):
+                return EngineResult(engine="direct", time=0.0, contexts=[])
+
+        monkeypatch.setitem(ENGINES, "direct", ZeroDirect())
+        assert main(["run", "reduce", "--v", "8", "--engine", "hmm"]) == 0
+        out = capsys.readouterr().out
+        assert "n/a" in out
+        assert "slowdown =        0.0" not in out
 
 
 class TestCLIErrors:

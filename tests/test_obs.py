@@ -1,0 +1,223 @@
+"""The observability layer: tracer, counters, exporters (repro.obs)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.counters import NULL_COUNTERS, Counters, NullCounters
+from repro.obs.export import (
+    render_breakdown,
+    render_profile,
+    spans_from_jsonl,
+    spans_to_jsonl,
+)
+from repro.obs.trace import NULL_TRACER, OTHER, NullTracer, SpanRecord, Tracer
+
+
+class ManualClock:
+    """A hand-cranked charged-cost clock for deterministic span tests."""
+
+    def __init__(self) -> None:
+        self.time = 0.0
+
+    def __call__(self) -> float:
+        return self.time
+
+    def advance(self, amount: float) -> None:
+        self.time += amount
+
+
+class TestTracer:
+    def test_flat_span_costs(self):
+        clock = ManualClock()
+        tracer = Tracer(clock)
+        tracer.open("a", "compute")
+        clock.advance(5.0)
+        tracer.close()
+        tracer.open("b", "delivery")
+        clock.advance(3.0)
+        tracer.close()
+        assert tracer.phase_totals() == {"compute": 5.0, "delivery": 3.0}
+        assert tracer.counts == {"compute": 1, "delivery": 1}
+
+    def test_nested_self_cost_attribution(self):
+        clock = ManualClock()
+        tracer = Tracer(clock)
+        tracer.open("round", "outer")  # 2 before, 4 inside child, 1 after
+        clock.advance(2.0)
+        tracer.open("inner", "inner")
+        clock.advance(4.0)
+        tracer.close()
+        clock.advance(1.0)
+        tracer.close()
+        # parent self cost excludes the child's 4.0
+        assert tracer.phase_totals() == {"outer": 3.0, "inner": 4.0}
+        assert sum(tracer.phase_totals().values()) == 7.0
+
+    def test_category_inheritance(self):
+        clock = ManualClock()
+        tracer = Tracer(clock)
+        tracer.open("DELIVER", "delivery")
+        tracer.open("sort")  # no category: inherits "delivery"
+        clock.advance(7.0)
+        tracer.close()
+        tracer.close()
+        assert tracer.phase_totals() == {"delivery": 7.0}
+
+    def test_uncategorized_root_goes_to_other(self):
+        clock = ManualClock()
+        tracer = Tracer(clock)
+        tracer.open("mystery")
+        clock.advance(2.0)
+        tracer.close()
+        assert tracer.phase_totals() == {OTHER: 2.0}
+
+    def test_zero_other_is_dropped(self):
+        clock = ManualClock()
+        tracer = Tracer(clock)
+        tracer.open("wrapper")  # zero self cost, no category
+        tracer.open("work", "compute")
+        clock.advance(1.0)
+        tracer.close()
+        tracer.close()
+        assert tracer.phase_totals() == {"compute": 1.0}
+        assert tracer.phase_totals(drop_empty_other=False) == {
+            "compute": 1.0,
+            OTHER: 0.0,
+        }
+
+    def test_record_mode_builds_tree(self):
+        clock = ManualClock()
+        tracer = Tracer(clock, record=True)
+        with tracer.span("round", "outer", attrs={"k": 1}):
+            clock.advance(2.0)
+            with tracer.span("inner", "inner"):
+                clock.advance(4.0)
+        spans = tracer.spans
+        assert [s.name for s in spans] == ["round", "inner"]
+        root, child = spans
+        assert (root.parent, root.depth) == (-1, 0)
+        assert (child.parent, child.depth) == (root.index, 1)
+        assert root.cost == 6.0 and root.self_cost == 2.0
+        assert child.cost == 4.0 and child.self_cost == 4.0
+        assert root.attrs == {"k": 1}
+        assert (root.start, root.end) == (0.0, 6.0)
+
+    def test_max_spans_truncates_recording_not_totals(self):
+        clock = ManualClock()
+        tracer = Tracer(clock, record=True, max_spans=2)
+        for _ in range(5):
+            tracer.open("step", "compute")
+            clock.advance(1.0)
+            tracer.close()
+        assert len(tracer.spans) == 2
+        assert tracer.truncated_spans == 3
+        assert tracer.phase_totals() == {"compute": 5.0}
+
+    def test_assert_closed(self):
+        tracer = Tracer(ManualClock())
+        tracer.open("a", "x")
+        tracer.open("b", "y")
+        with pytest.raises(AssertionError, match="a > b"):
+            tracer.assert_closed()
+        tracer.close()
+        tracer.close()
+        tracer.assert_closed()
+
+    def test_null_tracer_is_inert(self):
+        assert NULL_TRACER.enabled is False
+        NULL_TRACER.open("x", "y")
+        NULL_TRACER.close()
+        with NULL_TRACER.span("z", "w"):
+            pass
+        assert NULL_TRACER.phase_totals() == {}
+        assert NULL_TRACER.spans == []
+        NULL_TRACER.assert_closed()
+        assert isinstance(NULL_TRACER, NullTracer)
+
+
+class TestCounters:
+    def test_add_and_get(self):
+        c = Counters()
+        c.add("ops")
+        c.add("ops", 4)
+        c.add("words_moved", 128)
+        assert c.get("ops") == 5
+        assert c.get("words_moved") == 128
+        assert c.get("missing") == 0 and c.get("missing", -1) == -1
+
+    def test_merge_and_snapshot_sorted(self):
+        a, b = Counters(), Counters()
+        a.add("zeta", 1)
+        a.add("alpha", 2)
+        b.add("zeta", 10)
+        b.add("mid", 5)
+        a.merge(b)
+        a.merge({"alpha": 1})  # plain dicts fold in too
+        assert a.snapshot() == {"alpha": 3, "mid": 5, "zeta": 11}
+        assert list(a.snapshot()) == ["alpha", "mid", "zeta"]
+
+    def test_null_counters_are_inert(self):
+        NULL_COUNTERS.add("ops", 100)
+        assert NULL_COUNTERS.get("ops") == 0
+        assert NULL_COUNTERS.snapshot() == {}
+        assert NULL_COUNTERS.enabled is False
+        assert isinstance(NULL_COUNTERS, NullCounters)
+
+
+def _sample_spans() -> list[SpanRecord]:
+    clock = ManualClock()
+    tracer = Tracer(clock, record=True)
+    for _ in range(2):
+        tracer.open("round", None, {"h": 3})
+        clock.advance(1.0)
+        tracer.open("COMPUTE", "compute")
+        clock.advance(2.0)
+        tracer.close()
+        tracer.open("DELIVER", "delivery")
+        tracer.open("sort")
+        clock.advance(5.0)
+        tracer.close()
+        tracer.close()
+        tracer.close()
+    return tracer.spans
+
+
+class TestExport:
+    def test_jsonl_round_trip(self):
+        spans = _sample_spans()
+        text = spans_to_jsonl(spans)
+        assert len(text.splitlines()) == len(spans)
+        assert spans_from_jsonl(text) == spans
+
+    def test_jsonl_skips_blank_lines(self):
+        spans = _sample_spans()
+        text = "\n\n" + spans_to_jsonl(spans) + "\n\n"
+        assert spans_from_jsonl(text) == spans
+
+    def test_span_json_omits_empty_attrs(self):
+        spans = _sample_spans()
+        assert "attrs" in spans[0].to_json()  # round carries {"h": 3}
+        assert "attrs" not in spans[1].to_json()
+
+    def test_render_profile_aggregates_by_name_path(self):
+        spans = _sample_spans()
+        text = render_profile(spans, total=16.0, title="sample")
+        assert "sample" in text
+        # the two rounds fold into one x2 line; nesting is indented
+        assert "round" in text and "x2" in text
+        assert "  COMPUTE" in text and "    sort" in text
+        assert "total charged time" in text
+        assert "16.0" in text
+
+    def test_render_profile_infers_total_from_roots(self):
+        spans = _sample_spans()
+        text = render_profile(spans)
+        assert "100.0%" in text  # the root line covers the whole run
+
+    def test_render_breakdown(self):
+        text = render_breakdown({"compute": 4.0, "delivery": 12.0}, 16.0)
+        lines = text.splitlines()
+        assert lines[1].startswith("delivery")  # sorted by cost, descending
+        assert "75.0%" in lines[1]
+        assert lines[-1].startswith("total")

@@ -98,7 +98,7 @@ class TestIsLSmooth:
 
 class TestSmoothProgram:
     def noop_program(self, labels, v=16):
-        steps = [Superstep(l, lambda view: None) for l in labels]
+        steps = [Superstep(lab, lambda view: None) for lab in labels]
         return Program(v, 4, steps)
 
     def test_upgrades_to_largest_not_greater(self):
