@@ -14,7 +14,7 @@ from repro.hmm.algorithms import hmm_touching_bound
 from repro.hmm.machine import HMMMachine
 from repro.hmm.touching import hmm_touch_all
 
-SIZES = [1 << k for k in range(8, 19, 2)]
+SIZES = [1 << k for k in range(8, 23, 2)]
 FUNCTIONS = [PolynomialAccess(0.5), LogarithmicAccess()]
 
 

@@ -16,7 +16,7 @@ from repro.functions import LogarithmicAccess, PolynomialAccess
 from repro.hmm.machine import HMMMachine
 from repro.hmm.touching import hmm_touch_all
 
-SIZES = [1 << k for k in range(8, 19, 2)]
+SIZES = [1 << k for k in range(8, 23, 2)]
 FUNCTIONS = [PolynomialAccess(0.5), LogarithmicAccess()]
 
 

@@ -139,12 +139,31 @@ def fft_recursive_program(
 
 
 def _chain(apply_fn, send_fn) -> Callable[[ProcView], None]:
-    def body(view: ProcView) -> None:
-        if apply_fn is not None:
-            apply_fn(view)
-        if send_fn is not None:
+    # specialized per (apply, send) presence: these run once per
+    # (processor, superstep), so the None tests are worth hoisting
+    if apply_fn is None and send_fn is None:
+
+        def body(view: ProcView) -> None:
+            view.charge(1)
+
+    elif apply_fn is None:
+
+        def body(view: ProcView) -> None:
             send_fn(view)
-        view.charge(1)
+            view.charge(1)
+
+    elif send_fn is None:
+
+        def body(view: ProcView) -> None:
+            apply_fn(view)
+            view.charge(1)
+
+    else:
+
+        def body(view: ProcView) -> None:
+            apply_fn(view)
+            send_fn(view)
+            view.charge(1)
 
     return body
 
@@ -178,24 +197,25 @@ def _events_for(m: int, log_v: int) -> list[_Event]:
     r = 1 << ((log_m + 1) // 2)  # R: size of the first (column-DFT) layer
     c = m // r
 
+    # destination offsets and twiddles depend only on j = pid % m:
+    # tabulate once per event instead of divmod/cmath.exp per execution
+    # (total table size over the recursion is O(m))
+    t1_dest = [(j % c) * r + j // c for j in range(m)]
+    t2_dest = [(j % r) * c + j // r for j in range(m)]
+    t2_tw = [cmath.exp(-2j * cmath.pi * (j // r) * (j % r) / m) for j in range(m)]
+    t3_dest = [(j % c) * r + j // c for j in range(m)]
+
     def transpose1(view: ProcView) -> None:
-        base = view.pid - view.pid % m
         j = view.pid % m
-        a, b = divmod(j, c)
-        view.send(base + b * r + a, view.ctx["x"])
+        view.send(view.pid - j + t1_dest[j], view.ctx["x"])
 
     def twiddle_transpose2(view: ProcView) -> None:
-        base = view.pid - view.pid % m
         j = view.pid % m
-        b, e = divmod(j, r)
-        w = cmath.exp(-2j * cmath.pi * b * e / m)
-        view.send(base + e * c + b, view.ctx["x"] * w)
+        view.send(view.pid - j + t2_dest[j], view.ctx["x"] * t2_tw[j])
 
     def transpose3(view: ProcView) -> None:
-        base = view.pid - view.pid % m
         j = view.pid % m
-        e, f = divmod(j, c)
-        view.send(base + f * r + e, view.ctx["x"])
+        view.send(view.pid - j + t3_dest[j], view.ctx["x"])
 
     events = [_Event(label, f"fft-T1@{label}", transpose1, _store)]
     events += _events_for(r, log_v)

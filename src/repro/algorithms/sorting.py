@@ -74,28 +74,48 @@ def _keep_smaller(pid: int, k: int, j: int) -> bool:
 def _apply_exchange(view: ProcView, k: int, j: int) -> None:
     (msg,) = view.inbox
     other = msg.payload
-    mine = view.ctx["key"]
-    if _keep_smaller(view.pid, k, j):
-        view.ctx["key"] = min(mine, other)
+    ctx = view.ctx
+    mine = ctx["key"]
+    # _keep_smaller(pid, k, j) == (bit k of pid == bit j of pid); keep the
+    # min in that case, the max otherwise (ties resolve to equal keys)
+    if ((view.pid >> k) ^ (view.pid >> j)) & 1 == 0:
+        ctx["key"] = other if other < mine else mine
     else:
-        view.ctx["key"] = max(mine, other)
+        ctx["key"] = mine if mine > other else other
 
 
 def _exchange_body(prev: tuple[int, int] | None, k: int, j: int):
-    def body(view: ProcView) -> None:
-        if prev is not None:
-            _apply_exchange(view, *prev)
-        view.send(view.pid ^ (1 << j), view.ctx["key"])
-        view.charge(1)
+    bit = 1 << j
+
+    if prev is None:
+
+        def body(view: ProcView) -> None:
+            view.send(view.pid ^ bit, view.ctx["key"])
+            view.charge(1)
+
+    else:
+        pk, pj = prev
+
+        def body(view: ProcView) -> None:
+            _apply_exchange(view, pk, pj)
+            view.send(view.pid ^ bit, view.ctx["key"])
+            view.charge(1)
 
     return body
 
 
 def _final_body(last: tuple[int, int] | None):
-    def body(view: ProcView) -> None:
-        if last is not None:
-            _apply_exchange(view, *last)
-        view.charge(1)
+    if last is None:
+
+        def body(view: ProcView) -> None:
+            view.charge(1)
+
+    else:
+        lk, lj = last
+
+        def body(view: ProcView) -> None:
+            _apply_exchange(view, lk, lj)
+            view.charge(1)
 
     return body
 

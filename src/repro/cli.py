@@ -5,15 +5,19 @@
     python -m repro run sort --v 64 --f x^0.5 --engine all
     python -m repro profile sort --v 64 --f x^0.5 --engine bt
     python -m repro touch --n 65536 --f log
+    python -m repro bench --smoke
     python -m repro list
 
 ``run`` executes one of the bundled D-BSP programs on the chosen engine(s)
 and prints the charged costs plus, for simulations, the slowdown against
 the direct D-BSP run.  ``profile`` runs one engine with full tracing and
 renders the span tree as a per-phase cost profile.  ``touch`` contrasts
-Fact 1 and Fact 2 at a given size.  ``list`` enumerates programs and
-access functions.  ``run``, ``profile`` and ``touch`` all take ``--json``
-for machine-readable output.
+Fact 1 and Fact 2 at a given size.  ``bench`` measures wall-clock engine
+throughput (charged words per second) over the fixed workload matrix and
+writes ``BENCH_sim_throughput.json``; ``--check`` compares a fresh run
+against a recorded baseline.  ``list`` enumerates programs and access
+functions.  ``run``, ``profile``, ``touch`` and ``bench`` all take
+``--json`` for machine-readable output.
 
 All commands are thin shells over the engine registry
 (:mod:`repro.engines`): they build a program, pick an engine from
@@ -186,6 +190,50 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    from repro.bench import check_against, run_bench, write_bench
+
+    echo = None if args.json else print
+    if echo:
+        mode = "smoke matrix" if args.smoke else "full matrix"
+        echo(f"benchmarking simulator wall-clock throughput ({mode}, "
+             f"budget {args.budget:g}s/workload)")
+    doc = run_bench(budget_s=args.budget, smoke=args.smoke, echo=echo)
+
+    if args.check:
+        try:
+            baseline = json.loads(pathlib.Path(args.check).read_text())
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"cannot read baseline {args.check}: {exc}")
+        problems = check_against(doc, baseline, tolerance=args.tolerance)
+        if args.output:
+            write_bench(args.output, doc)
+        if problems:
+            for p in problems:
+                print(f"REGRESSION: {p}", file=sys.stderr)
+            return 1
+        if echo:
+            echo(f"no regressions vs {args.check} "
+                 f"(tolerance {args.tolerance:g}x)")
+        return 0
+
+    if args.json:
+        _dump_json(doc)
+    out = args.output or "BENCH_sim_throughput.json"
+    write_bench(out, doc)
+    if echo:
+        echo(f"\nwrote {out}")
+        echo(f"{'workload':16s} {'peak':>9s} {'best words/s':>14s} "
+             f"{'best rounds/s':>14s}")
+        for name, wl in doc["workloads"].items():
+            words = wl["best_charged_words_per_s"]
+            rounds = wl["best_rounds_per_s"]
+            echo(f"{name:16s} {wl['peak'] or 0:>9d} "
+                 f"{words or 0:>14,.0f} "
+                 f"{rounds or 0:>14,.0f}")
+    return 0
+
+
 def cmd_touch(args) -> int:
     f, n = args.f, args.n
     hmm = HMMMachine(f, n)
@@ -265,6 +313,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_prof.add_argument("--jsonl", metavar="PATH", default=None,
                         help="also export the span trace as JSON lines")
     p_prof.set_defaults(func=cmd_profile)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="measure simulator wall-clock throughput (perf trajectory)",
+    )
+    p_bench.add_argument("--budget", type=float, default=3.0,
+                         help="wall-clock budget per workload, seconds")
+    p_bench.add_argument("--smoke", action="store_true",
+                         help="reduced sweep caps (CI smoke job)")
+    p_bench.add_argument("--output", default=None, metavar="PATH",
+                         help="output JSON (default BENCH_sim_throughput.json)")
+    p_bench.add_argument("--check", default=None, metavar="BASELINE",
+                         help="compare against a recorded run; exit 1 on "
+                              "throughput regressions")
+    p_bench.add_argument("--tolerance", type=float, default=3.0,
+                         help="allowed slow-down factor for --check")
+    p_bench.add_argument("--json", action="store_true",
+                         help="emit the result document to stdout as JSON")
+    p_bench.set_defaults(func=cmd_bench)
 
     p_touch = sub.add_parser("touch", help="Fact 1 vs Fact 2 at one size")
     p_touch.add_argument("--n", type=int, default=1 << 16)

@@ -32,15 +32,22 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Sequence
 
-from repro.dbsp.cluster import ClusterTree, same_cluster
+from repro.dbsp.cluster import ClusterTree
 
 __all__ = ["Message", "Superstep", "Program", "ProcView", "DUMMY",
            "concat_programs"]
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(order=True, unsafe_hash=True, slots=True)
 class Message:
-    """A constant-size message: sender id and payload word."""
+    """A constant-size message: sender id and payload word.
+
+    Treated as immutable by every engine (messages are shared freely
+    across inboxes); equality, ordering and hashing consider the sender
+    only.  Not ``frozen=True``: the engines create millions of these in
+    delivery loops, and the frozen ``__init__`` (``object.__setattr__``)
+    costs ~2x a plain slot store.
+    """
 
     src: int
     payload: Any = field(compare=False, default=None)
@@ -141,8 +148,13 @@ class Program:
         """
         if self.ends_with_global_sync():
             return self
+        cached = getattr(self, "_with_sync", None)
+        if cached is not None:
+            return cached
         closing = Superstep(0, DUMMY, name="global-sync")
-        return self.replace_supersteps(self.supersteps + [closing])
+        normalized = self.replace_supersteps(self.supersteps + [closing])
+        self._with_sync = normalized
+        return normalized
 
     def replace_supersteps(self, supersteps: Sequence[Superstep]) -> "Program":
         return Program(
@@ -220,17 +232,21 @@ class ProcView:
         """Post a message to ``dest`` (must share this superstep's i-cluster)."""
         if not 0 <= dest < self.v:
             raise ValueError(f"destination {dest} outside [0, {self.v})")
-        if not same_cluster(self.pid, dest, self.v, self.label):
+        # i-clusters are aligned power-of-two blocks of size v >> label, so
+        # p and q share one iff their pids differ only in the low bits:
+        # (p ^ q) < cluster size.  Equivalent to same_cluster(), cheaper.
+        if (self.pid ^ dest) >= (self.v >> self.label):
             raise ValueError(
                 f"processor {self.pid} cannot reach {dest} in a "
                 f"{self.label}-superstep (different {self.label}-clusters)"
             )
-        if len(self.outbox) >= self.mu:
+        outbox = self.outbox
+        if len(outbox) >= self.mu:
             raise ValueError(
                 f"processor {self.pid} exceeded its mu={self.mu} outgoing "
                 f"message buffer in one superstep"
             )
-        self.outbox.append((dest, Message(self.pid, payload)))
+        outbox.append((dest, Message(self.pid, payload)))
 
     def charge(self, t: float) -> None:
         """Account ``t`` additional units of local computation."""

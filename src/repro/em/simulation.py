@@ -22,6 +22,7 @@ scheme.
 from __future__ import annotations
 
 import math
+from bisect import insort
 from dataclasses import dataclass, field
 
 from repro.dbsp.program import Message, ProcView, Program
@@ -68,7 +69,7 @@ class FlatBSPOnEMSimulator:
                     lo = blk * contexts_per_block
                     hi = min(lo + contexts_per_block, v)
                     for pid in range(lo, hi):
-                        inbox = sorted(pending[pid])
+                        inbox = pending[pid]  # kept ordered at delivery
                         pending[pid] = []
                         view = ProcView(pid, v, mu, step.label,
                                         contexts[pid], inbox)
@@ -80,7 +81,7 @@ class FlatBSPOnEMSimulator:
                 machine.io_count += self._routing_ios(len(outgoing),
                                                       context_blocks)
                 for dest, msg in outgoing:
-                    pending[dest].append(msg)
+                    insort(pending[dest], msg)
                 # 3. delivery pass: merge messages into context blocks
                 if outgoing:
                     machine.io_count += 2 * context_blocks

@@ -422,7 +422,8 @@ def run(
         Access/bandwidth function, as an object or a spec string
         (``x^0.5``, ``log``, ``const``, ``linear``, ``staircase``).
     trace:
-        Observability level: ``off`` | ``phases`` (default) | ``full``.
+        Observability level: ``off`` | ``counters`` | ``phases``
+        (default) | ``full``.
     baseline:
         For simulation engines, also run the direct D-BSP execution and
         attach ``baseline_time`` and the measured ``slowdown``.

@@ -35,7 +35,9 @@ over verbatim.
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 import numpy as np
 
@@ -46,11 +48,23 @@ __all__ = [
     "ConstantAccess",
     "LinearAccess",
     "StaircaseAccess",
+    "VectorizationWarning",
     "two_c_uniformity",
     "iterated_star",
     "log_star",
     "CostTable",
 ]
+
+
+class VectorizationWarning(RuntimeWarning):
+    """An access function fell back to per-element scalar evaluation.
+
+    Raised-as-warning by :meth:`AccessFunction.evaluate`'s default
+    implementation: building a :class:`CostTable` through it is ~100x
+    slower than through a real numpy expression, which silently dominates
+    machine construction for large memories.  Override ``evaluate`` in
+    the subclass to get rid of it.
+    """
 
 
 class AccessFunction:
@@ -68,8 +82,26 @@ class AccessFunction:
         raise NotImplementedError
 
     def evaluate(self, xs: np.ndarray) -> np.ndarray:
-        """Vectorized evaluation; default falls back to the scalar call."""
-        return np.vectorize(self.__call__, otypes=[np.float64])(xs)
+        """Vectorized evaluation over an address array.
+
+        Subclasses should override this with a real numpy expression.
+        The default applies the scalar :meth:`__call__` per element
+        (``np.frompyfunc`` plus a float64 cast — the fastest generic
+        fallback, but still a Python-level loop, roughly two orders of
+        magnitude slower than a vectorized override) and warns, so a new
+        access function cannot quietly de-vectorize
+        :class:`CostTable` construction.
+        """
+        warnings.warn(
+            f"{type(self).__name__} does not override evaluate(); "
+            f"falling back to per-element scalar evaluation, which makes "
+            f"CostTable construction ~100x slower — add a vectorized "
+            f"evaluate() override",
+            VectorizationWarning,
+            stacklevel=2,
+        )
+        ufunc = np.frompyfunc(self.__call__, 1, 1)
+        return ufunc(np.asarray(xs, dtype=np.float64)).astype(np.float64)
 
     def star(self, n: float) -> int:
         """``f*(n)``, the iterated-application count of Fact 2."""
@@ -261,13 +293,29 @@ def log_star(n: float) -> int:
     return max(k, 1)
 
 
+#: below this size a table also keeps plain-Python mirrors of the prefix
+#: array: scalar ``access``/``range_cost`` then run on list indexing,
+#: several times faster than numpy scalar indexing plus ``float()``.
+#: Simulation machines are far below this; only the very large touching
+#: sweeps (n up to 2^22) take the numpy-only branch.
+_SCALAR_LIST_MAX = 1 << 18
+
+
 class CostTable:
     """Prefix-sum table of an access function over ``[0, size)``.
 
     ``range_cost(lo, hi)`` returns ``sum_{x in [lo, hi)} f(x)`` in O(1),
     which is the charged cost of touching a contiguous address range once.
     All operational machines use this to charge bulk context moves without
-    per-word Python loops.
+    per-word Python loops.  :meth:`access_many` /:meth:`fold_access` are
+    the gather-style batched face of the same table: one numpy (or tight
+    list-indexing) pass charging an arbitrary *set* of addresses, used by
+    the machines' bulk primitives.
+
+    A table is immutable after construction; prefer :meth:`shared` to the
+    constructor so machines built repeatedly over the same ``(f, size)``
+    (geometric benchmark sweeps, chained Brent runs) reuse one instance
+    instead of paying the O(size) evaluate + cumsum each time.
     """
 
     def __init__(self, f: AccessFunction, size: int):
@@ -282,19 +330,99 @@ class CostTable:
             raise ValueError("access function must be nondecreasing")
         self._prefix = np.zeros(self.size + 1, dtype=np.float64)
         np.cumsum(values, out=self._prefix[1:])
+        if self.size <= _SCALAR_LIST_MAX:
+            # Python mirrors for the scalar hot paths.  The per-address
+            # costs are the *prefix differences* (not `values`): scalar
+            # and batched charging must produce bit-identical sums.
+            self._prefix_list: list[float] | None = self._prefix.tolist()
+            self._cost_list: list[float] | None = np.subtract(
+                self._prefix[1:], self._prefix[:-1]
+            ).tolist()
+        else:
+            self._prefix_list = None
+            self._cost_list = None
+
+    @classmethod
+    def shared(cls, f: AccessFunction, size: int) -> "CostTable":
+        """A process-wide cached table for ``(f, size)``.
+
+        Tables are read-only, so sharing is safe; the cache is keyed by
+        the access function's own equality (value equality for the frozen
+        dataclass functions, identity otherwise).  Unhashable functions
+        fall back to a fresh table.
+        """
+        try:
+            return _shared_cost_table(f, int(size))
+        except TypeError:  # unhashable custom function
+            return cls(f, size)
 
     def access(self, x: int) -> float:
         """Charged cost of a single access to address ``x``."""
         if not 0 <= x < self.size:
             raise IndexError(f"address {x} outside [0, {self.size})")
+        costs = self._cost_list
+        if costs is not None:
+            return costs[x]
         return float(self._prefix[x + 1] - self._prefix[x])
 
     def range_cost(self, lo: int, hi: int) -> float:
         """Charged cost of touching every address in ``[lo, hi)`` once."""
         if not 0 <= lo <= hi <= self.size:
             raise IndexError(f"range [{lo}, {hi}) outside [0, {self.size})")
+        prefix = self._prefix_list
+        if prefix is not None:
+            return prefix[hi] - prefix[lo]
         return float(self._prefix[hi] - self._prefix[lo])
 
     def prefix_cost(self, n: int) -> float:
         """Cost of touching the first ``n`` cells: Fact 1 says Theta(n f(n))."""
         return self.range_cost(0, n)
+
+    # ------------------------------------------------------ batched access
+    def access_many(self, xs) -> np.ndarray:
+        """Per-address charged costs for an address array (one gather).
+
+        Each element equals ``access(x)`` bit-for-bit.  Accepts any
+        sequence; validates the whole batch at once.
+        """
+        xi = np.asarray(xs, dtype=np.intp)
+        if xi.size and (int(xi.min()) < 0 or int(xi.max()) >= self.size):
+            raise IndexError(
+                f"batched addresses outside [0, {self.size}): "
+                f"range [{int(xi.min())}, {int(xi.max())}]"
+            )
+        return self._prefix[xi + 1] - self._prefix[xi]
+
+    def fold_access(self, t0: float, xs) -> float:
+        """``t0 + f(x_1) + f(x_2) + ...`` folded strictly left-to-right.
+
+        Bit-identical to the scalar loop ``for x in xs: t0 += access(x)``
+        — this is what lets the machines batch their charging without
+        perturbing any charged total by even one ulp.  Lists take a tight
+        list-indexing loop; arrays (or tables too large for the Python
+        mirror) take a numpy gather followed by a sequential ``cumsum``
+        (which accumulates left-to-right, unlike pairwise ``np.sum``).
+        """
+        costs = self._cost_list
+        if costs is not None and not isinstance(xs, np.ndarray):
+            if xs:
+                if min(xs) < 0 or max(xs) >= self.size:
+                    raise IndexError(
+                        f"batched addresses outside [0, {self.size})"
+                    )
+                for x in xs:
+                    t0 += costs[x]
+            return t0
+        gathered = self.access_many(xs)
+        if not gathered.size:
+            return t0
+        buf = np.empty(gathered.size + 1, dtype=np.float64)
+        buf[0] = t0
+        buf[1:] = gathered
+        np.cumsum(buf, out=buf)
+        return float(buf[-1])
+
+
+@lru_cache(maxsize=32)
+def _shared_cost_table(f: AccessFunction, size: int) -> CostTable:
+    return CostTable(f, size)

@@ -58,7 +58,7 @@ class HMMMachine:
     ):
         self.f = f
         self.size = int(size)
-        self.table = CostTable(f, self.size)
+        self.table = CostTable.shared(f, self.size)
         self.mem: list[Any] = [None] * self.size
         self.op_cost = float(op_cost)
         self.counters = counters
@@ -107,6 +107,18 @@ class HMMMachine:
         """Charge one access to every address in ``[lo, hi)``."""
         self.time += self.table.range_cost(lo, hi)
         self.counters.add("words_touched", hi - lo)
+
+    def touch_addresses(self, xs) -> None:
+        """Charge one access to each address in ``xs`` (any order, repeats ok).
+
+        Gather-style batched charging: a list or ``np.ndarray`` of
+        addresses is charged in one :meth:`CostTable.fold_access` pass,
+        bit-identical to looping ``read``/``write`` over ``xs`` (minus
+        the memory traffic — this only charges).  One counter update for
+        the whole batch.
+        """
+        self.time = self.table.fold_access(self.time, xs)
+        self.counters.add("words_touched", len(xs))
 
     def read_range(self, lo: int, hi: int) -> list[Any]:
         """Read ``[lo, hi)`` (charged once per word)."""

@@ -184,6 +184,42 @@ class Tracer:
                 self._truncated += 1
         stack.append([name, category, now, 0.0, index])
 
+    def add_leaf(self, name: str, category: str, start: float, end: float) -> None:
+        """Record a childless span in one call — hottest-path form.
+
+        Exactly equivalent to ``open(name, category)`` with the clock at
+        ``start`` followed by ``close()`` with the clock at ``end`` and no
+        children opened in between: same totals, same counts, same parent
+        child-cost attribution, same recorded span (in ``full`` mode), all
+        computed with the identical float arithmetic.  Engines use it
+        around their innermost charging blocks, where the open/close pair
+        itself shows up in wall-clock profiles.
+        """
+        cost = end - start
+        self.totals[category] = self.totals.get(category, 0.0) + cost
+        self.counts[category] = self.counts.get(category, 0) + 1
+        stack = self._stack
+        if stack:
+            stack[-1][3] += cost
+        if self.record:
+            if len(self.spans) < self.max_spans:
+                index = len(self.spans)
+                self.spans.append(
+                    SpanRecord(
+                        index=index,
+                        parent=stack[-1][4] if stack else -1,
+                        depth=len(stack),
+                        name=name,
+                        category=category,
+                        start=start,
+                        end=end,
+                        cost=cost,
+                        self_cost=cost,
+                    )
+                )
+            else:
+                self._truncated += 1
+
     def close(self) -> None:
         """Close the innermost open span, attributing its self cost."""
         frame = self._stack.pop()
@@ -256,6 +292,9 @@ class NullTracer:
         pass
 
     def close(self) -> None:
+        pass
+
+    def add_leaf(self, name: str, category: str, start: float, end: float) -> None:
         pass
 
     def phase_totals(self, drop_empty_other: bool = True) -> dict[str, float]:

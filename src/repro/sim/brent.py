@@ -28,6 +28,7 @@ hierarchies seamlessly.
 
 from __future__ import annotations
 
+from bisect import insort
 from dataclasses import dataclass, field
 from typing import Any, Literal
 
@@ -74,8 +75,9 @@ class BrentSimResult:
     #: recorded spans (``trace="full"`` only)
     spans: list[SpanRecord] = field(default_factory=list)
 
-    def slowdown(self, guest_time: float) -> float:
-        return self.time / guest_time if guest_time > 0 else float("inf")
+    def slowdown(self, guest_time: float) -> float | None:
+        """``None`` when the guest time is zero (no meaningful ratio)."""
+        return self.time / guest_time if guest_time > 0 else None
 
 
 class _GlobalizedView:
@@ -96,7 +98,11 @@ class _GlobalizedView:
         self.mu = view.mu
         self.label = view.label  # local label; bodies rarely inspect it
         self.ctx = view.ctx
-        self.inbox = [Message(m.src + offset, m.payload) for m in view.inbox]
+        # messages are immutable, so host 0 (offset 0) can share the list
+        if offset:
+            self.inbox = [Message(m.src + offset, m.payload) for m in view.inbox]
+        else:
+            self.inbox = view.inbox
 
     def send(self, dest: int, payload: Any = None) -> None:
         self._view.send(dest - self._offset, payload)
@@ -116,13 +122,13 @@ class BrentSimulator:
         g: AccessFunction,
         v_host: int,
         c2: float = 0.5,
-        trace: Literal["off", "phases", "full"] = "phases",
+        trace: Literal["off", "counters", "phases", "full"] = "phases",
     ):
         self.g = g
         self.v_host = v_host
         self.c2 = c2
         self.log_v_host = log2_exact(v_host)
-        if trace not in ("off", "phases", "full"):
+        if trace not in ("off", "counters", "phases", "full"):
             raise ValueError(f"unknown trace level {trace!r}")
         self.trace = trace
 
@@ -137,7 +143,7 @@ class BrentSimulator:
 
             run = DBSPMachine(self.g).run(program.with_global_sync())
             breakdown: dict[str, float] = {}
-            if self.trace != "off":
+            if self.trace in ("phases", "full"):
                 breakdown = dict.fromkeys(BRENT_PHASES, 0.0)
                 breakdown.update(run.breakdown)
             return BrentSimResult(
@@ -156,8 +162,10 @@ class BrentSimulator:
             breakdown = {}
             counters: dict[str, int | float] = {}
         else:
-            breakdown = dict.fromkeys(BRENT_PHASES, 0.0)
-            breakdown.update(state.tracer.phase_totals())
+            breakdown = {}
+            if self.trace != "counters":
+                breakdown = dict.fromkeys(BRENT_PHASES, 0.0)
+                breakdown.update(state.tracer.phase_totals())
             counters = state.counters.snapshot()
         return BrentSimResult(
             contexts=state.contexts,
@@ -181,15 +189,34 @@ class _BrentRun:
         self.guests_per_host = self.v // self.v_host
         #: local memory of one host processor, in words
         self.mu_host = self.mu * self.guests_per_host
-        self.table = CostTable(sim.g, max(self.mu_host, 2))
+        self.table = CostTable.shared(sim.g, max(self.mu_host, 2))
+        # per-guest charged costs reused by every coarse superstep (the
+        # same floats the prefix table would produce, added in the same
+        # order — charged time is bit-identical): cycling a guest context
+        # through the top of the local HMM, and filing one message into a
+        # guest's context block
+        table, mu = self.table, self.mu
+        top_cost = table.range_cost(0, mu)
+        self._cycle_cost = [
+            2.0 * (table.range_cost(k * mu, (k + 1) * mu) + top_cost)
+            for k in range(self.guests_per_host)
+        ]
+        self._file_cost = [
+            table.access(k * mu) for k in range(self.guests_per_host)
+        ]
         self.contexts = program.initial_contexts()
         self.pending: list[list[Message]] = [[] for _ in range(self.v)]
+        # recycled per-body view (see _coarse_superstep)
+        self._view = ProcView(0, self.v, self.mu, 0, {}, [])
         self.time = 0.0
         self.records: list[RunRecord] = []
         #: pid offset of the host processor currently simulated (fine runs)
         self.current_offset = 0
         if sim.trace == "off":
             self.counters = NULL_COUNTERS
+            self.tracer = NULL_TRACER
+        elif sim.trace == "counters":
+            self.counters = Counters()
             self.tracer = NULL_TRACER
         else:
             self.counters = Counters()
@@ -252,7 +279,6 @@ class _BrentRun:
     # ----------------------------------------------------- coarse supersteps
     def _coarse_superstep(self, step: Superstep) -> None:
         """One guest i-superstep with ``i < log v'`` on the host machine."""
-        v, mu = self.v, self.mu
         local_times = [0.0] * self.v_host
         sent_counts = [0] * self.v_host
         recv_counts = [0] * self.v_host
@@ -261,23 +287,39 @@ class _BrentRun:
         ]
 
         if not step.is_dummy:
-            for pid in range(v):
-                host = self._host_of(pid)
-                lo, hi = self._block_range(pid)
-                # bring the guest context to the top of the local HMM & back
-                local_times[host] += 2.0 * (
-                    self.table.range_cost(lo, hi) + self.table.range_cost(0, mu)
-                )
-                inbox = sorted(self.pending[pid])
-                self.pending[pid] = []
-                view = ProcView(pid, v, mu, step.label, self.contexts[pid], inbox)
-                step.body(view)
-                local_times[host] += view.local_time
-                sent_counts[host] += len(view.outbox)
-                for dest, msg in view.outbox:
-                    dest_host = self._host_of(dest)
-                    recv_counts[dest_host] += 1
-                    deliveries[dest_host].append((dest, msg))
+            g_per_host = self.guests_per_host
+            cycle_cost = self._cycle_cost
+            pending = self.pending
+            contexts = self.contexts
+            body = step.body
+            # recycled per-body view, same discipline as the HMM engine
+            view = self._view
+            view.label = step.label
+            outbox = view.outbox
+            clear = outbox.clear
+            pid = 0
+            for host in range(self.v_host):
+                lt = local_times[host]
+                for k in range(g_per_host):
+                    # bring the guest context to the top of the local HMM
+                    # and back (same float order as the pid loop: cycle
+                    # charge then local charge, guest by guest)
+                    lt += cycle_cost[k]
+                    view.pid = pid
+                    view.ctx = contexts[pid]
+                    view.inbox = pending[pid]  # kept ordered at delivery
+                    pending[pid] = []
+                    view.local_time = 1.0
+                    body(view)
+                    lt += view.local_time
+                    sent_counts[host] += len(outbox)
+                    for dest, msg in outbox:
+                        dest_host = dest // g_per_host
+                        recv_counts[dest_host] += 1
+                        deliveries[dest_host].append((dest, msg))
+                    clear()
+                    pid += 1
+                local_times[host] = lt
         else:
             for host in range(self.v_host):
                 local_times[host] = 1.0
@@ -296,15 +338,21 @@ class _BrentRun:
         # host (log v')-superstep: file received messages into the guests'
         # incoming buffers (an access into the destination block)
         self.tracer.open("filing", "filing")
-        filing = [0.0] * self.v_host
+        file_cost = self._file_cost
+        g_per_host = self.guests_per_host
+        pending = self.pending
+        max_filing = 0.0
         n_delivered = 0
         for host in range(self.v_host):
-            n_delivered += len(deliveries[host])
-            for dest, msg in deliveries[host]:
-                lo, _hi = self._block_range(dest)
-                filing[host] += self.table.access(lo)
-                self.pending[dest].append(msg)
-        self.time += max(filing) + 1.0
+            box = deliveries[host]
+            n_delivered += len(box)
+            host_filing = 0.0
+            for dest, msg in box:
+                host_filing += file_cost[dest % g_per_host]
+                insort(pending[dest], msg)
+            if host_filing > max_filing:
+                max_filing = host_filing
+        self.time += max_filing + 1.0
         self.tracer.close()
         self.counters.add("messages", n_delivered)
 
@@ -324,24 +372,35 @@ class _BrentRun:
             self.sim.g,
             c2=self.sim.c2,
             check_invariants="off",
-            trace="off" if self.sim.trace == "off" else "phases",
+            trace=(
+                self.sim.trace
+                if self.sim.trace in ("off", "counters")
+                else "phases"
+            ),
+        )
+        # one shared Program for all hosts: its smoothing (and the label
+        # set) is computed once by the first host's simulate() call and
+        # served from the per-program memo for the other v'-1 hosts
+        local_program = Program(
+            g_per_host,
+            self.mu,
+            shifted,
+            make_context=lambda pid: {},  # replaced via initial_contexts
+            name=f"{self.program.name}@fine",
         )
         host_times: list[float] = []
         for host in range(self.v_host):
             offset = host * g_per_host
             self.current_offset = offset
-            local_program = Program(
-                g_per_host,
-                self.mu,
-                shifted,
-                make_context=lambda pid: {},  # replaced via initial_contexts
-                name=f"{self.program.name}@host{host}",
-            )
             local_contexts = self.contexts[offset : offset + g_per_host]
-            local_pending = [
-                [Message(m.src - offset, m.payload) for m in self.pending[pid]]
-                for pid in range(offset, offset + g_per_host)
-            ]
+            if offset:
+                local_pending = [
+                    [Message(m.src - offset, m.payload) for m in self.pending[pid]]
+                    for pid in range(offset, offset + g_per_host)
+                ]
+            else:
+                # messages are immutable and the HMM run copies the boxes
+                local_pending = self.pending[:g_per_host]
             result = hmm.simulate(
                 local_program,
                 initial_contexts=local_contexts,
@@ -350,10 +409,14 @@ class _BrentRun:
             host_times.append(result.time)
             self.counters.merge(result.counters)
             # contexts are shared dict objects: mutations already visible
-            for k in range(g_per_host):
-                self.pending[offset + k] = [
-                    Message(m.src + offset, m.payload) for m in result.pending[k]
-                ]
+            if offset:
+                for k in range(g_per_host):
+                    self.pending[offset + k] = [
+                        Message(m.src + offset, m.payload)
+                        for m in result.pending[k]
+                    ]
+            else:
+                self.pending[:g_per_host] = result.pending
         # the run is local: one host "superstep" costing the slowest member
         self.time += max(host_times)
 

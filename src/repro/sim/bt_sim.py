@@ -32,6 +32,7 @@ block transfer hides the access costs almost completely.
 from __future__ import annotations
 
 import math
+from bisect import insort
 from dataclasses import dataclass, field
 from typing import Literal
 
@@ -85,8 +86,9 @@ class BTSimResult:
     #: recorded spans (``trace="full"`` only)
     spans: list[SpanRecord] = field(default_factory=list)
 
-    def slowdown(self, dbsp_time: float) -> float:
-        return self.time / dbsp_time if dbsp_time > 0 else float("inf")
+    def slowdown(self, dbsp_time: float) -> float | None:
+        """``None`` when the guest time is zero (no meaningful ratio)."""
+        return self.time / dbsp_time if dbsp_time > 0 else None
 
 
 class BTSimulator:
@@ -121,7 +123,7 @@ class BTSimulator:
         check_invariants: bool = True,
         record_layout: bool = False,
         max_layout_snapshots: int = 512,
-        trace: Literal["off", "phases", "full"] = "phases",
+        trace: Literal["off", "counters", "phases", "full"] = "phases",
     ):
         self.f = f
         self.sort = sort
@@ -130,7 +132,7 @@ class BTSimulator:
         self.check_invariants = check_invariants
         self.record_layout = record_layout
         self.max_layout_snapshots = max_layout_snapshots
-        if trace not in ("off", "phases", "full"):
+        if trace not in ("off", "counters", "phases", "full"):
             raise ValueError(f"unknown trace level {trace!r}")
         self.trace = trace
 
@@ -147,8 +149,10 @@ class BTSimulator:
             breakdown: dict[str, float] = {}
             counters: dict[str, int | float] = {}
         else:
-            breakdown = dict.fromkeys(BT_PHASES, 0.0)
-            breakdown.update(run.tracer.phase_totals())
+            breakdown = {}
+            if self.trace != "counters":
+                breakdown = dict.fromkeys(BT_PHASES, 0.0)
+                breakdown.update(run.tracer.phase_totals())
             run.counters.add("rounds", run.round_index)
             counters = run.counters.snapshot()
         return BTSimResult(
@@ -188,7 +192,7 @@ class _BTSimRun:
         self.machine = BTMachine(
             sim.f, self.n_slots * self.mu, op_cost=0.0, counters=self.counters
         )
-        if sim.trace == "off":
+        if sim.trace in ("off", "counters"):
             self.tracer = NULL_TRACER
         else:
             machine = self.machine
@@ -205,6 +209,16 @@ class _BTSimRun:
         self.next_step = [0] * self.v
         self.round_index = 0
         self.layout_trace: list[LayoutSnapshot] = []
+        # the Fig. 5/6 recursion replays the same (src, dst, n_blocks)
+        # moves every round: memoize each triple's charged cost (the table
+        # is immutable, so the cached float is the exact value
+        # block_copy_cost would recompute), and batch the per-move counter
+        # updates into one flush at the end of execute()
+        self._move_cost: dict[tuple[int, int, int], float] = {}
+        self._n_moves = 0
+        self._moved_words = 0
+        #: COMPUTE(n) charging plans, keyed by n (see _build_compute_plan)
+        self._compute_plans: dict[int, tuple] = {}
         self._snapshot("initial")
 
     # ------------------------------------------------------------- helpers
@@ -226,23 +240,33 @@ class _BTSimRun:
         if n_blocks <= 0:
             return
         machine = self.machine
-        machine.time += machine.block_copy_cost(
-            self._word(src), self._word(dst), n_blocks * self.mu
-        )
+        key = (src, dst, n_blocks)
+        cost = self._move_cost.get(key)
+        if cost is None:
+            cost = machine.block_copy_cost(
+                self._word(src), self._word(dst), n_blocks * self.mu
+            )
+            self._move_cost[key] = cost
+        machine.time += cost
         machine.block_transfers += 1
-        self.counters.add("block_transfers")
-        self.counters.add("words_moved", n_blocks * self.mu)
-        for k in range(n_blocks):
-            pid = self.slots[src + k]
-            if self.slots[dst + k] is not None:
-                raise AssertionError(
-                    f"block move {src}+{n_blocks}->{dst}: destination block "
-                    f"{dst + k} is not empty"
-                )
-            self.slots[dst + k] = pid
-            self.slots[src + k] = None
+        self._n_moves += 1
+        self._moved_words += n_blocks * self.mu
+        # slot bookkeeping via slice exchange (host-side only, no charging)
+        slots = self.slots
+        moved = slots[src : src + n_blocks]
+        if slots[dst : dst + n_blocks].count(None) != n_blocks:
+            for k in range(n_blocks):
+                if slots[dst + k] is not None:
+                    raise AssertionError(
+                        f"block move {src}+{n_blocks}->{dst}: destination "
+                        f"block {dst + k} is not empty"
+                    )
+        slots[dst : dst + n_blocks] = moved
+        slots[src : src + n_blocks] = [None] * n_blocks
+        pid_to_slot = self.pid_to_slot
+        for k, pid in enumerate(moved):
             if pid is not None:
-                self.pid_to_slot[pid] = dst + k
+                pid_to_slot[pid] = dst + k
 
     def _swap_blocks_via_scratch(self, a: int, b: int, n_blocks: int) -> None:
         """Swap block ranges a/b using a nearby empty run: 3 block transfers."""
@@ -283,23 +307,23 @@ class _BTSimRun:
     # ------------------------------------------------------ PACK / UNPACK
     def unpack(self, i: int) -> None:
         """Fig. 4: intersperse buffers through the topmost i-cluster."""
-        self.tracer.open("UNPACK", "pack_unpack")
+        t0 = self.machine.time
         log_v = self.program.log_v
         level = i
         while level < log_v:
             n = cluster_size(self.v, level)
             self._charged_block_move(n // 2, n, n // 2)
             level += 1
-        self.tracer.close()
+        self.tracer.add_leaf("UNPACK", "pack_unpack", t0, self.machine.time)
 
     def pack(self, i: int) -> None:
         """Reverse of :meth:`unpack`: compact the topmost i-cluster."""
-        self.tracer.open("PACK", "pack_unpack")
+        t0 = self.machine.time
         log_v = self.program.log_v
         for level in range(log_v - 1, i - 1, -1):
             n = cluster_size(self.v, level)
             self._charged_block_move(n, n // 2, n // 2)
-        self.tracer.close()
+        self.tracer.add_leaf("PACK", "pack_unpack", t0, self.machine.time)
 
     # --------------------------------------------------------------- main
     def execute(self) -> None:
@@ -341,6 +365,11 @@ class _BTSimRun:
             self.unpack(label)  # step 5: UNPACK(is)
             tracer.close()
             self._snapshot(f"round {self.round_index} end")
+        if self._n_moves:
+            self.counters.add("block_transfers", self._n_moves)
+            self.counters.add("words_moved", self._moved_words)
+            self._n_moves = 0
+            self._moved_words = 0
 
     # ---------------------------------------------------- step 2 (Fig. 7)
     def _simulate_superstep(self, s: int, first_pid: int, csize: int) -> None:
@@ -349,18 +378,18 @@ class _BTSimRun:
         tracer = self.tracer
 
         if step.is_dummy:
-            tracer.open("dummy", "dummies")
+            t0 = machine.time
             machine.charge(float(csize))
-            tracer.close()
+            tracer.add_leaf("dummy", "dummies", t0, machine.time)
             self.counters.add("dummy_supersteps")
             for k in range(csize):
                 self.next_step[self.slots[k]] += 1
             return
 
         outgoing: list[tuple[int, Message]] = []
-        tracer.open("COMPUTE", "compute")
+        t0 = machine.time
         self._compute(csize, s, outgoing)
-        tracer.close()
+        tracer.add_leaf("COMPUTE", "compute", t0, machine.time)
         for k in range(csize):
             self.next_step[self.slots[k]] += 1
         tracer.open("DELIVER", "delivery")
@@ -378,63 +407,130 @@ class _BTSimRun:
 
     def _compute(self, n: int, s: int, outgoing: list) -> None:
         """Run superstep ``s``'s bodies for the packed top ``n`` blocks."""
-        if self.sim.chunked_compute:
-            self._compute_recursive(n, s, outgoing)
-        else:
+        if not self.sim.chunked_compute:
             # ablation: access each context at its resting depth directly
             for k in range(n):
                 lo = self._word(k)
                 self.machine.touch_range(lo, lo + self.mu)
                 self.machine.touch_range(lo, lo + self.mu)
                 self._run_body(self.slots[k], s, outgoing)
-
-    def _compute_recursive(self, n: int, s: int, outgoing: list) -> None:
-        if n == 1:
-            # context at block 0: run the body with near-top accesses
-            self.machine.touch_range(0, self.mu)
-            self.machine.touch_range(0, self.mu)
-            self._run_body(self.slots[0], s, outgoing)
             return
-        c = self._chunk_size(n)
-        # shift blocks [c, n) right by c, freeing [c, 2c)
-        self._shift_blocks(c, n, c)
-        self._compute_recursive(c, s, outgoing)
-        n_chunks = -(-(n - c) // c)  # remaining chunks, now at [2c, n + c)
-        for j in range(n_chunks):
-            lo = 2 * c + j * c
-            length = min(c, (n + c) - lo)
-            self._swap_blocks_partial(0, lo, length, c)
-            self._compute_recursive(length, s, outgoing)
-            self._swap_blocks_partial(lo, 0, length, c)
-        self._shift_blocks(2 * c, n + c, -c)
+        plan = self._compute_plans.get(n)
+        if plan is None:
+            plan = self._build_compute_plan(n)
+            self._compute_plans[n] = plan
+        segments, order, n_moves, moved_words = plan
+        machine = self.machine
+        slots = self.slots
+        t = machine.time
+        for idx, origin in enumerate(order):
+            for cost in segments[idx]:
+                t += cost
+            machine.time = t
+            self._run_body(slots[origin], s, outgoing)
+            t = machine.time
+        for cost in segments[-1]:
+            t += cost
+        machine.time = t
+        machine.block_transfers += n_moves
+        self._n_moves += n_moves
+        self._moved_words += moved_words
+        self.counters.add("words_touched", 2 * self.mu * len(order))
 
-    def _swap_blocks_partial(self, a: int, b: int, length: int, c: int) -> None:
-        """Swap ``length`` blocks at a/b through the free run at [c, 2c)."""
-        self._charged_block_move(a, c, length) if length else None
-        self._charged_block_move(b, a, length)
-        self._charged_block_move(c, b, length)
+    def _build_compute_plan(
+        self, n: int
+    ) -> tuple[list[list[float]], list[int], int, int]:
+        """Precompute COMPUTE(n)'s charged move/touch sequence (Fig. 6).
 
-    def _shift_blocks(self, lo: int, hi: int, delta: int) -> None:
-        """Shift blocks ``[lo, hi)`` by ``delta`` in chunks of ``|delta|``."""
-        if delta == 0 or hi <= lo:
-            return
-        step = abs(delta)
-        if delta > 0:
-            pos = hi
-            while pos > lo:
-                length = min(step, pos - lo)
-                self._charged_block_move(pos - length, pos - length + delta, length)
-                pos -= length
-        else:
-            pos = lo
-            while pos < hi:
-                length = min(step, hi - pos)
-                self._charged_block_move(pos, pos + delta, length)
-                pos += length
+        The chunked recursion's block moves depend only on ``n`` — the
+        identical geometry replays every round — so it is simulated once
+        on a virtual slot array, producing (a) cost *segments*: the charged
+        floats to add between consecutive body executions, each exactly
+        what ``block_copy_cost``/``touch_range`` would charge, in the same
+        order (replaying keeps the charged time bit-identical to running
+        the recursion); (b) the *order*: for the k-th body executed, the
+        slot its context occupies at round start.  The recursion returns
+        every block to its starting slot (asserted below), so replays skip
+        the per-move slot bookkeeping entirely.
+        """
+        mu = self.mu
+        machine = self.machine
+        vslots: list[int | None] = list(range(n)) + [None] * (self.n_slots - n)
+        segments: list[list[float]] = [[]]
+        order: list[int] = []
+        counts = [0, 0]  # block transfers, words moved
+        top_touch = machine.table.range_cost(0, mu)
+
+        def move(src: int, dst: int, n_blocks: int) -> None:
+            if n_blocks <= 0:
+                return
+            if any(x is not None for x in vslots[dst : dst + n_blocks]):
+                raise AssertionError(
+                    f"compute plan {n}: move {src}+{n_blocks}->{dst} hits "
+                    f"a non-empty destination block"
+                )
+            segments[-1].append(
+                machine.block_copy_cost(src * mu, dst * mu, n_blocks * mu)
+            )
+            counts[0] += 1
+            counts[1] += n_blocks * mu
+            vslots[dst : dst + n_blocks] = vslots[src : src + n_blocks]
+            vslots[src : src + n_blocks] = [None] * n_blocks
+
+        def shift(lo: int, hi: int, delta: int) -> None:
+            # shift blocks [lo, hi) by delta in chunks of |delta|
+            if delta == 0 or hi <= lo:
+                return
+            step = abs(delta)
+            if delta > 0:
+                pos = hi
+                while pos > lo:
+                    length = min(step, pos - lo)
+                    move(pos - length, pos - length + delta, length)
+                    pos -= length
+            else:
+                pos = lo
+                while pos < hi:
+                    length = min(step, hi - pos)
+                    move(pos, pos + delta, length)
+                    pos += length
+
+        def swap_partial(a: int, b: int, length: int, c: int) -> None:
+            # swap `length` blocks at a/b through the free run at [c, 2c)
+            if length:
+                move(a, c, length)
+            move(b, a, length)
+            move(c, b, length)
+
+        def rec(m: int) -> None:
+            if m == 1:
+                # context at block 0: run the body with near-top accesses
+                seg = segments[-1]
+                seg.append(top_touch)
+                seg.append(top_touch)
+                order.append(vslots[0])
+                segments.append([])
+                return
+            c = self._chunk_size(m)
+            # shift blocks [c, m) right by c, freeing [c, 2c)
+            shift(c, m, c)
+            rec(c)
+            n_chunks = -(-(m - c) // c)  # remaining chunks, now at [2c, m + c)
+            for j in range(n_chunks):
+                lo = 2 * c + j * c
+                length = min(c, (m + c) - lo)
+                swap_partial(0, lo, length, c)
+                rec(length)
+                swap_partial(lo, 0, length, c)
+            shift(2 * c, m + c, -c)
+
+        rec(n)
+        assert vslots[:n] == list(range(n)), "COMPUTE must restore the layout"
+        return segments, order, counts[0], counts[1]
 
     def _run_body(self, pid: int, s: int, outgoing: list) -> None:
         step = self.steps[s]
-        inbox = sorted(self.pending[pid])
+        inbox = self.pending[pid]  # kept ordered at delivery time
         self.pending[pid] = []
         view = ProcView(pid, self.v, self.mu, step.label, self.contexts[pid], inbox)
         step.body(view)
@@ -461,24 +557,24 @@ class _BTSimRun:
         # the cluster out of the way, opening an L(is)-word gap for sorting.
         # All of it is O(L(is)) block-transfer work, dominated by the sort.
         if space > csize * mu:
-            tracer.open("space-dance")
+            t0 = machine.time
             machine.time += 4.0 * space
-            tracer.close()
+            tracer.add_leaf("space-dance", "delivery", t0, machine.time)
 
         if self.sim.sort == "ams":
             # Approx-Median-Sort bound of [2]: O(m log m) for f = O(x^alpha)
-            tracer.open("sort")
+            t0 = machine.time
             machine.charge(m * math.log2(max(m, 2)))
-            tracer.close()
+            tracer.add_leaf("sort", "delivery", t0, machine.time)
         elif self.sim.sort == "transpose":
             # Section 6: the superstep routes a known rational permutation,
             # delivered by [2]'s routine at Theta(m f*(m)); no ALIGN needed
             # since regular routing leaves context sizes unchanged
-            tracer.open("transpose-route")
+            t0 = machine.time
             machine.charge(float(m) * self.sim.f.star(m))
-            tracer.close()
+            tracer.add_leaf("transpose-route", "delivery", t0, machine.time)
             for dest, msg in outgoing:
-                self.pending[dest].append(msg)
+                insort(self.pending[dest], msg)
             return
         else:
             # operational delivery sort: order the cluster's elements by
@@ -495,13 +591,14 @@ class _BTSimRun:
             tracer.close()
 
         # ALIGN(|C|): restore one context per block
-        tracer.open("ALIGN")
+        t0 = machine.time
         machine.time += self._align_cost(csize)
-        tracer.close()
+        tracer.add_leaf("ALIGN", "delivery", t0, machine.time)
 
         # semantics: file every message into its destination's buffer
+        pending = self.pending
         for dest, msg in outgoing:
-            self.pending[dest].append(msg)
+            insort(pending[dest], msg)
 
     def _align_cost(self, n: int) -> float:
         """Cost recursion of ALIGN(n): T(n) = 2 T(n/2) + O(mu n)."""
@@ -533,7 +630,7 @@ class _BTSimRun:
         parent_first = cluster_of(first_pid, self.v, next_label) * parent_size
         j = (first_pid - parent_first) // csize
 
-        self.tracer.open("cycle-swaps", "swaps")
+        t0 = self.machine.time
         if j > 0:
             c0_first = parent_first  # pids of C0
             c0_slot = self.pid_to_slot[c0_first]
@@ -546,20 +643,28 @@ class _BTSimRun:
             self._check_parked(nxt_first, nxt_slot, csize)
             self._swap_blocks_via_scratch(0, nxt_slot, csize)
             self.counters.add("context_swaps", 2 * csize)
-        self.tracer.close()
+        self.tracer.add_leaf("cycle-swaps", "swaps", t0, self.machine.time)
 
     def _check_parked(self, first_pid: int, slot: int, csize: int) -> None:
         if not self.sim.check_invariants:
             return
-        for k in range(csize):
-            if self.slots[slot + k] != first_pid + k:
-                raise AssertionError(
-                    f"parked cluster starting at P{first_pid} is not "
-                    f"contiguous at slots [{slot}, {slot + csize})"
-                )
+        if self.slots[slot : slot + csize] != list(
+            range(first_pid, first_pid + csize)
+        ):
+            raise AssertionError(
+                f"parked cluster starting at P{first_pid} is not "
+                f"contiguous at slots [{slot}, {slot + csize})"
+            )
 
     # ---------------------------------------------------------- invariants
     def _check_invariants(self, s: int, first_pid: int, csize: int) -> None:
+        # slice comparisons run at C speed; the scalar loop is only
+        # revisited on failure, to name the offending block/processor
+        ok = self.slots[:csize] == list(
+            range(first_pid, first_pid + csize)
+        ) and self.next_step[first_pid : first_pid + csize] == [s] * csize
+        if ok:
+            return
         for k in range(csize):
             pid = self.slots[k]
             if pid != first_pid + k:

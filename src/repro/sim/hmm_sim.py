@@ -27,6 +27,7 @@ an optimal ``Theta(T v)`` (Corollary 6).
 
 from __future__ import annotations
 
+from bisect import insort
 from dataclasses import dataclass, field
 from typing import Literal
 
@@ -82,9 +83,13 @@ class HMMSimResult:
     #: recorded spans (``trace="full"`` only)
     spans: list[SpanRecord] = field(default_factory=list)
 
-    def slowdown(self, dbsp_time: float) -> float:
-        """Measured slowdown w.r.t. the guest D-BSP running time."""
-        return self.time / dbsp_time if dbsp_time > 0 else float("inf")
+    def slowdown(self, dbsp_time: float) -> float | None:
+        """Measured slowdown w.r.t. the guest D-BSP running time.
+
+        ``None`` when the guest time is zero (no meaningful ratio) — the
+        same convention as :class:`repro.engines.EngineResult.slowdown`.
+        """
+        return self.time / dbsp_time if dbsp_time > 0 else None
 
 
 class HMMSimulator:
@@ -107,9 +112,11 @@ class HMMSimulator:
         Observability level (:mod:`repro.obs`): ``"phases"`` (default)
         aggregates per-phase cost totals and event counters — this is
         what fills ``breakdown``/``counters`` on the result; ``"full"``
-        additionally records every span for export/profiling; ``"off"``
-        disables the layer entirely (no-op hooks; ``breakdown`` and
-        ``counters`` come back empty).
+        additionally records every span for export/profiling;
+        ``"counters"`` keeps the event counters but drops the span
+        layer (what ``python -m repro bench`` measures under);
+        ``"off"`` disables the layer entirely (no-op hooks;
+        ``breakdown`` and ``counters`` come back empty).
     """
 
     def __init__(
@@ -119,16 +126,20 @@ class HMMSimulator:
         check_invariants: Literal["top", "full", "off"] = "top",
         record_trace: bool = False,
         max_trace_rounds: int = 4096,
-        trace: Literal["off", "phases", "full"] = "phases",
+        trace: Literal["off", "counters", "phases", "full"] = "phases",
     ):
         self.f = f
         self.c2 = c2
         self.check_invariants = check_invariants
         self.record_trace = record_trace
         self.max_trace_rounds = max_trace_rounds
-        if trace not in ("off", "phases", "full"):
+        if trace not in ("off", "counters", "phases", "full"):
             raise ValueError(f"unknown trace level {trace!r}")
         self.trace = trace
+        # per-(v, mu) charged-cost lists shared by every run on this
+        # simulator — the Brent engine re-enters simulate() once per host
+        # per fine run, always with the same program shape
+        self._run_artifacts: dict[tuple[int, int], tuple[list, list]] = {}
 
     # ------------------------------------------------------------ frontend
     def simulate(
@@ -156,8 +167,10 @@ class HMMSimulator:
             breakdown: dict[str, float] = {}
             counters: dict[str, int | float] = {}
         else:
-            breakdown = dict.fromkeys(HMM_PHASES, 0.0)
-            breakdown.update(run.tracer.phase_totals())
+            breakdown = {}
+            if self.trace != "counters":
+                breakdown = dict.fromkeys(HMM_PHASES, 0.0)
+                breakdown.update(run.tracer.phase_totals())
             run.counters.add("rounds", run.round_index)
             counters = run.counters.snapshot()
         return HMMSimResult(
@@ -198,7 +211,7 @@ class _HMMSimRun:
         self.machine = HMMMachine(
             sim.f, self.v * self.mu, op_cost=0.0, counters=self.counters
         )
-        if sim.trace == "off":
+        if sim.trace in ("off", "counters"):
             self.tracer = NULL_TRACER
         else:
             machine = self.machine
@@ -213,11 +226,33 @@ class _HMMSimRun:
             if initial_contexts is not None
             else program.initial_contexts()
         )
+        # inboxes are kept ordered at delivery time (insort), so consumers
+        # read them without a per-superstep re-sort; caller-supplied boxes
+        # are sorted once here
         self.pending: list[list[Message]] = (
-            [list(box) for box in initial_pending]
+            [sorted(box) for box in initial_pending]
             if initial_pending is not None
             else [[] for _ in range(self.v)]
         )
+        # per-slot context-block cost, reused every cycling charge instead
+        # of re-deriving it from the prefix table (same floats, same order
+        # of addition — charged time is bit-identical)
+        mu = self.mu
+        cached = sim._run_artifacts.get((self.v, mu))
+        if cached is None:
+            table = self.machine.table
+            cached = (
+                [table.range_cost(k * mu, (k + 1) * mu) for k in range(self.v)],
+                # cost of touching the first word of each slot's block —
+                # the message-endpoint charge of the delivery scan (same
+                # float the prefix fold would gather for address k * mu)
+                [table.access(k * mu) for k in range(self.v)],
+            )
+            sim._run_artifacts[(self.v, mu)] = cached
+        self._block_cost, self._slot_word_cost = cached
+        # recycled per-body view (see _simulate_superstep); pid/ctx/inbox/
+        # label/local_time are reset before every body call
+        self._view = ProcView(0, self.v, mu, 0, {}, [])
         self.next_step = [0] * self.v
         self.round_index = 0
         self.trace: list[RoundSnapshot] = []
@@ -231,59 +266,76 @@ class _HMMSimRun:
 
     def _swap_slot_ranges(self, a: int, b: int, length: int) -> None:
         """Swap the contents of block slots [a, a+length) and [b, b+length)."""
-        self.tracer.open("swap", "swaps")
+        t0 = self.machine.time
         self.machine.swap_ranges(
             self._word(a), self._word(b), length * self.mu
         )
-        self.tracer.close()
+        self.tracer.add_leaf("swap", "swaps", t0, self.machine.time)
         self.counters.add("context_swaps", 2 * length)
-        for k in range(length):
-            pa, pb = self.slot_to_pid[a + k], self.slot_to_pid[b + k]
-            self.slot_to_pid[a + k], self.slot_to_pid[b + k] = pb, pa
-            self.pid_to_slot[pa], self.pid_to_slot[pb] = b + k, a + k
+        # slot bookkeeping via slice exchange (host-side only, no charging)
+        pids_a = self.slot_to_pid[a : a + length]
+        pids_b = self.slot_to_pid[b : b + length]
+        self.slot_to_pid[a : a + length] = pids_b
+        self.slot_to_pid[b : b + length] = pids_a
+        pid_to_slot = self.pid_to_slot
+        for k, pid in enumerate(pids_a):
+            pid_to_slot[pid] = b + k
+        for k, pid in enumerate(pids_b):
+            pid_to_slot[pid] = a + k
 
     # --------------------------------------------------------------- main
     def execute(self) -> None:
-        n_steps = len(self.steps)
+        steps = self.steps
+        n_steps = len(steps)
         tracer = self.tracer
+        tracing = tracer.enabled
+        slot_to_pid = self.slot_to_pid
+        next_step = self.next_step
+        v = self.v
+        checking = self.sim.check_invariants != "off"
+        recording = self.sim.record_trace
         while True:
-            top_pid = self.slot_to_pid[0]
-            s = self.next_step[top_pid]
+            top_pid = slot_to_pid[0]
+            s = next_step[top_pid]
             if s >= n_steps:
                 break
-            label = self.steps[s].label
-            csize = cluster_size(self.v, label)
-            first_pid = cluster_of(top_pid, self.v, label) * csize
+            label = steps[s].label
+            # cluster_size / cluster_of, inlined: clusters are aligned
+            # power-of-two blocks, so first_pid is top_pid rounded down
+            csize = v >> label
+            first_pid = top_pid & -csize
 
-            if self.sim.check_invariants != "off":
+            if checking:
                 self._check_invariants(s, label, first_pid, csize)
-            if self.sim.record_trace and len(self.trace) < self.sim.max_trace_rounds:
+            if recording and len(self.trace) < self.sim.max_trace_rounds:
                 self.trace.append(
                     RoundSnapshot(
                         self.round_index,
                         s,
                         label,
-                        tuple(self.slot_to_pid),
-                        tuple(self.next_step),
+                        tuple(slot_to_pid),
+                        tuple(next_step),
                     )
                 )
             self.round_index += 1
-            tracer.open(
-                "round",
-                None,
-                {"superstep": s, "label": label, "cluster": first_pid // csize}
-                if tracer.record
-                else None,
-            )
+            if tracing:
+                tracer.open(
+                    "round",
+                    None,
+                    {"superstep": s, "label": label, "cluster": first_pid // csize}
+                    if tracer.record
+                    else None,
+                )
 
             self._simulate_superstep(s, first_pid, csize)
 
-            done = self.next_step[self.slot_to_pid[0]] >= n_steps
+            done = next_step[slot_to_pid[0]] >= n_steps
             if not done and s + 1 < n_steps:
-                next_label = self.steps[s + 1].label
+                next_label = steps[s + 1].label
                 if next_label < label:
                     self._cycle_swaps(label, next_label, first_pid, csize)
-            tracer.close()
+            if tracing:
+                tracer.close()
             if done:
                 break
 
@@ -297,50 +349,88 @@ class _HMMSimRun:
 
         if step.is_dummy:
             # no computation, no communication: only the unit sync charge
-            tracer.open("dummy", "dummies")
+            t0 = machine.time
             machine.charge(float(csize))
-            tracer.close()
+            tracer.add_leaf("dummy", "dummies", t0, machine.time)
             self.counters.add("dummy_supersteps")
             for k in range(csize):
                 self.next_step[self.slot_to_pid[k]] += 1
             return
 
         outgoing: list[tuple[int, Message]] = []
-        top_lo, top_hi = self._block_range(0)
+        block_cost = self._block_cost
+        top_cost = block_cost[0]
+        counters = self.counters
+        tracing = tracer.enabled
+        slot_to_pid = self.slot_to_pid
+        pending = self.pending
+        contexts = self.contexts
+        next_step = self.next_step
+        label = step.label
+        body = step.body
+        extend = outgoing.extend
+        # one ProcView is recycled across the loop: the engine owns it for
+        # exactly the duration of one body call, and bodies must not
+        # retain views past their superstep (the documented discipline)
+        view = self._view
+        view.label = label
+        outbox = view.outbox
+        clear = outbox.clear
+        # the charged clock is kept in a local and written back once: no
+        # span opens inside this loop, so nothing reads machine.time until
+        # the delivery fold below
+        t = machine.time
         for k in range(csize):
-            pid = self.slot_to_pid[k]
+            pid = slot_to_pid[k]
             # bring the context to the top of memory and back: the paper
             # charges a constant number of accesses to blocks k and 0
+            # (two touches of block k, two of block 0 — charged from the
+            # cached per-slot costs in the same order as touch_range)
             if k > 0:
-                tracer.open("cycle-context", "cycling")
-                lo, hi = self._block_range(k)
-                machine.touch_range(lo, hi)
-                machine.touch_range(lo, hi)
-                machine.touch_range(top_lo, top_hi)
-                machine.touch_range(top_lo, top_hi)
-                tracer.close()
-            inbox = sorted(self.pending[pid])
-            self.pending[pid] = []
-            view = ProcView(pid, self.v, mu, step.label, self.contexts[pid], inbox)
-            step.body(view)
-            tracer.open("local", "local")
-            machine.charge(view.local_time)
-            tracer.close()
-            outgoing.extend(view.outbox)
-            self.next_step[pid] += 1
+                t0 = t
+                bc = block_cost[k]
+                t = t0 + bc
+                t += bc
+                t += top_cost
+                t += top_cost
+                if tracing:
+                    tracer.add_leaf("cycle-context", "cycling", t0, t)
+            view.pid = pid
+            view.ctx = contexts[pid]
+            view.inbox = pending[pid]  # kept ordered at delivery time
+            pending[pid] = []
+            view.local_time = 1.0
+            body(view)
+            t0 = t
+            t = t0 + view.local_time
+            if tracing:
+                tracer.add_leaf("local", "local", t0, t)
+            extend(outbox)
+            clear()
+            next_step[pid] += 1
+        if csize > 1:
+            # integer sum over the loop, batched (addition is associative)
+            counters.add("words_touched", 4 * mu * (csize - 1))
 
         # message exchange: scan outgoing buffers and deliver each message
         # to the destination's incoming buffer; both endpoints live in the
-        # topmost |C| blocks, located via the sorted-by-pid invariant
-        tracer.open("delivery", "delivery")
+        # topmost |C| blocks, located via the sorted-by-pid invariant.
+        # Charging folds the per-endpoint word costs in message order —
+        # the same float sequence as per-message pairs of length-1
+        # touch_range calls (and as a touch_addresses gather over the
+        # interleaved src/dst addresses).
+        t0 = t
+        pid_to_slot = self.pid_to_slot
+        word_cost = self._slot_word_cost
         for dest, msg in outgoing:
-            src_slot = self.pid_to_slot[msg.src]
-            dst_slot = self.pid_to_slot[dest]
-            machine.touch_range(self._word(src_slot), self._word(src_slot) + 1)
-            machine.touch_range(self._word(dst_slot), self._word(dst_slot) + 1)
-            self.pending[dest].append(msg)
-        tracer.close()
-        self.counters.add("messages", len(outgoing))
+            insort(pending[dest], msg)
+            t += word_cost[pid_to_slot[msg.src]]
+            t += word_cost[pid_to_slot[dest]]
+        machine.time = t
+        if tracing:
+            tracer.add_leaf("delivery", "delivery", t0, t)
+        counters.add("words_touched", 2 * len(outgoing))
+        counters.add("messages", len(outgoing))
 
     # ------------------------------------------------- step 4 of the round
     def _cycle_swaps(
@@ -365,18 +455,24 @@ class _HMMSimRun:
     def _check_invariants(
         self, s: int, label: int, first_pid: int, csize: int
     ) -> None:
-        for k in range(csize):
-            pid = self.slot_to_pid[k]
-            if pid != first_pid + k:
-                raise AssertionError(
-                    f"Invariant 2 violated at round {self.round_index}: slot {k} "
-                    f"holds P{pid}, expected P{first_pid + k}"
-                )
-            if self.next_step[pid] != s:
-                raise AssertionError(
-                    f"Invariant 1 violated at round {self.round_index}: P{pid} "
-                    f"is at superstep {self.next_step[pid]}, cluster expects {s}"
-                )
+        # slice comparisons run at C speed; the scalar loop is only
+        # revisited on failure, to name the offending slot/processor
+        ok = self.slot_to_pid[:csize] == list(
+            range(first_pid, first_pid + csize)
+        ) and self.next_step[first_pid : first_pid + csize] == [s] * csize
+        if not ok:
+            for k in range(csize):
+                pid = self.slot_to_pid[k]
+                if pid != first_pid + k:
+                    raise AssertionError(
+                        f"Invariant 2 violated at round {self.round_index}: slot {k} "
+                        f"holds P{pid}, expected P{first_pid + k}"
+                    )
+                if self.next_step[pid] != s:
+                    raise AssertionError(
+                        f"Invariant 1 violated at round {self.round_index}: P{pid} "
+                        f"is at superstep {self.next_step[pid]}, cluster expects {s}"
+                    )
         if self.sim.check_invariants == "full":
             self._check_contiguity()
 

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.dbsp.program import DUMMY, Program, Superstep
 from repro.functions import AccessFunction
@@ -56,7 +57,17 @@ def build_label_set_hmm(
     """
     if not 0.0 < c2 < 1.0:
         raise ValueError(f"c2 must lie in (0, 1), got {c2}")
-    return _greedy_label_set(lambda lab: f(mu * (v >> lab)), v, c2)
+    try:
+        return list(_label_set_hmm_cached(f, v, mu, c2))
+    except TypeError:  # unhashable custom function
+        return _greedy_label_set(lambda lab: f(mu * (v >> lab)), v, c2)
+
+
+@lru_cache(maxsize=256)
+def _label_set_hmm_cached(
+    f: AccessFunction, v: int, mu: int, c2: float
+) -> tuple[int, ...]:
+    return tuple(_greedy_label_set(lambda lab: f(mu * (v >> lab)), v, c2))
 
 
 def build_label_set_bt(
@@ -77,8 +88,21 @@ def build_label_set_bt(
         raise ValueError(f"c2 must lie in (0, 1), got {c2}")
     if d1 <= 1.0:
         raise ValueError(f"d1 must exceed 1, got {d1}")
+    try:
+        return list(_label_set_bt_cached(v, mu, c2, d1))
+    except TypeError:  # pragma: no cover - all-numeric key, always hashable
+        pass
     return _greedy_label_set(
         lambda lab: math.log2(d1 * mu * (v >> lab)), v, c2
+    )
+
+
+@lru_cache(maxsize=256)
+def _label_set_bt_cached(
+    v: int, mu: int, c2: float, d1: float
+) -> tuple[int, ...]:
+    return tuple(
+        _greedy_label_set(lambda lab: math.log2(d1 * mu * (v >> lab)), v, c2)
     )
 
 
@@ -141,7 +165,33 @@ def smooth_program(program: Program, label_set: list[int]) -> SmoothedProgram:
     (buffers are part of the processor context), so the transformation is
     semantics-preserving — the equivalence tests check this program-by-
     program.
+
+    Results are memoized per ``(program, label_set)`` on the program object
+    itself (so the cache lives and dies with the program): the Brent
+    self-simulation smooths the identical fine-run program once per host
+    processor, and chained runs re-smooth the same program repeatedly.
+    Supersteps are immutable, so sharing the smoothed result is safe.
     """
+    key = tuple(label_set)
+    cache: dict | None = getattr(program, "_smooth_cache", None)
+    if cache is not None:
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
+    result = _smooth_program_uncached(program, label_set)
+    if cache is None:
+        cache = {}
+        try:
+            program._smooth_cache = cache  # type: ignore[attr-defined]
+        except AttributeError:  # pragma: no cover - exotic Program subclass
+            return result
+    cache[key] = result
+    return result
+
+
+def _smooth_program_uncached(
+    program: Program, label_set: list[int]
+) -> SmoothedProgram:
     if label_set[0] != 0 or label_set[-1] != program.log_v:
         raise ValueError(
             f"label set must span 0..log v = {program.log_v}, got {label_set}"

@@ -221,3 +221,29 @@ class TestExport:
         assert lines[1].startswith("delivery")  # sorted by cost, descending
         assert "75.0%" in lines[1]
         assert lines[-1].startswith("total")
+
+
+class TestCountersTraceLevel:
+    """``trace="counters"``: event counters on, span layer off."""
+
+    @pytest.mark.parametrize("engine,opts", [
+        ("hmm", {}), ("bt", {}), ("brent", {"v_host": 4}),
+    ])
+    def test_counters_match_phases_without_breakdown(self, engine, opts):
+        import repro
+
+        kw = dict(engine=engine, f="x^0.5", v=8, baseline=False, **opts)
+        at_counters = repro.run("sort", trace="counters", **kw)
+        at_phases = repro.run("sort", trace="phases", **kw)
+        assert at_counters.time == at_phases.time
+        assert at_counters.counters == at_phases.counters
+        assert at_counters.counters  # non-empty, unlike trace="off"
+        assert at_counters.breakdown == {}
+        assert at_counters.trace == []
+
+    def test_unknown_level_still_rejected(self):
+        from repro.sim.hmm_sim import HMMSimulator
+        from repro.functions import PolynomialAccess
+
+        with pytest.raises(ValueError, match="trace level"):
+            HMMSimulator(PolynomialAccess(0.5), trace="count")

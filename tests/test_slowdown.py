@@ -1,0 +1,42 @@
+"""The slowdown() convention is uniform across simulation results.
+
+All three simulation results (HMM, BT, Brent) expose
+``slowdown(guest_time)``; a zero guest time has no meaningful ratio and
+returns ``None`` — matching ``EngineResult.slowdown``, which the engine
+layer and CLI already render as "n/a".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engines import build_program
+from repro.functions import PolynomialAccess
+from repro.sim.brent import BrentSimulator
+from repro.sim.bt_sim import BTSimulator
+from repro.sim.hmm_sim import HMMSimulator
+
+F = PolynomialAccess(0.5)
+
+
+def _results():
+    program = build_program("broadcast", 8, 4)
+    return [
+        HMMSimulator(F).simulate(program),
+        BTSimulator(F).simulate(program),
+        BrentSimulator(F, v_host=2).simulate(program),
+    ]
+
+
+@pytest.mark.parametrize("res", _results(), ids=["hmm", "bt", "brent"])
+class TestSlowdownConvention:
+    def test_positive_guest_time_gives_the_ratio(self, res):
+        assert res.slowdown(2.0) == res.time / 2.0
+
+    def test_zero_guest_time_gives_none(self, res):
+        assert res.slowdown(0.0) is None
+
+    def test_negative_guest_time_gives_none(self, res):
+        # degenerate inputs follow the zero-time convention rather than
+        # producing a negative "slowdown"
+        assert res.slowdown(-1.0) is None
