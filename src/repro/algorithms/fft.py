@@ -64,30 +64,56 @@ def fft_dag_program(
     log_v = log2_exact(v)
     make_value = make_value or _default_input
 
-    def send_stage(t: int) -> Callable[[ProcView], None]:
-        half = v >> (t + 1)
+    steps = [
+        Superstep(t, _dag_stage_body(t, v), name=f"fft-stage{t}")
+        for t in range(log_v)
+    ]
+    steps.append(Superstep(log_v, _dag_finish_body(), name="fft-finish"))
 
-        def body(view: ProcView) -> None:
-            if t > 0:
-                _apply_butterfly(view, v >> (t - 1))
-            view.send(view.pid ^ half, view.ctx["x"])
-            view.charge(1)
+    return Program(
+        v, mu, steps, make_context=_fft_context(make_value), name=f"fft-dag(n={v})"
+    )
 
-        return body
 
-    def finish(view: ProcView) -> None:
+class _dag_stage_body:
+    """Stage-``t`` body of the DAG schedule.
+
+    A module-level class (not a closure) so built programs can cross
+    process boundaries — the parallel round scheduler pickles superstep
+    bodies into worker processes.
+    """
+
+    __slots__ = ("prev_m", "half")
+
+    def __init__(self, t: int, v: int):
+        self.prev_m = v >> (t - 1) if t > 0 else 0
+        self.half = v >> (t + 1)
+
+    def __call__(self, view: ProcView) -> None:
+        if self.prev_m:
+            _apply_butterfly(view, self.prev_m)
+        view.send(view.pid ^ self.half, view.ctx["x"])
+        view.charge(1)
+
+
+class _dag_finish_body:
+    __slots__ = ()
+
+    def __call__(self, view: ProcView) -> None:
         _apply_butterfly(view, 2)
         view.charge(1)
 
-    steps = [
-        Superstep(t, send_stage(t), name=f"fft-stage{t}") for t in range(log_v)
-    ]
-    steps.append(Superstep(log_v, finish, name="fft-finish"))
 
-    def make_context(pid: int) -> dict:
-        return {"x": make_value(pid)}
+class _fft_context:
+    """``make_context`` for the FFT programs (picklable)."""
 
-    return Program(v, mu, steps, make_context=make_context, name=f"fft-dag(n={v})")
+    __slots__ = ("make_value",)
+
+    def __init__(self, make_value):
+        self.make_value = make_value
+
+    def __call__(self, pid: int) -> dict:
+        return {"x": self.make_value(pid)}
 
 
 def _apply_butterfly(view: ProcView, m: int) -> None:
@@ -132,40 +158,32 @@ def fft_recursive_program(
     if events:
         steps.append(Superstep(0, _chain(events[-1].apply, None), name="fft-flush"))
 
-    def make_context(pid: int) -> dict:
-        return {"x": make_value(pid)}
+    return Program(
+        v, mu, steps, make_context=_fft_context(make_value), name=f"fft-rec(n={v})"
+    )
 
-    return Program(v, mu, steps, make_context=make_context, name=f"fft-rec(n={v})")
 
+class _chain:
+    """Compose an apply body and a send body into one superstep body.
 
-def _chain(apply_fn, send_fn) -> Callable[[ProcView], None]:
-    # specialized per (apply, send) presence: these run once per
-    # (processor, superstep), so the None tests are worth hoisting
-    if apply_fn is None and send_fn is None:
+    Module-level and attribute-based (rather than a specialized closure)
+    so the composed bodies pickle into parallel workers.
+    """
 
-        def body(view: ProcView) -> None:
-            view.charge(1)
+    __slots__ = ("apply_fn", "send_fn")
 
-    elif apply_fn is None:
+    def __init__(self, apply_fn, send_fn):
+        self.apply_fn = apply_fn
+        self.send_fn = send_fn
 
-        def body(view: ProcView) -> None:
-            send_fn(view)
-            view.charge(1)
-
-    elif send_fn is None:
-
-        def body(view: ProcView) -> None:
+    def __call__(self, view: ProcView) -> None:
+        apply_fn = self.apply_fn
+        if apply_fn is not None:
             apply_fn(view)
-            view.charge(1)
-
-    else:
-
-        def body(view: ProcView) -> None:
-            apply_fn(view)
+        send_fn = self.send_fn
+        if send_fn is not None:
             send_fn(view)
-            view.charge(1)
-
-    return body
+        view.charge(1)
 
 
 def _store(view: ProcView) -> None:
@@ -180,18 +198,7 @@ def _events_for(m: int, log_v: int) -> list[_Event]:
         return []
     label = log_v - log2_exact(m)
     if m == 2:
-
-        def send2(view: ProcView) -> None:
-            view.send(view.pid ^ 1, view.ctx["x"])
-
-        def apply2(view: ProcView) -> None:
-            (msg,) = view.inbox
-            if view.pid & 1:
-                view.ctx["x"] = msg.payload - view.ctx["x"]
-            else:
-                view.ctx["x"] = view.ctx["x"] + msg.payload
-
-        return [_Event(label, f"fft2@{label}", send2, apply2)]
+        return [_Event(label, f"fft2@{label}", _fft2_send(), _fft2_apply())]
 
     log_m = log2_exact(m)
     r = 1 << ((log_m + 1) // 2)  # R: size of the first (column-DFT) layer
@@ -205,24 +212,52 @@ def _events_for(m: int, log_v: int) -> list[_Event]:
     t2_tw = [cmath.exp(-2j * cmath.pi * (j // r) * (j % r) / m) for j in range(m)]
     t3_dest = [(j % c) * r + j // c for j in range(m)]
 
-    def transpose1(view: ProcView) -> None:
-        j = view.pid % m
-        view.send(view.pid - j + t1_dest[j], view.ctx["x"])
-
-    def twiddle_transpose2(view: ProcView) -> None:
-        j = view.pid % m
-        view.send(view.pid - j + t2_dest[j], view.ctx["x"] * t2_tw[j])
-
-    def transpose3(view: ProcView) -> None:
-        j = view.pid % m
-        view.send(view.pid - j + t3_dest[j], view.ctx["x"])
-
-    events = [_Event(label, f"fft-T1@{label}", transpose1, _store)]
+    events = [_Event(label, f"fft-T1@{label}", _transpose(m, t1_dest), _store)]
     events += _events_for(r, log_v)
-    events.append(_Event(label, f"fft-T2@{label}", twiddle_transpose2, _store))
+    events.append(
+        _Event(label, f"fft-T2@{label}", _transpose(m, t2_dest, t2_tw), _store)
+    )
     events += _events_for(c, log_v)
-    events.append(_Event(label, f"fft-T3@{label}", transpose3, _store))
+    events.append(_Event(label, f"fft-T3@{label}", _transpose(m, t3_dest), _store))
     return events
+
+
+class _fft2_send:
+    __slots__ = ()
+
+    def __call__(self, view: ProcView) -> None:
+        view.send(view.pid ^ 1, view.ctx["x"])
+
+
+class _fft2_apply:
+    __slots__ = ()
+
+    def __call__(self, view: ProcView) -> None:
+        (msg,) = view.inbox
+        if view.pid & 1:
+            view.ctx["x"] = msg.payload - view.ctx["x"]
+        else:
+            view.ctx["x"] = view.ctx["x"] + msg.payload
+
+
+class _transpose:
+    """Send body of a transpose event: route ``j = pid % m`` to ``dest[j]``,
+    multiplying in the twiddle ``tw[j]`` when given (picklable)."""
+
+    __slots__ = ("m", "dest", "tw")
+
+    def __init__(self, m: int, dest: list[int], tw: list[complex] | None = None):
+        self.m = m
+        self.dest = dest
+        self.tw = tw
+
+    def __call__(self, view: ProcView) -> None:
+        j = view.pid % self.m
+        tw = self.tw
+        if tw is None:
+            view.send(view.pid - j + self.dest[j], view.ctx["x"])
+        else:
+            view.send(view.pid - j + self.dest[j], view.ctx["x"] * tw[j])
 
 
 # ------------------------------------------------------------------ bounds

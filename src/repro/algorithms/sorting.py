@@ -36,7 +36,7 @@ def bitonic_sort_program(
 ) -> Program:
     """Build the bitonic n-sorting program for ``v = n`` processors."""
     log_v = log2_exact(v)
-    make_key = make_key or (lambda pid: (pid * 2654435761) % (1 << 20))
+    make_key = make_key or _hash_key()
 
     steps: list[Superstep] = []
     # (k, j) enumerates the network: merge stages k, distances 2^j inside
@@ -53,10 +53,9 @@ def bitonic_sort_program(
     steps.append(Superstep(0, _final_body(pairs[-1] if pairs else None),
                            name="bitonic-final"))
 
-    def make_context(pid: int) -> dict:
-        return {"key": make_key(pid)}
-
-    return Program(v, mu, steps, make_context=make_context, name=f"bitonic(n={v})")
+    return Program(
+        v, mu, steps, make_context=_sort_context(make_key), name=f"bitonic(n={v})"
+    )
 
 
 def _keep_smaller(pid: int, k: int, j: int) -> bool:
@@ -84,40 +83,77 @@ def _apply_exchange(view: ProcView, k: int, j: int) -> None:
         ctx["key"] = mine if mine > other else other
 
 
-def _exchange_body(prev: tuple[int, int] | None, k: int, j: int):
-    bit = 1 << j
+class _exchange_body:
+    """Compare-exchange step body.
 
-    if prev is None:
+    A module-level class (not a closure) so built programs can cross
+    process boundaries — the parallel round scheduler pickles superstep
+    bodies into worker processes.
+    """
 
-        def body(view: ProcView) -> None:
-            view.send(view.pid ^ bit, view.ctx["key"])
-            view.charge(1)
+    __slots__ = ("prev", "bit")
 
-    else:
-        pk, pj = prev
+    def __init__(self, prev: tuple[int, int] | None, k: int, j: int):
+        self.prev = prev
+        self.bit = 1 << j
 
-        def body(view: ProcView) -> None:
-            _apply_exchange(view, pk, pj)
-            view.send(view.pid ^ bit, view.ctx["key"])
-            view.charge(1)
+    def __call__(self, view: ProcView) -> None:
+        prev = self.prev
+        if prev is not None:
+            _apply_exchange(view, prev[0], prev[1])
+        view.send(view.pid ^ self.bit, view.ctx["key"])
+        view.charge(1)
 
-    return body
+    def __getstate__(self):
+        return (self.prev, self.bit)
+
+    def __setstate__(self, state):
+        self.prev, self.bit = state
 
 
-def _final_body(last: tuple[int, int] | None):
-    if last is None:
+class _final_body:
+    """Closing step body: apply the last pending exchange (picklable)."""
 
-        def body(view: ProcView) -> None:
-            view.charge(1)
+    __slots__ = ("last",)
 
-    else:
-        lk, lj = last
+    def __init__(self, last: tuple[int, int] | None):
+        self.last = last
 
-        def body(view: ProcView) -> None:
-            _apply_exchange(view, lk, lj)
-            view.charge(1)
+    def __call__(self, view: ProcView) -> None:
+        last = self.last
+        if last is not None:
+            _apply_exchange(view, last[0], last[1])
+        view.charge(1)
 
-    return body
+    def __getstate__(self):
+        return self.last
+
+    def __setstate__(self, state):
+        self.last = state
+
+
+class _hash_key:
+    """Default key generator (picklable, unlike a lambda)."""
+
+    __slots__ = ()
+
+    def __call__(self, pid: int) -> int:
+        return (pid * 2654435761) % (1 << 20)
+
+    def __reduce__(self):
+        return (_hash_key, ())
+
+
+class _sort_context:
+    """``make_context`` for the sort program (picklable)."""
+
+    __slots__ = ("make_key",)
+
+    def __init__(self, make_key):
+        self.make_key = make_key
+
+    def __call__(self, pid: int) -> dict:
+        return {"key": self.make_key(pid)}
 
 
 def dbsp_sort_time_bound(g: AccessFunction, n: int, mu: int = 8) -> float:

@@ -29,18 +29,36 @@ costs of every run in the matrix are deterministic and asserted elsewhere
 from __future__ import annotations
 
 import json
+import os
 import platform
+import subprocess
 import sys
 import time
 from dataclasses import dataclass, field
 from typing import Any
 
 from repro.engines import ENGINES, build_program, resolve_access_function
+from repro.parallel.config import SERIAL, ParallelConfig, resolve_parallel
 
-__all__ = ["Workload", "WORKLOADS", "SMOKE_CAPS", "run_bench", "check_against"]
+__all__ = [
+    "Workload",
+    "WORKLOADS",
+    "SMOKE_CAPS",
+    "BENCH_SCHEMA",
+    "bench_header",
+    "sweep_workload",
+    "run_bench",
+    "check_against",
+]
 
 #: default per-workload wall-clock budget (seconds) for the full matrix
 DEFAULT_BUDGET_S = 8.0
+
+#: bench document schema.  2 added ``cpu_count``, ``jobs`` and
+#: ``revision`` to the header — the context needed to interpret parallel
+#: results (a ``--jobs 4`` run on a 1-core host measures overhead, not
+#: speedup).  Documents with different schemas are not comparable.
+BENCH_SCHEMA = 2
 
 
 @dataclass(frozen=True)
@@ -78,7 +96,7 @@ SMOKE_CAPS = {"default": 128, "touch": 1 << 16}
 
 
 def _run_engine_workload(
-    w: Workload, v: int, repeats: int = 3
+    w: Workload, v: int, repeats: int = 3, parallel: ParallelConfig = SERIAL
 ) -> dict[str, Any] | None:
     """One (engine, program, v) cell; None when the program can't build.
 
@@ -91,21 +109,35 @@ def _run_engine_workload(
         program = build_program(w.program, v, w.mu)
     except ValueError:
         return None  # e.g. matmul needs a power of 4
+    opts = dict(w.opts)
+    if parallel.enabled and w.engine in ("hmm", "brent"):
+        opts["parallel"] = parallel
     # raw engine throughput: span layer off, event counters on (the
     # throughput metric is charged words per second).  Older engine
-    # revisions only know off/phases/full; fall back to their default.
+    # revisions only know off/phases/full: probe the level on the first
+    # run only, and only swallow the "unknown trace level" rejection —
+    # a genuine engine or program ValueError must propagate.
     trace_level = "counters"
     wall = None
     total = 0.0
     res = None
-    for _ in range(max(1, repeats)):
+    for attempt in range(max(1, repeats)):
         t0 = time.perf_counter()
-        try:
-            res = ENGINES[w.engine].run(program, f, trace=trace_level, **w.opts)
-        except ValueError:
-            trace_level = "phases"
-            t0 = time.perf_counter()
-            res = ENGINES[w.engine].run(program, f, trace=trace_level, **w.opts)
+        if attempt == 0:
+            try:
+                res = ENGINES[w.engine].run(
+                    program, f, trace=trace_level, **opts
+                )
+            except ValueError as exc:
+                if "trace level" not in str(exc):
+                    raise
+                trace_level = "phases"
+                t0 = time.perf_counter()
+                res = ENGINES[w.engine].run(
+                    program, f, trace=trace_level, **opts
+                )
+        else:
+            res = ENGINES[w.engine].run(program, f, trace=trace_level, **opts)
         elapsed = time.perf_counter() - t0
         total += elapsed
         if wall is None or elapsed < wall:
@@ -157,73 +189,135 @@ def _run_touch_workload(kind: str, n: int) -> dict[str, Any]:
     }
 
 
+def _git_revision() -> str:
+    """Short git revision of the working tree, or ``"unknown"``."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+    except OSError:
+        return "unknown"
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else "unknown"
+
+
+def bench_header(
+    budget_s: float, smoke: bool, jobs: int = 1
+) -> dict[str, Any]:
+    """The schema-2 document header: provenance + host context.
+
+    ``cpu_count`` and ``jobs`` together say whether a parallel run could
+    have sped anything up; ``revision`` ties the numbers to the code that
+    produced them.
+    """
+    produced_by = "python -m repro bench"
+    if smoke:
+        produced_by += " --smoke"
+    if jobs > 1:
+        produced_by += f" --jobs {jobs}"
+    return {
+        "schema": BENCH_SCHEMA,
+        "produced_by": produced_by,
+        "budget_s": budget_s,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "jobs": jobs,
+        "revision": _git_revision(),
+        "workloads": {},
+    }
+
+
+def sweep_workload(
+    w: Workload,
+    budget_s: float = DEFAULT_BUDGET_S,
+    smoke: bool = False,
+    parallel: ParallelConfig = SERIAL,
+    echo=None,
+) -> dict[str, Any]:
+    """Sweep one workload's sizes; return its document entry.
+
+    Sizes grow geometrically from ``start`` until the cumulative wall
+    clock exceeds ``budget_s`` or the cap is reached; ``peak`` is the
+    largest size completed.  ``smoke`` shrinks the caps (CI-friendly)
+    without changing the matrix.  This is also the unit of work the
+    distributed bench runner ships to worker processes — wall clock is
+    measured inside, serially per cell, so distribution never distorts a
+    cell's own numbers.
+    """
+    touch = w.engine.startswith("touch-")
+    cap = w.cap
+    if smoke:
+        cap = min(cap, SMOKE_CAPS["touch" if touch else "default"])
+    sweep: list[dict[str, Any]] = []
+    spent = 0.0
+    v = w.start if not (smoke and not touch) else min(w.start, cap)
+    while v <= cap:
+        cell = (
+            _run_touch_workload(w.engine, v)
+            if touch
+            else _run_engine_workload(w, v, parallel=parallel)
+        )
+        if cell is not None:
+            sweep.append(cell)
+            spent += cell.get("wall_s_total", cell["wall_s"])
+        if echo:
+            echo(
+                f"  {w.name:14s} size {v:>8d}  "
+                f"wall {cell['wall_s']:.3f}s" if cell else
+                f"  {w.name:14s} size {v:>8d}  skipped"
+            )
+        if spent > budget_s:
+            break
+        v *= 2
+    best_words = max(
+        (c["charged_words_per_s"] for c in sweep
+         if c["charged_words_per_s"]),
+        default=None,
+    )
+    best_rounds = max(
+        (c["rounds_per_s"] for c in sweep if c["rounds_per_s"]),
+        default=None,
+    )
+    return {
+        "engine": w.engine,
+        "program": w.program,
+        "f": w.f,
+        "mu": w.mu,
+        "delivery_heavy": w.delivery_heavy,
+        "peak": sweep[-1]["v"] if sweep else None,
+        "best_charged_words_per_s": best_words,
+        "best_rounds_per_s": best_rounds,
+        "sweep": sweep,
+    }
+
+
 def run_bench(
     budget_s: float = DEFAULT_BUDGET_S,
     smoke: bool = False,
     workloads: tuple[Workload, ...] = WORKLOADS,
     echo=None,
+    jobs: int = 1,
 ) -> dict[str, Any]:
     """Run the matrix; return the JSON-serializable result document.
 
-    Each workload sweeps its size geometrically from ``start`` until its
-    cumulative wall-clock exceeds ``budget_s`` or the cap is reached;
-    ``peak`` is the largest size completed.  ``smoke`` shrinks the caps
-    (CI-friendly) without changing the matrix.
+    ``jobs > 1`` turns on *engine-internal* parallelism for the hmm and
+    brent rows (the charged results are bit-identical either way); each
+    cell's wall clock then includes all dispatch overhead, so the
+    recorded throughput stays honest.  To distribute whole workloads
+    across the pool instead, see
+    :func:`repro.parallel.sweep.run_matrix_distributed`.
     """
-    doc: dict[str, Any] = {
-        "schema": 1,
-        "produced_by": "python -m repro bench" + (" --smoke" if smoke else ""),
-        "budget_s": budget_s,
-        "python": platform.python_version(),
-        "platform": platform.platform(),
-        "workloads": {},
-    }
+    parallel = resolve_parallel(jobs) if jobs > 1 else SERIAL
+    doc = bench_header(budget_s, smoke, jobs)
     for w in workloads:
-        touch = w.engine.startswith("touch-")
-        cap = w.cap
-        if smoke:
-            cap = min(cap, SMOKE_CAPS["touch" if touch else "default"])
-        sweep: list[dict[str, Any]] = []
-        spent = 0.0
-        v = w.start if not (smoke and not touch) else min(w.start, cap)
-        while v <= cap:
-            cell = (
-                _run_touch_workload(w.engine, v)
-                if touch
-                else _run_engine_workload(w, v)
-            )
-            if cell is not None:
-                sweep.append(cell)
-                spent += cell.get("wall_s_total", cell["wall_s"])
-            if echo:
-                echo(
-                    f"  {w.name:14s} size {v:>8d}  "
-                    f"wall {cell['wall_s']:.3f}s" if cell else
-                    f"  {w.name:14s} size {v:>8d}  skipped"
-                )
-            if spent > budget_s:
-                break
-            v *= 2
-        best_words = max(
-            (c["charged_words_per_s"] for c in sweep
-             if c["charged_words_per_s"]),
-            default=None,
+        doc["workloads"][w.name] = sweep_workload(
+            w, budget_s, smoke, parallel=parallel, echo=echo
         )
-        best_rounds = max(
-            (c["rounds_per_s"] for c in sweep if c["rounds_per_s"]),
-            default=None,
-        )
-        doc["workloads"][w.name] = {
-            "engine": w.engine,
-            "program": w.program,
-            "f": w.f,
-            "mu": w.mu,
-            "delivery_heavy": w.delivery_heavy,
-            "peak": sweep[-1]["v"] if sweep else None,
-            "best_charged_words_per_s": best_words,
-            "best_rounds_per_s": best_rounds,
-            "sweep": sweep,
-        }
     return doc
 
 
@@ -232,6 +326,12 @@ def check_against(
 ) -> list[str]:
     """Compare a fresh run against a recorded baseline.
 
+    Refuses (raises :class:`ValueError`) when the two documents carry
+    different schema versions — the fields that qualify a schema-2
+    result (``cpu_count``, ``jobs``) have no counterpart in a schema-1
+    document, so a cross-schema comparison silently compares
+    incomparable runs.
+
     Returns a list of human-readable regression messages (empty = pass).
     Only workloads and sweep sizes present in *both* documents are
     compared (the smoke matrix is a prefix of the full one), and only in
@@ -239,6 +339,15 @@ def check_against(
     is a regression.  The tolerance is generous by design — wall-clock
     numbers cross machines.
     """
+    fresh_schema = fresh.get("schema")
+    base_schema = baseline.get("schema")
+    if fresh_schema != base_schema:
+        raise ValueError(
+            f"cannot compare bench documents across schemas: fresh run is "
+            f"schema {fresh_schema!r}, baseline is schema {base_schema!r}. "
+            f"Regenerate the baseline with the current code "
+            f"(python -m repro bench -o <baseline.json>) and re-check."
+        )
     problems: list[str] = []
     for name, base_wl in baseline.get("workloads", {}).items():
         fresh_wl = fresh.get("workloads", {}).get(name)

@@ -3,9 +3,12 @@
 ::
 
     python -m repro run sort --v 64 --f x^0.5 --engine all
+    python -m repro run sort --v 64 --engine hmm --jobs 4
     python -m repro profile sort --v 64 --f x^0.5 --engine bt
     python -m repro touch --n 65536 --f log
+    python -m repro touch --sweep 4096,16384,65536 --jobs 4
     python -m repro bench --smoke
+    python -m repro bench --jobs 4
     python -m repro list
 
 ``run`` executes one of the bundled D-BSP programs on the chosen engine(s)
@@ -70,9 +73,13 @@ def _build_program(name: str, v: int, mu: int):
 
 
 def _engine_opts(engine: str, args) -> dict:
+    opts: dict = {}
     if engine == "brent":
-        return {"v_host": args.v_host or max(1, args.v // 4)}
-    return {}
+        opts["v_host"] = args.v_host or max(1, args.v // 4)
+    jobs = getattr(args, "jobs", None)
+    if jobs and jobs > 1 and engine in ("hmm", "brent"):
+        opts["parallel"] = jobs
+    return opts
 
 
 def _dump_json(doc) -> None:
@@ -196,9 +203,20 @@ def cmd_bench(args) -> int:
     echo = None if args.json else print
     if echo:
         mode = "smoke matrix" if args.smoke else "full matrix"
+        extra = f", jobs={args.jobs}" if args.jobs > 1 else ""
+        extra += ", distributed" if args.distribute else ""
         echo(f"benchmarking simulator wall-clock throughput ({mode}, "
-             f"budget {args.budget:g}s/workload)")
-    doc = run_bench(budget_s=args.budget, smoke=args.smoke, echo=echo)
+             f"budget {args.budget:g}s/workload{extra})")
+    if args.distribute:
+        from repro.parallel.sweep import run_matrix_distributed
+
+        doc = run_matrix_distributed(
+            budget_s=args.budget, smoke=args.smoke,
+            parallel=args.jobs, echo=echo,
+        )
+    else:
+        doc = run_bench(budget_s=args.budget, smoke=args.smoke, echo=echo,
+                        jobs=args.jobs)
 
     if args.check:
         try:
@@ -235,7 +253,33 @@ def cmd_bench(args) -> int:
 
 
 def cmd_touch(args) -> int:
-    f, n = args.f, args.n
+    if args.sweep:
+        from repro.parallel.sweep import touch_sweep
+
+        try:
+            sizes = [int(s) for s in args.sweep.split(",")]
+        except ValueError:
+            raise SystemExit(
+                f"--sweep expects comma-separated sizes, got {args.sweep!r}"
+            )
+        doc = touch_sweep(sizes, f=args.f, parallel=args.jobs)
+        if args.json:
+            _dump_json(doc)
+            return 0
+        print(f"touching sweep, f = {doc['f']}")
+        print(f"{'n':>10s} {'HMM cost':>14s} {'BT cost':>14s} "
+              f"{'BT wins by':>11s}")
+        for cell in doc["cells"]:
+            adv = cell["bt_advantage"]
+            adv_s = f"{adv:>10.1f}x" if adv else f"{'n/a':>11s}"
+            print(f"{cell['n']:>10d} {cell['hmm_cost']:>14.1f} "
+                  f"{cell['bt_cost']:>14.1f} {adv_s}")
+        return 0
+    try:
+        f = resolve_access_function(args.f)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    n = args.n
     hmm = HMMMachine(f, n)
     hmm.mem[:n] = [1] * n
     hmm_cost = hmm_touch_all(hmm, n)
@@ -288,6 +332,9 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["direct", "hmm", "bt", "brent", "all"])
     p_run.add_argument("--v-host", type=int, default=None,
                        help="host width for the brent engine (default v/4)")
+    p_run.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for the hmm/brent engines "
+                            "(charged costs are identical for any value)")
     p_run.add_argument("--json", action="store_true",
                        help="emit a JSON document instead of text")
     p_run.set_defaults(func=cmd_run)
@@ -308,6 +355,9 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=["direct", "hmm", "bt", "brent"])
     p_prof.add_argument("--v-host", type=int, default=None,
                         help="host width for the brent engine (default v/4)")
+    p_prof.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (full tracing pins the run "
+                             "serial; kept for flag symmetry with run)")
     p_prof.add_argument("--json", action="store_true",
                         help="emit the full result (trace included) as JSON")
     p_prof.add_argument("--jsonl", metavar="PATH", default=None,
@@ -329,13 +379,25 @@ def build_parser() -> argparse.ArgumentParser:
                               "throughput regressions")
     p_bench.add_argument("--tolerance", type=float, default=3.0,
                          help="allowed slow-down factor for --check")
+    p_bench.add_argument("--jobs", type=int, default=1,
+                         help="worker processes inside each cell's engine "
+                              "(hmm/brent); charged costs are unchanged")
+    p_bench.add_argument("--distribute", action="store_true",
+                         help="run one workload per worker task instead "
+                              "(wall clock measured inside each worker)")
     p_bench.add_argument("--json", action="store_true",
                          help="emit the result document to stdout as JSON")
     p_bench.set_defaults(func=cmd_bench)
 
     p_touch = sub.add_parser("touch", help="Fact 1 vs Fact 2 at one size")
     p_touch.add_argument("--n", type=int, default=1 << 16)
-    p_touch.add_argument("--f", type=parse_access_function, default="x^0.5")
+    p_touch.add_argument("--f", default="x^0.5",
+                         help=f"access function: {FUNCTION_HELP}")
+    p_touch.add_argument("--sweep", default=None, metavar="N1,N2,...",
+                         help="run the Fact 1/2 sweep over these sizes "
+                              "(cells fan out across --jobs workers)")
+    p_touch.add_argument("--jobs", type=int, default=1,
+                         help="worker processes for --sweep cells")
     p_touch.add_argument("--json", action="store_true",
                          help="emit a JSON document instead of text")
     p_touch.set_defaults(func=cmd_touch)

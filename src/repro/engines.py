@@ -282,6 +282,10 @@ class DirectEngine:
         trace: str = "phases",
         **opts: Any,
     ) -> EngineResult:
+        opts = dict(opts)
+        # the direct executor has no host side to parallelize; accept and
+        # ignore the knob so callers can pass it engine-agnostically
+        opts.pop("parallel", None)
         res: DBSPRunResult = DBSPMachine(f, **opts).run(
             program.with_global_sync()
         )
@@ -342,6 +346,10 @@ class BTEngine:
         trace: str = "phases",
         **opts: Any,
     ) -> EngineResult:
+        opts = dict(opts)
+        # the BT scheduler is a single recursive descent with no
+        # independent sub-simulations; accept and ignore the knob
+        opts.pop("parallel", None)
         res = BTSimulator(f, trace=trace, **opts).simulate(program)
         return EngineResult(
             engine=self.name,
@@ -429,7 +437,9 @@ def run(
         attach ``baseline_time`` and the measured ``slowdown``.
     opts:
         Passed through to the engine (e.g. ``sort="mergesort"`` for
-        ``bt``, ``v_host=16`` for ``brent``).
+        ``bt``, ``v_host=16`` for ``brent``, ``parallel=4`` for worker
+        processes on ``hmm``/``brent`` — ignored by engines with no
+        host side to parallelize).
 
     >>> from repro import run
     >>> result = run("sort", engine="bt", f="x^0.5", v=16)

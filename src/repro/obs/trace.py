@@ -30,7 +30,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
-__all__ = ["SpanRecord", "Tracer", "NullTracer", "NULL_TRACER", "OTHER"]
+__all__ = [
+    "SpanRecord",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "OTHER",
+    "tag_spans",
+    "merge_span_lists",
+]
 
 #: category that uncategorized root-level self cost is attributed to
 OTHER = "other"
@@ -81,6 +89,49 @@ class SpanRecord:
             self_cost=doc["self_cost"],
             attrs=doc.get("attrs", {}),
         )
+
+
+def tag_spans(spans: list[SpanRecord], worker: Any) -> list[SpanRecord]:
+    """Mark every span with the worker that produced it (in place).
+
+    Fan-out consumers (the parallel sweep runner) collect span lists from
+    worker processes; tagging keeps provenance visible after the lists
+    are merged.  Returns ``spans`` for chaining.
+    """
+    for span in spans:
+        span.attrs["worker"] = worker
+    return spans
+
+
+def merge_span_lists(lists: list[list[SpanRecord]]) -> list[SpanRecord]:
+    """Deterministically concatenate per-worker span lists into one.
+
+    Each input list is a self-contained span forest over its worker's own
+    charged-cost clock; merging re-indexes spans (``index``/``parent``
+    shifted by the running offset) so the result is again a valid forest,
+    in input order.  Clock values are left untouched — spans from
+    different workers measure different clocks, which is why consumers
+    tag them (:func:`tag_spans`) rather than splicing the timelines.
+    """
+    merged: list[SpanRecord] = []
+    for spans in lists:
+        offset = len(merged)
+        for span in spans:
+            merged.append(
+                SpanRecord(
+                    index=span.index + offset,
+                    parent=span.parent + offset if span.parent >= 0 else -1,
+                    depth=span.depth,
+                    name=span.name,
+                    category=span.category,
+                    start=span.start,
+                    end=span.end,
+                    cost=span.cost,
+                    self_cost=span.self_cost,
+                    attrs=dict(span.attrs),
+                )
+            )
+    return merged
 
 
 class _SpanContext:

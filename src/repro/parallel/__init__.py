@@ -1,0 +1,48 @@
+"""Host-parallel execution: worker pool, round scheduling, sweep runner.
+
+This package reclaims *host* parallelism — multiple worker processes on
+the machine running the simulators — without ever changing *model*
+results: charged costs, counters and phase breakdowns are bit-identical
+to the serial path for any job count (see ``DESIGN.md: Host parallelism
+vs. model parallelism``, and ``tests/test_parallel.py`` which pins the
+claim).
+
+Entry points:
+
+* simulators accept ``parallel=`` (a :class:`ParallelConfig`, a job
+  count, or ``None`` to read ``REPRO_JOBS``);
+* ``python -m repro bench --jobs N`` / ``run --jobs N`` on the CLI;
+* :mod:`repro.parallel.sweep` for distributing independent cells.
+"""
+
+from repro.parallel.config import (
+    SERIAL,
+    ParallelConfig,
+    ParallelFallbackWarning,
+    reset_fallback_warnings,
+    resolve_parallel,
+    warn_fallback_once,
+)
+from repro.parallel.pool import (
+    PoolUnavailable,
+    WorkerPool,
+    dumps_payload,
+    shared_pool,
+)
+from repro.parallel.sweep import parallel_map, run_cells, touch_sweep
+
+__all__ = [
+    "ParallelConfig",
+    "ParallelFallbackWarning",
+    "SERIAL",
+    "resolve_parallel",
+    "warn_fallback_once",
+    "reset_fallback_warnings",
+    "PoolUnavailable",
+    "WorkerPool",
+    "dumps_payload",
+    "shared_pool",
+    "parallel_map",
+    "touch_sweep",
+    "run_cells",
+]

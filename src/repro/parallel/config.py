@@ -1,0 +1,118 @@
+"""Parallelism configuration and graceful-degradation policy.
+
+A :class:`ParallelConfig` says *how much* host parallelism a simulator or
+sweep runner may use; it never changes *what* is computed — charged model
+costs are bit-identical with any ``jobs`` value (see
+``DESIGN.md: Host parallelism vs. model parallelism``).
+
+``jobs <= 1`` disables fan-out entirely.  ``min_work_per_task`` is the
+work-estimate floor (roughly "processor-supersteps" of guest work) below
+which a candidate task stays inline: dispatching a tiny cluster to a
+worker process costs more in pickling than the simulation itself.
+
+Degradation is always graceful: when the pool cannot be used (process
+start failure, unpicklable program bodies, a worker lost mid-flight) the
+caller falls back to the serial path — same results, one
+:class:`ParallelFallbackWarning` per process per reason.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from dataclasses import dataclass
+
+__all__ = [
+    "ParallelConfig",
+    "ParallelFallbackWarning",
+    "SERIAL",
+    "resolve_parallel",
+    "warn_fallback_once",
+    "reset_fallback_warnings",
+]
+
+#: default work floor: a fanned-out task should simulate at least this
+#: many (processor, superstep) body executions to amortize dispatch
+DEFAULT_MIN_WORK_PER_TASK = 4096
+
+
+class ParallelFallbackWarning(RuntimeWarning):
+    """A parallel path silently degraded to the serial one (results are
+    unaffected — only wall-clock speedup is lost)."""
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """How much host parallelism to use, and when to fall back.
+
+    Parameters
+    ----------
+    jobs:
+        Worker-process count; ``<= 1`` means serial (no pool is touched).
+    min_work_per_task:
+        Work-estimate floor below which candidate tasks stay inline.
+    fallback:
+        When ``True`` (default), pool or pickling failures degrade to the
+        serial path with a one-shot :class:`ParallelFallbackWarning`;
+        when ``False`` they raise — for tests and debugging.
+    """
+
+    jobs: int = 1
+    min_work_per_task: int = DEFAULT_MIN_WORK_PER_TASK
+    fallback: bool = True
+
+    @property
+    def enabled(self) -> bool:
+        return self.jobs > 1
+
+    @classmethod
+    def from_env(cls) -> "ParallelConfig":
+        """Read ``REPRO_JOBS`` (unset, empty or invalid -> serial)."""
+        raw = os.environ.get("REPRO_JOBS", "").strip()
+        if not raw:
+            return SERIAL
+        try:
+            jobs = int(raw)
+        except ValueError:
+            warn_fallback_once(f"ignoring non-integer REPRO_JOBS={raw!r}")
+            return SERIAL
+        return cls(jobs=jobs) if jobs > 1 else SERIAL
+
+
+#: the do-nothing config: every consumer treats it as "stay serial"
+SERIAL = ParallelConfig(jobs=1)
+
+
+def resolve_parallel(
+    parallel: "ParallelConfig | int | None",
+) -> ParallelConfig:
+    """Normalize a user-facing ``parallel`` argument.
+
+    ``None`` defers to the environment (``REPRO_JOBS``), an ``int`` is a
+    job count, and a :class:`ParallelConfig` passes through.
+    """
+    if parallel is None:
+        return ParallelConfig.from_env()
+    if isinstance(parallel, ParallelConfig):
+        return parallel
+    if isinstance(parallel, int):
+        return ParallelConfig(jobs=parallel) if parallel > 1 else SERIAL
+    raise TypeError(
+        f"parallel must be ParallelConfig | int | None, got {parallel!r}"
+    )
+
+
+_warned_reasons: set[str] = set()
+
+
+def warn_fallback_once(reason: str) -> None:
+    """Emit one :class:`ParallelFallbackWarning` per process per reason."""
+    if reason in _warned_reasons:
+        return
+    _warned_reasons.add(reason)
+    warnings.warn(reason, ParallelFallbackWarning, stacklevel=3)
+
+
+def reset_fallback_warnings() -> None:
+    """Forget emitted one-shot warnings (tests only)."""
+    _warned_reasons.clear()

@@ -1,0 +1,171 @@
+"""A persistent process pool with ordered dispatch and honest failure.
+
+:class:`WorkerPool` wraps :class:`concurrent.futures.ProcessPoolExecutor`
+lazily: no process is started until the first dispatch, and the pool then
+persists for the life of the interpreter (one warm-up per process, not
+per simulation).  Pools are shared per job count through
+:func:`shared_pool` so every consumer (round schedulers, sweep runner)
+reuses the same workers.
+
+Failure taxonomy — the part that matters for bit-identical fallback:
+
+* **Infrastructure failures** (executor cannot start, a worker process
+  died, a task result could not be pickled) raise
+  :class:`PoolUnavailable`.  Callers treat it as "parallelism is not
+  available here" and rerun the work serially — results are unaffected.
+* **Task failures** (the simulated program itself raised) propagate the
+  original exception unchanged, exactly as the serial path would — a
+  genuine ``ValueError`` from an engine must never be eaten by the
+  parallel machinery.
+"""
+
+from __future__ import annotations
+
+import pickle
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Iterator
+
+__all__ = [
+    "PoolUnavailable",
+    "WorkerPool",
+    "shared_pool",
+    "dumps_payload",
+]
+
+
+class PoolUnavailable(RuntimeError):
+    """The worker pool cannot run tasks; callers fall back to serial."""
+
+
+class _ResultUnpicklable(Exception):
+    """Raised *inside a worker* when a task's result cannot be pickled.
+
+    Carries only a ``repr`` string so it always crosses the process
+    boundary; the parent converts it to :class:`PoolUnavailable`.
+    """
+
+
+def dumps_payload(obj: Any) -> bytes:
+    """Pickle a task payload, raising :class:`PoolUnavailable` on failure.
+
+    Pre-pickling in the parent keeps the failure mode clean: an
+    unpicklable program body surfaces here, before any process is
+    touched, and the caller degrades to serial — instead of surfacing as
+    an opaque executor error after dispatch.
+    """
+    try:
+        return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:
+        raise PoolUnavailable(f"payload does not pickle: {exc!r}") from exc
+
+
+def _run_payload(blob: bytes) -> bytes:
+    """Worker-side trampoline: decode, dispatch, encode.
+
+    Task exceptions propagate natively (the executor ships them back and
+    ``Future.result`` re-raises); only *result pickling* failures are
+    wrapped, so the parent can tell "your result cannot cross the
+    boundary" (infrastructure) from "your program crashed" (genuine).
+    """
+    from repro.parallel import workers
+
+    kind, args = pickle.loads(blob)
+    result = workers.TASKS[kind](args)
+    try:
+        return pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:
+        raise _ResultUnpicklable(f"{kind} result does not pickle: {exc!r}")
+
+
+class WorkerPool:
+    """A lazily-started, persistent pool of ``jobs`` worker processes."""
+
+    def __init__(self, jobs: int):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self._executor: ProcessPoolExecutor | None = None
+        #: tasks handed to the executor over the pool's lifetime (the
+        #: min_work_per_task gate tests assert this stays put)
+        self.tasks_submitted = 0
+
+    # ----------------------------------------------------------- lifecycle
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            try:
+                self._executor = ProcessPoolExecutor(max_workers=self.jobs)
+            except Exception as exc:
+                raise PoolUnavailable(
+                    f"cannot start worker pool: {exc!r}"
+                ) from exc
+        return self._executor
+
+    def shutdown(self) -> None:
+        """Stop the workers (tests; normal exit is handled by atexit)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+
+    def _discard_broken(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
+    # ------------------------------------------------------------ dispatch
+    def submit_many(self, kind: str, payloads: list[bytes]) -> list[Future]:
+        """Submit pre-pickled payloads; ``PoolUnavailable`` on failure."""
+        executor = self._ensure_executor()
+        futures: list[Future] = []
+        try:
+            for blob in payloads:
+                futures.append(executor.submit(_run_payload, blob))
+        except Exception as exc:
+            for fut in futures:
+                fut.cancel()
+            if isinstance(exc, BrokenProcessPool):
+                self._discard_broken()
+            raise PoolUnavailable(f"cannot submit to pool: {exc!r}") from exc
+        self.tasks_submitted += len(futures)
+        return futures
+
+    def gather_ordered(self, futures: list[Future]) -> Iterator[Any]:
+        """Yield task results in submission order.
+
+        Infrastructure failures become :class:`PoolUnavailable` (and the
+        broken executor is discarded so a later run can rebuild it); task
+        exceptions re-raise unchanged.  Remaining futures are cancelled
+        when the consumer stops early.
+        """
+        try:
+            for fut in futures:
+                try:
+                    blob = fut.result()
+                except BrokenProcessPool as exc:
+                    self._discard_broken()
+                    raise PoolUnavailable(
+                        f"worker pool broke mid-run: {exc!r}"
+                    ) from exc
+                except _ResultUnpicklable as exc:
+                    raise PoolUnavailable(str(exc)) from exc
+                yield pickle.loads(blob)
+        finally:
+            for fut in futures:
+                fut.cancel()
+
+    def run_ordered(self, kind: str, args_list: list[Any]) -> Iterator[Any]:
+        """Pickle, submit and gather in one call (payloads built eagerly,
+        so pickling failures raise before any dispatch)."""
+        payloads = [dumps_payload((kind, args)) for args in args_list]
+        return self.gather_ordered(self.submit_many(kind, payloads))
+
+
+_shared: dict[int, WorkerPool] = {}
+
+
+def shared_pool(jobs: int) -> WorkerPool:
+    """The process-wide pool for ``jobs`` workers (created on first use)."""
+    pool = _shared.get(jobs)
+    if pool is None:
+        pool = _shared[jobs] = WorkerPool(jobs)
+    return pool

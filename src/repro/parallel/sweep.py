@@ -1,0 +1,158 @@
+"""Parallel sweep runner: fan independent cells across the worker pool.
+
+Three consumers, all built on :func:`parallel_map`:
+
+* :func:`touch_sweep` — the Fact 1 / Fact 2 validation sweep (charged
+  touching costs vs. their closed-form bounds over a size ladder).
+  Charged costs are deterministic and cells are independent, so this
+  parallelizes freely; per-cell event counters are merged back
+  **in cell order** (integer counters make the merge exact).
+* :func:`run_matrix_distributed` — the bench matrix with one worker task
+  per workload.  Wall clock is measured *inside* each worker, serially
+  per cell, so distribution shortens the overall run without distorting
+  any cell's own numbers.  (For engine-internal parallelism — the thing
+  that can raise a single cell's throughput — use
+  ``repro.bench.run_bench(jobs=...)`` instead.)
+* :func:`run_cells` — ad-hoc (engine, program, f, v) cells, with
+  recorded spans tagged per task and merged into one forest
+  (:func:`repro.obs.trace.tag_spans` / ``merge_span_lists``).
+
+Degradation policy: when the pool cannot run (no workers, unpicklable
+payloads, a worker lost mid-flight) the whole map reruns serially — every
+task body is also callable in-process, and all tasks are deterministic,
+so the fallback returns identical results with one
+:class:`~repro.parallel.config.ParallelFallbackWarning`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.parallel.config import (
+    ParallelConfig,
+    resolve_parallel,
+    warn_fallback_once,
+)
+from repro.parallel.pool import PoolUnavailable, shared_pool
+
+__all__ = [
+    "parallel_map",
+    "touch_sweep",
+    "run_matrix_distributed",
+    "run_cells",
+]
+
+
+def parallel_map(
+    kind: str,
+    args_list: Sequence[Any],
+    parallel: "ParallelConfig | int | None" = None,
+) -> list[Any]:
+    """Run one registered task per element, results in element order.
+
+    The serial path calls the identical task body in-process, so results
+    never depend on whether the pool was used.
+    """
+    cfg = resolve_parallel(parallel)
+    if cfg.enabled and args_list:
+        pool = shared_pool(cfg.jobs)
+        try:
+            return list(pool.run_ordered(kind, list(args_list)))
+        except PoolUnavailable as exc:
+            if not cfg.fallback:
+                raise
+            warn_fallback_once(
+                f"worker pool unavailable for {kind!r} sweep ({exc}); "
+                f"running serially"
+            )
+    from repro.parallel import workers
+
+    task = workers.TASKS[kind]
+    return [task(args) for args in args_list]
+
+
+def touch_sweep(
+    sizes: Sequence[int],
+    f: str = "x^0.5",
+    parallel: "ParallelConfig | int | None" = None,
+) -> dict[str, Any]:
+    """Fact 1 / Fact 2 charged-cost sweep over ``sizes``.
+
+    Returns ``{"f", "cells", "counters"}`` where ``cells`` is one
+    document per size (HMM/BT touching costs and their bounds) and
+    ``counters`` is the deterministic in-order merge of every cell's
+    event counters.
+    """
+    from repro.obs.counters import Counters
+
+    cells = parallel_map("touch-cost", [(n, f) for n in sizes], parallel)
+    merged = Counters()
+    for cell in cells:
+        merged.merge(cell["counters"])
+    return {"f": f, "cells": cells, "counters": merged.snapshot()}
+
+
+def run_matrix_distributed(
+    workloads=None,
+    budget_s: float | None = None,
+    smoke: bool = False,
+    parallel: "ParallelConfig | int | None" = None,
+    echo=None,
+) -> dict[str, Any]:
+    """Run the bench matrix with one worker task per workload.
+
+    The document is assembled in matrix order regardless of completion
+    order; the header marks the run as distributed so wall-clock totals
+    are not misread as a serial trajectory.
+    """
+    import dataclasses
+
+    from repro.bench import DEFAULT_BUDGET_S, WORKLOADS, bench_header
+
+    if workloads is None:
+        workloads = WORKLOADS
+    if budget_s is None:
+        budget_s = DEFAULT_BUDGET_S
+    cfg = resolve_parallel(parallel)
+    doc = bench_header(budget_s, smoke, cfg.jobs)
+    doc["produced_by"] += " --distribute"
+    doc["distributed"] = True
+    args_list = [
+        (dataclasses.asdict(w), budget_s, smoke) for w in workloads
+    ]
+    for name, wl_doc in parallel_map("bench-workload", args_list, cfg):
+        doc["workloads"][name] = wl_doc
+        if echo:
+            peak = wl_doc.get("peak")
+            best = wl_doc.get("best_charged_words_per_s")
+            echo(
+                f"  {name:14s} peak {peak if peak is not None else '-':>8}  "
+                f"best {best:,.0f} charged-words/s"
+                if best
+                else f"  {name:14s} peak {peak if peak is not None else '-':>8}"
+            )
+    return doc
+
+
+def run_cells(
+    cells: Sequence[tuple],
+    trace: str = "counters",
+    parallel: "ParallelConfig | int | None" = None,
+) -> tuple[list[dict[str, Any]], list]:
+    """Run ad-hoc ``(engine, program, v, mu, f)`` cells across the pool.
+
+    Returns ``(docs, spans)``: one result document per cell (order
+    preserved) and, when ``trace="full"``, the merged span forest with
+    every span tagged by its task index.
+    """
+    from repro.obs.trace import merge_span_lists, tag_spans
+
+    args_list = [
+        (engine, program, v, mu, f_spec, trace)
+        for engine, program, v, mu, f_spec in cells
+    ]
+    docs = parallel_map("run-cell", args_list, parallel)
+    span_lists = []
+    for i, doc in enumerate(docs):
+        span_lists.append(tag_spans(doc.pop("spans", []), worker=i))
+    return docs, merge_span_lists(span_lists)

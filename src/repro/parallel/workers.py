@@ -1,0 +1,237 @@
+"""Worker-side task bodies for the process pool.
+
+Every task is a pure function of its (pickled) arguments: workers never
+see parent state, so a task's charged costs depend only on the payload —
+this is what makes the fan-out deterministic.  The parent folds worker
+results back **in task order**; see ``DESIGN.md: Host parallelism vs.
+model parallelism`` for why that reproduces the serial charge sequence
+bit-for-bit.
+
+Task registry
+-------------
+``hmm-segment``
+    Simulate one l1-cluster's whole segment of supersteps (all labels >=
+    l1) on a sub-machine, returning final contexts/pending, the *charge
+    tape* (every elementary charge in execution order), the round count
+    and the event counters.  The parent replays the tape onto its own
+    clock — float addition is not associative, so shipping a per-cluster
+    *total* would not be bit-identical; shipping the elementary charges
+    and re-folding them in cluster order is.
+``brent-hosts``
+    Simulate one host processor's fine run (the embedded Section 3 HMM
+    simulation) — each host's charged clock starts at zero in the serial
+    path already, so no tape is needed; the parent takes
+    ``max(host_times)`` and merges counters in host order.
+``bench-workload``
+    One full bench-matrix workload sweep, wall-clock measured inside the
+    worker (serially), for the distributed bench runner.
+``touch-cost``
+    One Fact 1 / Fact 2 charged-cost cell (no wall measurement — charged
+    costs are deterministic, so these cells parallelize freely).
+``run-cell``
+    One (engine, program, f, v) run returning the result document, with
+    recorded spans when ``trace="full"`` (the parent tags them per
+    worker via :func:`repro.obs.trace.tag_spans`).
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any, Callable
+
+from repro.dbsp.program import Message, Program, Superstep
+
+__all__ = ["TASKS", "_OffsetBody"]
+
+
+class _OffsetBody:
+    """Present a cluster-local view to a body that speaks global pids.
+
+    The worker simulates processors ``offset .. offset + v_sub`` of a
+    ``v_global``-processor guest as local pids ``0 .. v_sub``; program
+    bodies, however, index processors globally.  Wraps each view in the
+    same :class:`~repro.sim.brent._GlobalizedView` adapter the Brent
+    engine uses serially.  ``label_shift`` restores the global superstep
+    label on the presented view (the HMM segment scheme shifts labels
+    down by l1; the Brent fine-run scheme presents local labels, exactly
+    like its serial ``_shift_body``).
+    """
+
+    __slots__ = ("body", "offset", "v_global", "label_shift")
+
+    def __init__(self, body, offset: int, v_global: int, label_shift: int = 0):
+        self.body = body
+        self.offset = offset
+        self.v_global = v_global
+        self.label_shift = label_shift
+
+    def __call__(self, view) -> None:
+        from repro.sim.brent import _GlobalizedView
+
+        gview = _GlobalizedView(view, self.offset, self.v_global)
+        if self.label_shift:
+            gview.label = view.label + self.label_shift
+        self.body(gview)
+
+
+def _localize_pending(
+    pending: list[list[Message]], offset: int
+) -> list[list[Message]]:
+    if not offset:
+        return pending
+    return [
+        [Message(m.src - offset, m.payload) for m in box] for box in pending
+    ]
+
+
+def _wrap_steps(
+    steps: list[Superstep], offset: int, v_global: int, label_shift: int
+) -> list[Superstep]:
+    return [
+        Superstep(
+            s.label,
+            None
+            if s.body is None
+            else _OffsetBody(s.body, offset, v_global, label_shift),
+            name=s.name,
+        )
+        for s in steps
+    ]
+
+
+# ------------------------------------------------------------ hmm-segment
+def _hmm_segment(args: tuple) -> tuple:
+    """Simulate one l1-cluster's segment; return state + charge tape."""
+    from repro.sim.hmm_sim import FlatTape, SpanTape, _HMMSimRun, HMMSimulator
+    from repro.sim.smoothing import smooth_program
+
+    common, offset, contexts, pending, want_spans = args
+    (f, c2, check, v_sub, mu, label_shift, steps, label_set, counters_on, v_global) = (
+        pickle.loads(common)
+    )
+    program = Program(
+        v_sub,
+        mu,
+        _wrap_steps(steps, offset, v_global, label_shift),
+        name="hmm-segment",
+    )
+    # parallel=1: never nest pools inside a worker (REPRO_JOBS would
+    # otherwise re-resolve here)
+    sim = HMMSimulator(
+        f,
+        c2=c2,
+        check_invariants=check,
+        trace="counters" if counters_on else "off",
+        parallel=1,
+    )
+    # the shifted segment is already L-smooth for the shifted label set,
+    # so smoothing is an identity transform here (no dummies, no label
+    # upgrades) — asserted by construction in the parent
+    smoothed = smooth_program(program, label_set)
+    run = _HMMSimRun(
+        sim,
+        smoothed,
+        initial_contexts=contexts,
+        initial_pending=_localize_pending(pending, offset),
+    )
+    tape = SpanTape() if want_spans else FlatTape()
+    run.tape_rec = tape
+    run.execute()
+    counters = run.counters.snapshot() if counters_on else {}
+    return (run.contexts, run.pending, tape.data(), run.round_index, counters)
+
+
+# ------------------------------------------------------------ brent-hosts
+def _brent_host(args: tuple) -> tuple:
+    """Simulate one Brent host processor's fine run."""
+    from repro.sim.hmm_sim import HMMSimulator
+
+    common, offset, contexts, pending = args
+    (g, c2, v_sub, mu, steps, v_global, trace_off) = pickle.loads(common)
+    program = Program(
+        v_sub,
+        mu,
+        _wrap_steps(steps, offset, v_global, label_shift=0),
+        name="brent-fine",
+    )
+    sim = HMMSimulator(
+        g,
+        c2=c2,
+        check_invariants="off",
+        trace="off" if trace_off else "counters",
+        parallel=1,
+    )
+    res = sim.simulate(
+        program,
+        initial_contexts=contexts,
+        initial_pending=_localize_pending(pending, offset),
+    )
+    return (res.contexts, res.pending, res.time, res.counters)
+
+
+# ---------------------------------------------------------- sweep workers
+def _bench_workload(args: tuple) -> tuple:
+    """One full bench workload sweep, wall-clocked inside this worker."""
+    from repro.bench import Workload, sweep_workload
+
+    fields, budget_s, smoke = args
+    w = Workload(**fields)
+    return (w.name, sweep_workload(w, budget_s, smoke))
+
+
+def _touch_cost(args: tuple) -> dict[str, Any]:
+    """One Fact 1 / Fact 2 charged-cost cell (deterministic, no wall)."""
+    from repro.bt.machine import BTMachine
+    from repro.bt.touching import bt_touch_all, bt_touching_bound
+    from repro.engines import resolve_access_function
+    from repro.hmm.algorithms import hmm_touching_bound
+    from repro.hmm.machine import HMMMachine
+    from repro.hmm.touching import hmm_touch_all
+    from repro.obs.counters import Counters
+
+    n, f_spec = args
+    f = resolve_access_function(f_spec)
+    hmm_counters = Counters()
+    hmm = HMMMachine(f, n, counters=hmm_counters)
+    hmm.mem[:n] = [1] * n
+    hmm_cost = hmm_touch_all(hmm, n)
+    bt_counters = Counters()
+    bt = BTMachine(f, 2 * n, counters=bt_counters)
+    bt.mem[n : 2 * n] = [1] * n
+    bt_cost = bt_touch_all(bt, n)
+    counters = hmm_counters.snapshot()
+    for name, amount in bt_counters.snapshot().items():
+        counters[name] = counters.get(name, 0) + amount
+    return {
+        "n": n,
+        "f": f_spec,
+        "hmm_cost": hmm_cost,
+        "fact1_bound": hmm_touching_bound(f, n),
+        "bt_cost": bt_cost,
+        "fact2_bound": bt_touching_bound(f, n),
+        "bt_advantage": hmm_cost / bt_cost if bt_cost else None,
+        "counters": counters,
+    }
+
+
+def _run_cell(args: tuple) -> dict[str, Any]:
+    """One (engine, program, f, v) run; spans included under trace=full."""
+    from repro.engines import ENGINES, build_program, resolve_access_function
+
+    engine, program_name, v, mu, f_spec, trace = args
+    program = build_program(program_name, v, mu)
+    f = resolve_access_function(f_spec)
+    # parallel=1: the cell is already a worker task; never nest pools
+    res = ENGINES[engine].run(program, f, trace=trace, parallel=1)
+    doc = res.to_json(include_trace=False)
+    doc["spans"] = res.trace
+    return doc
+
+
+TASKS: dict[str, Callable[[tuple], Any]] = {
+    "hmm-segment": _hmm_segment,
+    "brent-hosts": _brent_host,
+    "bench-workload": _bench_workload,
+    "touch-cost": _touch_cost,
+    "run-cell": _run_cell,
+}

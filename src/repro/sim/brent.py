@@ -37,6 +37,7 @@ from repro.dbsp.program import Message, ProcView, Program, Superstep
 from repro.functions import AccessFunction, CostTable
 from repro.obs.counters import NULL_COUNTERS, Counters
 from repro.obs.trace import NULL_TRACER, SpanRecord, Tracer
+from repro.parallel.config import ParallelConfig, resolve_parallel, warn_fallback_once
 from repro.sim.hmm_sim import HMMSimulator
 
 __all__ = ["BrentSimulator", "BrentSimResult", "RunRecord", "BRENT_PHASES"]
@@ -123,6 +124,7 @@ class BrentSimulator:
         v_host: int,
         c2: float = 0.5,
         trace: Literal["off", "counters", "phases", "full"] = "phases",
+        parallel: "ParallelConfig | int | None" = None,
     ):
         self.g = g
         self.v_host = v_host
@@ -131,6 +133,11 @@ class BrentSimulator:
         if trace not in ("off", "counters", "phases", "full"):
             raise ValueError(f"unknown trace level {trace!r}")
         self.trace = trace
+        # host-parallelism policy: with jobs > 1, the independent per-host
+        # fine runs are dispatched to worker processes; charged time,
+        # counters and breakdowns stay bit-identical to the serial path
+        # (see HMMSimulator's ``parallel`` parameter)
+        self.parallel = resolve_parallel(parallel)
 
     def simulate(self, program: Program) -> BrentSimResult:
         """Simulate ``program`` on ``D-BSP(v', mu v/v', g)``; charge host time."""
@@ -360,6 +367,26 @@ class _BrentRun:
     def _fine_run(self, steps: list[Superstep]) -> None:
         """A maximal run with labels ``>= log v'``: local to each host."""
         g_per_host = self.guests_per_host
+        cfg = self.sim.parallel
+        host_times: list[float] = []
+        start_host = 0
+        if (
+            cfg.enabled
+            and self.sim.trace != "full"
+            and self.v_host >= 2
+            and len(steps) * g_per_host >= cfg.min_work_per_task
+        ):
+            start_host = self._fine_run_parallel(cfg, steps, host_times)
+        if start_host < self.v_host:
+            self._fine_run_serial(steps, host_times, start_host)
+        # the run is local: one host "superstep" costing the slowest member
+        self.time += max(host_times)
+
+    def _fine_run_serial(
+        self, steps: list[Superstep], host_times: list[float], start_host: int
+    ) -> None:
+        """Serial host loop (also the tail after a degraded dispatch)."""
+        g_per_host = self.guests_per_host
         shifted = [
             Superstep(
                 s.label - self.log_v_host,
@@ -368,6 +395,7 @@ class _BrentRun:
             )
             for s in steps
         ]
+        # parallel=1: each host's embedded run is already scheduled here
         hmm = HMMSimulator(
             self.sim.g,
             c2=self.sim.c2,
@@ -377,6 +405,7 @@ class _BrentRun:
                 if self.sim.trace in ("off", "counters")
                 else "phases"
             ),
+            parallel=1,
         )
         # one shared Program for all hosts: its smoothing (and the label
         # set) is computed once by the first host's simulate() call and
@@ -388,8 +417,7 @@ class _BrentRun:
             make_context=lambda pid: {},  # replaced via initial_contexts
             name=f"{self.program.name}@fine",
         )
-        host_times: list[float] = []
-        for host in range(self.v_host):
+        for host in range(start_host, self.v_host):
             offset = host * g_per_host
             self.current_offset = offset
             local_contexts = self.contexts[offset : offset + g_per_host]
@@ -417,8 +445,83 @@ class _BrentRun:
                     ]
             else:
                 self.pending[:g_per_host] = result.pending
-        # the run is local: one host "superstep" costing the slowest member
-        self.time += max(host_times)
+
+    def _fine_run_parallel(
+        self, cfg: ParallelConfig, steps: list[Superstep], host_times: list[float]
+    ) -> int:
+        """Dispatch per-host fine runs to the pool; merge in host order.
+
+        Each host's embedded HMM run starts from charged time zero in the
+        serial path already, so no charge tape is needed: the worker ships
+        back ``(contexts, pending, time, counters)`` and the parent takes
+        ``max`` over host times exactly as the serial loop does.  Returns
+        the number of hosts merged; on a mid-flight pool failure the
+        caller's serial loop finishes the remaining hosts (host runs are
+        independent, so the prefix/suffix split is sound).
+        """
+        from repro.parallel.pool import PoolUnavailable, dumps_payload, shared_pool
+
+        g_per_host = self.guests_per_host
+        counters_on = self.counters is not NULL_COUNTERS
+        done = 0
+        try:
+            pool = shared_pool(cfg.jobs)
+            # ship the *original* bodies: the worker adds its own
+            # _OffsetBody wrapper (the picklable equivalent of
+            # _shift_body, which closes over this run)
+            payload_steps = [
+                Superstep(
+                    s.label - self.log_v_host,
+                    None if s.is_dummy else s.body,
+                    name=s.name,
+                )
+                for s in steps
+            ]
+            common = dumps_payload(
+                (
+                    self.sim.g,
+                    self.sim.c2,
+                    g_per_host,
+                    self.mu,
+                    payload_steps,
+                    self.v,
+                    self.sim.trace == "off",
+                )
+            )
+            payloads = []
+            for host in range(self.v_host):
+                offset = host * g_per_host
+                args = (
+                    common,
+                    offset,
+                    self.contexts[offset : offset + g_per_host],
+                    self.pending[offset : offset + g_per_host],
+                )
+                payloads.append(dumps_payload(("brent-hosts", args)))
+            futures = pool.submit_many("brent-hosts", payloads)
+            for host, result in enumerate(pool.gather_ordered(futures)):
+                w_contexts, w_pending, w_time, w_counters = result
+                offset = host * g_per_host
+                self.contexts[offset : offset + g_per_host] = w_contexts
+                if offset:
+                    for k in range(g_per_host):
+                        self.pending[offset + k] = [
+                            Message(m.src + offset, m.payload)
+                            for m in w_pending[k]
+                        ]
+                else:
+                    self.pending[:g_per_host] = w_pending
+                host_times.append(w_time)
+                if counters_on:
+                    self.counters.merge(w_counters)
+                done = host + 1
+        except PoolUnavailable as exc:
+            if not cfg.fallback:
+                raise
+            warn_fallback_once(
+                f"parallel fine-run degraded to serial: {exc}"
+            )
+        return done
 
 
 class _shift_body:
