@@ -47,6 +47,7 @@ __all__ = [
     "BENCH_SCHEMA",
     "bench_header",
     "sweep_workload",
+    "workload_cell_key",
     "run_bench",
     "check_against",
 ]
@@ -296,12 +297,35 @@ def sweep_workload(
     }
 
 
+def workload_cell_key(
+    w: Workload, budget_s: float, smoke: bool, jobs: int = 1
+) -> str:
+    """The ledger key identifying one workload's full sweep.
+
+    Shared between the serial bench and the distributed runner: the
+    args mirror the ``bench-workload`` worker task's, and the context
+    pins the bench schema plus the engine-internal job count (the
+    distributed runner measures each cell serially in its worker, so it
+    records under ``jobs=1`` — interchangeable with a serial run).
+    """
+    import dataclasses
+
+    from repro.resilience.ledger import cell_key
+
+    return cell_key(
+        "bench-workload",
+        (dataclasses.asdict(w), budget_s, smoke),
+        {"schema": BENCH_SCHEMA, "jobs": jobs},
+    )
+
+
 def run_bench(
     budget_s: float = DEFAULT_BUDGET_S,
     smoke: bool = False,
     workloads: tuple[Workload, ...] = WORKLOADS,
     echo=None,
     jobs: int = 1,
+    ledger=None,
 ) -> dict[str, Any]:
     """Run the matrix; return the JSON-serializable result document.
 
@@ -311,13 +335,42 @@ def run_bench(
     recorded throughput stays honest.  To distribute whole workloads
     across the pool instead, see
     :func:`repro.parallel.sweep.run_matrix_distributed`.
+
+    With a :class:`~repro.resilience.ledger.SweepLedger`, each
+    workload's completed sweep is checkpointed as one ledger cell; a
+    rerun against the same ledger replays completed workloads verbatim
+    and only computes the missing ones.  Ledger entries are shared with
+    ``bench --distribute`` (same keys, same shape) when ``jobs == 1``.
     """
     parallel = resolve_parallel(jobs) if jobs > 1 else SERIAL
     doc = bench_header(budget_s, smoke, jobs)
+    if ledger is None:
+        for w in workloads:
+            doc["workloads"][w.name] = sweep_workload(
+                w, budget_s, smoke, parallel=parallel, echo=echo
+            )
+        return doc
+
+    from repro.resilience import faults, recovery
+    from repro.resilience.ledger import MISSING
+
     for w in workloads:
-        doc["workloads"][w.name] = sweep_workload(
+        key = workload_cell_key(w, budget_s, smoke, jobs)
+        recorded = ledger.get(key)
+        if recorded is not MISSING:
+            name, wl_doc = recorded
+            recovery.record("cells_resumed", kind="bench-workload", name=name)
+            doc["workloads"][name] = wl_doc
+            continue
+        wl_doc = sweep_workload(
             w, budget_s, smoke, parallel=parallel, echo=echo
         )
+        wl_doc = json.loads(json.dumps(wl_doc))
+        ledger.record(key, "bench-workload", [w.name, wl_doc])
+        recovery.record("cells_recomputed", kind="bench-workload", name=w.name)
+        doc["workloads"][w.name] = wl_doc
+        faults.check_abort(ledger.cells_recorded)
+    doc["resilience"] = ledger.summary()
     return doc
 
 

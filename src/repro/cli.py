@@ -9,6 +9,8 @@
     python -m repro touch --sweep 4096,16384,65536 --jobs 4
     python -m repro bench --smoke
     python -m repro bench --jobs 4
+    python -m repro bench --distribute --jobs 4 --checkpoint bench.ledger
+    python -m repro bench --distribute --jobs 4 --resume bench.ledger
     python -m repro list
 
 ``run`` executes one of the bundled D-BSP programs on the chosen engine(s)
@@ -18,8 +20,12 @@ renders the span tree as a per-phase cost profile.  ``touch`` contrasts
 Fact 1 and Fact 2 at a given size.  ``bench`` measures wall-clock engine
 throughput (charged words per second) over the fixed workload matrix and
 writes ``BENCH_sim_throughput.json``; ``--check`` compares a fresh run
-against a recorded baseline.  ``list`` enumerates programs and access
-functions.  ``run``, ``profile``, ``touch`` and ``bench`` all take
+against a recorded baseline.  ``--checkpoint LEDGER`` records every
+completed sweep cell to an append-only ledger and ``--resume LEDGER``
+replays it after an interruption, recomputing only the missing cells —
+the resumed document's charged costs are byte-identical to an
+uninterrupted run's (``bench`` and ``touch --sweep`` both take the
+pair).  ``list`` enumerates programs and access functions.  ``run``, ``profile``, ``touch`` and ``bench`` all take
 ``--json`` for machine-readable output.
 
 All commands are thin shells over the engine registry
@@ -84,6 +90,30 @@ def _engine_opts(engine: str, args) -> dict:
 
 def _dump_json(doc) -> None:
     print(json.dumps(doc, indent=2, sort_keys=True))
+
+
+def _open_ledger(args):
+    """Open the sweep ledger requested by ``--checkpoint``/``--resume``.
+
+    ``--checkpoint PATH`` starts a fresh ledger (truncating any old
+    file); ``--resume PATH`` loads an existing one — completed cells are
+    skipped and new ones keep appending to the same file, so a run can
+    be killed and resumed any number of times.
+    """
+    from repro.resilience.ledger import SweepLedger
+
+    checkpoint = getattr(args, "checkpoint", None)
+    resume = getattr(args, "resume", None)
+    if checkpoint and resume:
+        raise SystemExit("--checkpoint and --resume are mutually exclusive")
+    try:
+        if resume:
+            return SweepLedger.resume(resume)
+        if checkpoint:
+            return SweepLedger.create(checkpoint)
+    except OSError as exc:
+        raise SystemExit(f"cannot open ledger: {exc}")
+    return None
 
 
 def cmd_list(_args) -> int:
@@ -157,14 +187,26 @@ def cmd_profile(args) -> int:
         program, f, trace="full", **_engine_opts(args.engine, args)
     )
 
+    from repro.resilience import recovery
+
     if args.jsonl:
         out = pathlib.Path(args.jsonl)
+        # recovery events ride along as extra lines (no "index" key, so
+        # spans_from_jsonl skips them when re-reading the trace)
+        events = recovery.events()
+        text = spans_to_jsonl(res.trace)
+        if text and not text.endswith("\n"):
+            text += "\n"
+        text += "".join(
+            json.dumps(ev, sort_keys=True) + "\n" for ev in events
+        )
         try:
-            out.write_text(spans_to_jsonl(res.trace))
+            out.write_text(text)
         except OSError as exc:
             raise SystemExit(f"cannot write trace to {out}: {exc}")
         if not args.json:
-            print(f"wrote {len(res.trace)} spans to {out}")
+            extra = f" + {len(events)} recovery event(s)" if events else ""
+            print(f"wrote {len(res.trace)} spans{extra} to {out}")
 
     if args.json:
         _dump_json(res.to_json(include_trace=not args.jsonl))
@@ -184,6 +226,11 @@ def cmd_profile(args) -> int:
         print("\ncounters:")
         for name, value in res.counters.items():
             print(f"  {name:16s} {value:>16}")
+    rec = recovery.counters()
+    if rec:
+        print("\nrecovery (host-side, never charged):")
+        for name, value in rec.items():
+            print(f"  {name:20s} {value:>12}")
     return 0
 
 
@@ -207,16 +254,24 @@ def cmd_bench(args) -> int:
         extra += ", distributed" if args.distribute else ""
         echo(f"benchmarking simulator wall-clock throughput ({mode}, "
              f"budget {args.budget:g}s/workload{extra})")
-    if args.distribute:
-        from repro.parallel.sweep import run_matrix_distributed
+    ledger = _open_ledger(args)
+    try:
+        if args.distribute:
+            from repro.parallel.sweep import run_matrix_distributed
 
-        doc = run_matrix_distributed(
-            budget_s=args.budget, smoke=args.smoke,
-            parallel=args.jobs, echo=echo,
-        )
-    else:
-        doc = run_bench(budget_s=args.budget, smoke=args.smoke, echo=echo,
-                        jobs=args.jobs)
+            doc = run_matrix_distributed(
+                budget_s=args.budget, smoke=args.smoke,
+                parallel=args.jobs, echo=echo, ledger=ledger,
+            )
+        else:
+            doc = run_bench(budget_s=args.budget, smoke=args.smoke, echo=echo,
+                            jobs=args.jobs, ledger=ledger)
+    finally:
+        if ledger is not None:
+            ledger.close()
+    if ledger is not None and echo:
+        echo(f"checkpoint {ledger.path}: {ledger.hits} cell(s) resumed, "
+             f"{ledger.cells_recorded} recorded")
 
     if args.check:
         try:
@@ -262,10 +317,20 @@ def cmd_touch(args) -> int:
             raise SystemExit(
                 f"--sweep expects comma-separated sizes, got {args.sweep!r}"
             )
-        doc = touch_sweep(sizes, f=args.f, parallel=args.jobs)
+        ledger = _open_ledger(args)
+        try:
+            doc = touch_sweep(
+                sizes, f=args.f, parallel=args.jobs, ledger=ledger
+            )
+        finally:
+            if ledger is not None:
+                ledger.close()
         if args.json:
             _dump_json(doc)
             return 0
+        if ledger is not None:
+            print(f"checkpoint {ledger.path}: {ledger.hits} cell(s) "
+                  f"resumed, {ledger.cells_recorded} recorded")
         print(f"touching sweep, f = {doc['f']}")
         print(f"{'n':>10s} {'HMM cost':>14s} {'BT cost':>14s} "
               f"{'BT wins by':>11s}")
@@ -385,6 +450,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--distribute", action="store_true",
                          help="run one workload per worker task instead "
                               "(wall clock measured inside each worker)")
+    p_bench.add_argument("--checkpoint", default=None, metavar="LEDGER",
+                         help="start a fresh cell ledger at this path; "
+                              "every completed workload is appended as "
+                              "it finishes")
+    p_bench.add_argument("--resume", default=None, metavar="LEDGER",
+                         help="resume from an interrupted run's ledger: "
+                              "completed workloads are replayed verbatim, "
+                              "only missing ones run")
     p_bench.add_argument("--json", action="store_true",
                          help="emit the result document to stdout as JSON")
     p_bench.set_defaults(func=cmd_bench)
@@ -398,6 +471,12 @@ def build_parser() -> argparse.ArgumentParser:
                               "(cells fan out across --jobs workers)")
     p_touch.add_argument("--jobs", type=int, default=1,
                          help="worker processes for --sweep cells")
+    p_touch.add_argument("--checkpoint", default=None, metavar="LEDGER",
+                         help="with --sweep: checkpoint each cell to a "
+                              "fresh ledger at this path")
+    p_touch.add_argument("--resume", default=None, metavar="LEDGER",
+                         help="with --sweep: resume an interrupted sweep "
+                              "from its ledger")
     p_touch.add_argument("--json", action="store_true",
                          help="emit a JSON document instead of text")
     p_touch.set_defaults(func=cmd_touch)

@@ -18,6 +18,11 @@ The CLI (``python -m repro run|profile``), the benchmarks and the tests
 all consume engines through this module, so adding an engine means
 writing one adapter and registering it — no per-engine special-casing
 anywhere downstream.
+
+>>> sorted(ENGINES)
+['brent', 'bt', 'direct', 'hmm']
+>>> ENGINES["hmm"].description
+'D-BSP -> HMM simulation, Fig. 1 scheduler (Thm 5)'
 """
 
 from __future__ import annotations
@@ -88,6 +93,16 @@ def resolve_access_function(spec: str) -> AccessFunction:
     Raises :class:`ValueError` with an actionable message on bad specs —
     including the degenerate exponents ``x^0`` (that is the flat RAM:
     spell it ``const``) and ``x^1`` (the linear hierarchy: ``linear``).
+
+    >>> resolve_access_function("x^0.5")
+    PolynomialAccess('x^0.5')
+    >>> resolve_access_function("log").name
+    'log x'
+    >>> resolve_access_function("x^0")
+    Traceback (most recent call last):
+        ...
+    ValueError: 'x^0': the exponent must satisfy 0 < A < 1; x^0 is the \
+flat RAM — spell it 'const'
     """
     spec = spec.strip().lower()
     if spec in ("log", "log x", "logx"):
@@ -124,7 +139,11 @@ def resolve_access_function(spec: str) -> AccessFunction:
 
 
 def build_program(name: str, v: int, mu: int = 8) -> Program:
-    """Build the bundled program ``name`` for a ``(v, mu)`` machine."""
+    """Build the bundled program ``name`` for a ``(v, mu)`` machine.
+
+    >>> build_program("sort", v=8).v
+    8
+    """
     if name not in PROGRAMS:
         raise ValueError(
             f"unknown program {name!r}; try: {', '.join(sorted(PROGRAMS))}"
@@ -154,6 +173,16 @@ class EngineResult:
     ``native`` the engine's own result object (e.g.
     :class:`~repro.sim.bt_sim.BTSimResult`) for anything
     engine-specific.
+
+    >>> from repro import run
+    >>> res = run("broadcast", v=8)
+    >>> res.engine, res.slowdown
+    ('direct', 1.0)
+    >>> res.time == res.baseline_time > 0
+    True
+    >>> sorted(res.to_json())
+    ['baseline_time', 'breakdown', 'counters', 'engine', 'meta', \
+'slowdown', 'time', 'trace']
     """
 
     engine: str

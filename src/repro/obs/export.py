@@ -32,13 +32,21 @@ def spans_to_jsonl(spans: Sequence[SpanRecord]) -> str:
 
 
 def spans_from_jsonl(text: str | Iterable[str]) -> list[SpanRecord]:
-    """Inverse of :func:`spans_to_jsonl`."""
+    """Inverse of :func:`spans_to_jsonl`.
+
+    Lines that are not span objects (no ``index``/``parent`` pair) are
+    skipped: ``profile --jsonl`` exports may interleave recovery-event
+    lines from :mod:`repro.resilience.recovery` with the span trace.
+    """
     lines = text.splitlines() if isinstance(text, str) else text
-    return [
-        SpanRecord.from_json(json.loads(line))
-        for line in lines
-        if line.strip()
-    ]
+    spans = []
+    for line in lines:
+        if not line.strip():
+            continue
+        doc = json.loads(line)
+        if isinstance(doc, dict) and "index" in doc and "parent" in doc:
+            spans.append(SpanRecord.from_json(doc))
+    return spans
 
 
 class _Node:

@@ -21,6 +21,10 @@ from __future__ import annotations
 import os
 import warnings
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.resilience.retry import RetryPolicy
 
 __all__ = [
     "ParallelConfig",
@@ -55,11 +59,28 @@ class ParallelConfig:
         When ``True`` (default), pool or pickling failures degrade to the
         serial path with a one-shot :class:`ParallelFallbackWarning`;
         when ``False`` they raise — for tests and debugging.
+    retry:
+        :class:`~repro.resilience.retry.RetryPolicy` for infrastructure
+        failures (worker death, per-task deadline overrun).  ``None``
+        (default) uses the package default — two retries with
+        exponential backoff and no deadline; pass
+        :data:`~repro.resilience.retry.NO_RETRY` to make the first
+        failure terminal.  Retries never change charged costs: pool
+        tasks are pure functions of their payloads.
+
+    >>> cfg = ParallelConfig(jobs=4)
+    >>> cfg.enabled
+    True
+    >>> SERIAL.enabled
+    False
+    >>> resolve_parallel(2)
+    ParallelConfig(jobs=2, min_work_per_task=4096, fallback=True, retry=None)
     """
 
     jobs: int = 1
     min_work_per_task: int = DEFAULT_MIN_WORK_PER_TASK
     fallback: bool = True
+    retry: "RetryPolicy | None" = None
 
     @property
     def enabled(self) -> bool:

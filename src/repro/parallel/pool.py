@@ -23,8 +23,12 @@ from __future__ import annotations
 
 import pickle
 from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
-from typing import Any, Iterator
+from typing import TYPE_CHECKING, Any, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.resilience.retry import RetryPolicy
 
 __all__ = [
     "PoolUnavailable",
@@ -69,7 +73,9 @@ def _run_payload(blob: bytes) -> bytes:
     boundary" (infrastructure) from "your program crashed" (genuine).
     """
     from repro.parallel import workers
+    from repro.resilience import faults
 
+    faults.maybe_inject_task_fault(blob)
     kind, args = pickle.loads(blob)
     result = workers.TASKS[kind](args)
     try:
@@ -114,50 +120,169 @@ class WorkerPool:
 
     # ------------------------------------------------------------ dispatch
     def submit_many(self, kind: str, payloads: list[bytes]) -> list[Future]:
-        """Submit pre-pickled payloads; ``PoolUnavailable`` on failure."""
+        """Submit pre-pickled payloads; ``PoolUnavailable`` on failure.
+
+        An executor found broken at submit time (a worker died *after*
+        the previous gather finished) is rebuilt once — the break
+        belongs to the previous batch, so this one deserves a fresh
+        pool before any failure is reported.
+        """
+        for rebuild in (False, True):
+            executor = self._ensure_executor()
+            futures: list[Future] = []
+            try:
+                for blob in payloads:
+                    futures.append(executor.submit(_run_payload, blob))
+            except Exception as exc:
+                for fut in futures:
+                    fut.cancel()
+                if isinstance(exc, BrokenProcessPool):
+                    self._discard_broken()
+                    if not rebuild:
+                        continue
+                raise PoolUnavailable(
+                    f"cannot submit to pool: {exc!r}"
+                ) from exc
+            self.tasks_submitted += len(futures)
+            return futures
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _resubmit_one(self, blob: bytes) -> Future:
+        """Submit one payload to a (possibly freshly rebuilt) executor."""
         executor = self._ensure_executor()
-        futures: list[Future] = []
         try:
-            for blob in payloads:
-                futures.append(executor.submit(_run_payload, blob))
+            fut = executor.submit(_run_payload, blob)
         except Exception as exc:
-            for fut in futures:
-                fut.cancel()
             if isinstance(exc, BrokenProcessPool):
                 self._discard_broken()
-            raise PoolUnavailable(f"cannot submit to pool: {exc!r}") from exc
-        self.tasks_submitted += len(futures)
-        return futures
+            raise PoolUnavailable(f"cannot resubmit to pool: {exc!r}") from exc
+        self.tasks_submitted += 1
+        return fut
 
-    def gather_ordered(self, futures: list[Future]) -> Iterator[Any]:
+    @staticmethod
+    def _needs_resubmit(fut: Future) -> bool:
+        """Did this future lose its attempt to the pool breaking?"""
+        if fut.cancelled() or not fut.done():
+            return True
+        exc = fut.exception()
+        return exc is not None and isinstance(exc, BrokenProcessPool)
+
+    def gather_ordered(
+        self,
+        futures: list[Future],
+        kind: str | None = None,
+        payloads: list[bytes] | None = None,
+        policy: "RetryPolicy | None" = None,
+    ) -> Iterator[Any]:
         """Yield task results in submission order.
 
         Infrastructure failures become :class:`PoolUnavailable` (and the
         broken executor is discarded so a later run can rebuild it); task
-        exceptions re-raise unchanged.  Remaining futures are cancelled
-        when the consumer stops early.
+        exceptions re-raise unchanged on first occurrence.  Remaining
+        futures are cancelled when the consumer stops early.
+
+        When ``payloads`` is supplied, infrastructure failures are
+        retried per :class:`~repro.resilience.retry.RetryPolicy`
+        (``policy``; the package default when omitted): a worker death
+        rebuilds the executor and resubmits every attempt it took down,
+        and a task that exceeds ``policy.timeout_s`` is resubmitted with
+        exponential backoff.  Tasks are pure functions of their
+        payloads, so a retried attempt yields the identical result; only
+        after a task exhausts ``policy.max_retries`` does the failure
+        surface as :class:`PoolUnavailable`.  Retry activity is recorded
+        on the :mod:`repro.resilience.recovery` side channel, never on
+        any charged clock.
         """
+        from repro.resilience import recovery
+        from repro.resilience.retry import DEFAULT_RETRY
+
+        can_retry = payloads is not None and len(payloads) == len(futures)
+        if policy is None:
+            policy = DEFAULT_RETRY
+        attempts = [0] * len(futures)
+        futures = list(futures)
         try:
-            for fut in futures:
+            index = 0
+            while index < len(futures):
+                fut = futures[index]
                 try:
-                    blob = fut.result()
+                    blob = fut.result(
+                        timeout=policy.timeout_s if can_retry else None
+                    )
+                except (FuturesTimeout, TimeoutError) as exc:
+                    if fut.done():
+                        raise  # the task itself raised TimeoutError
+                    attempts[index] += 1
+                    recovery.record(
+                        "pool_timeouts",
+                        kind=kind,
+                        index=index,
+                        attempt=attempts[index],
+                    )
+                    if attempts[index] > policy.max_retries:
+                        raise PoolUnavailable(
+                            f"task {index} exceeded its {policy.timeout_s}s "
+                            f"deadline {attempts[index]} time(s)"
+                        ) from exc
+                    fut.cancel()
+                    recovery.record(
+                        "pool_retries", kind=kind, index=index, cause="timeout"
+                    )
+                    policy.sleep(attempts[index])
+                    futures[index] = self._resubmit_one(payloads[index])
+                    continue
                 except BrokenProcessPool as exc:
                     self._discard_broken()
-                    raise PoolUnavailable(
-                        f"worker pool broke mid-run: {exc!r}"
-                    ) from exc
+                    if not can_retry:
+                        raise PoolUnavailable(
+                            f"worker pool broke mid-run: {exc!r}"
+                        ) from exc
+                    attempts[index] += 1
+                    recovery.record(
+                        "worker_deaths",
+                        kind=kind,
+                        index=index,
+                        attempt=attempts[index],
+                    )
+                    if attempts[index] > policy.max_retries:
+                        raise PoolUnavailable(
+                            f"worker pool broke {attempts[index]} time(s) "
+                            f"on task {index}: {exc!r}"
+                        ) from exc
+                    recovery.record(
+                        "pool_retries", kind=kind, index=index, cause="death"
+                    )
+                    policy.sleep(attempts[index])
+                    # The break takes down every in-flight and queued
+                    # attempt, not just the one being waited on —
+                    # resubmit all of them to the rebuilt executor.
+                    for j in range(index, len(futures)):
+                        if self._needs_resubmit(futures[j]):
+                            futures[j] = self._resubmit_one(payloads[j])
+                    continue
                 except _ResultUnpicklable as exc:
                     raise PoolUnavailable(str(exc)) from exc
                 yield pickle.loads(blob)
+                index += 1
         finally:
             for fut in futures:
                 fut.cancel()
 
-    def run_ordered(self, kind: str, args_list: list[Any]) -> Iterator[Any]:
+    def run_ordered(
+        self,
+        kind: str,
+        args_list: list[Any],
+        policy: "RetryPolicy | None" = None,
+    ) -> Iterator[Any]:
         """Pickle, submit and gather in one call (payloads built eagerly,
         so pickling failures raise before any dispatch)."""
         payloads = [dumps_payload((kind, args)) for args in args_list]
-        return self.gather_ordered(self.submit_many(kind, payloads))
+        return self.gather_ordered(
+            self.submit_many(kind, payloads),
+            kind=kind,
+            payloads=payloads,
+            policy=policy,
+        )
 
 
 _shared: dict[int, WorkerPool] = {}

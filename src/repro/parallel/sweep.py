@@ -57,7 +57,9 @@ def parallel_map(
     if cfg.enabled and args_list:
         pool = shared_pool(cfg.jobs)
         try:
-            return list(pool.run_ordered(kind, list(args_list)))
+            return list(
+                pool.run_ordered(kind, list(args_list), policy=cfg.retry)
+            )
         except PoolUnavailable as exc:
             if not cfg.fallback:
                 raise
@@ -75,6 +77,7 @@ def touch_sweep(
     sizes: Sequence[int],
     f: str = "x^0.5",
     parallel: "ParallelConfig | int | None" = None,
+    ledger=None,
 ) -> dict[str, Any]:
     """Fact 1 / Fact 2 charged-cost sweep over ``sizes``.
 
@@ -82,10 +85,22 @@ def touch_sweep(
     document per size (HMM/BT touching costs and their bounds) and
     ``counters`` is the deterministic in-order merge of every cell's
     event counters.
+
+    With a :class:`~repro.resilience.ledger.SweepLedger`, each cell is
+    checkpointed as it completes and cells already in the ledger are
+    replayed instead of recomputed — the returned document is identical
+    either way (charged costs are deterministic, and JSON round-trips
+    them exactly).
     """
     from repro.obs.counters import Counters
 
-    cells = parallel_map("touch-cost", [(n, f) for n in sizes], parallel)
+    args_list = [(n, f) for n in sizes]
+    if ledger is not None:
+        from repro.resilience.checkpoint import resume_map
+
+        cells = resume_map("touch-cost", args_list, ledger, parallel)
+    else:
+        cells = parallel_map("touch-cost", args_list, parallel)
     merged = Counters()
     for cell in cells:
         merged.merge(cell["counters"])
@@ -98,16 +113,29 @@ def run_matrix_distributed(
     smoke: bool = False,
     parallel: "ParallelConfig | int | None" = None,
     echo=None,
+    ledger=None,
 ) -> dict[str, Any]:
     """Run the bench matrix with one worker task per workload.
 
     The document is assembled in matrix order regardless of completion
     order; the header marks the run as distributed so wall-clock totals
     are not misread as a serial trajectory.
+
+    With a :class:`~repro.resilience.ledger.SweepLedger`, every workload
+    cell is checkpointed as it completes; a run restarted with the same
+    ledger replays completed cells verbatim (recorded wall numbers and
+    all), so the re-folded document's per-cell charged costs are
+    byte-identical to an uninterrupted run's.  The document then carries
+    a ``resilience`` section with the ledger path and resume counts.
     """
     import dataclasses
 
-    from repro.bench import DEFAULT_BUDGET_S, WORKLOADS, bench_header
+    from repro.bench import (
+        BENCH_SCHEMA,
+        DEFAULT_BUDGET_S,
+        WORKLOADS,
+        bench_header,
+    )
 
     if workloads is None:
         workloads = WORKLOADS
@@ -120,7 +148,23 @@ def run_matrix_distributed(
     args_list = [
         (dataclasses.asdict(w), budget_s, smoke) for w in workloads
     ]
-    for name, wl_doc in parallel_map("bench-workload", args_list, cfg):
+    if ledger is not None:
+        from repro.resilience.checkpoint import resume_map
+
+        # Wall clock is measured serially inside each worker, so a
+        # distributed cell is interchangeable with a serial one: the
+        # context pins schema and a nominal jobs=1, letting serial and
+        # distributed runs share a ledger.
+        results = resume_map(
+            "bench-workload",
+            args_list,
+            ledger,
+            cfg,
+            context={"schema": BENCH_SCHEMA, "jobs": 1},
+        )
+    else:
+        results = parallel_map("bench-workload", args_list, cfg)
+    for name, wl_doc in results:
         doc["workloads"][name] = wl_doc
         if echo:
             peak = wl_doc.get("peak")
@@ -131,6 +175,8 @@ def run_matrix_distributed(
                 if best
                 else f"  {name:14s} peak {peak if peak is not None else '-':>8}"
             )
+    if ledger is not None:
+        doc["resilience"] = ledger.summary()
     return doc
 
 

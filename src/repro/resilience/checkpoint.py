@@ -1,0 +1,92 @@
+"""Checkpointed sweeps: ``parallel_map`` fused with a :class:`SweepLedger`.
+
+:func:`resume_map` is the cell-granular checkpoint primitive used by
+``bench --distribute``, ``touch --sweep`` and the Fact 1/2 validation
+sweeps: every completed cell is appended to the ledger *as it finishes*,
+already-recorded cells are never recomputed, and the returned list is
+bit-identical to a clean :func:`~repro.parallel.sweep.parallel_map` run
+no matter where the previous run died.
+
+Results pass through one JSON round-trip before being returned or
+recorded, so a cell looks the same whether it was computed this run or
+replayed from the ledger (tuples become lists, floats survive exactly).
+
+This module imports ``repro.parallel`` lazily inside the function so the
+``resilience`` package stays a leaf of the import graph.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Sequence
+
+from repro.resilience import faults, recovery
+from repro.resilience.ledger import MISSING, SweepLedger, cell_key
+
+__all__ = ["resume_map"]
+
+
+def resume_map(
+    kind: str,
+    args_list: Sequence[Any],
+    ledger: SweepLedger,
+    parallel: Any = None,
+    context: dict[str, Any] | None = None,
+) -> list[Any]:
+    """Run one registered task per element, checkpointing through ``ledger``.
+
+    Cells already present in the ledger (matched by
+    :func:`~repro.resilience.ledger.cell_key` over ``kind``, the cell's
+    args, and ``context``) are replayed without recomputation; missing
+    cells run through the worker pool (honouring ``parallel`` exactly
+    like :func:`~repro.parallel.sweep.parallel_map`, including the
+    retry policy and the serial fallback) and are appended to the ledger
+    the moment they complete.  Results come back in element order.
+    """
+    from repro.parallel import workers
+    from repro.parallel.config import resolve_parallel, warn_fallback_once
+    from repro.parallel.pool import PoolUnavailable, shared_pool
+
+    keys = [cell_key(kind, args, context) for args in args_list]
+    results: list[Any] = [MISSING] * len(keys)
+    pending: list[int] = []
+    for i, key in enumerate(keys):
+        recorded = ledger.get(key)
+        if recorded is MISSING:
+            pending.append(i)
+        else:
+            results[i] = recorded
+            recovery.record("cells_resumed", kind=kind, index=i)
+
+    def finish(index: int, result: Any) -> None:
+        # One JSON round-trip so fresh and replayed cells are congruent
+        # (floats round-trip exactly; tuples normalize to lists).
+        result = json.loads(json.dumps(result))
+        ledger.record(keys[index], kind, result)
+        results[index] = result
+        recovery.record("cells_recomputed", kind=kind, index=index)
+        faults.check_abort(ledger.cells_recorded)
+
+    cfg = resolve_parallel(parallel)
+    done = 0
+    if cfg.enabled and pending:
+        pool = shared_pool(cfg.jobs)
+        try:
+            stream = pool.run_ordered(
+                kind, [args_list[i] for i in pending], policy=cfg.retry
+            )
+            for result in stream:
+                finish(pending[done], result)
+                done += 1
+        except PoolUnavailable as exc:
+            if not cfg.fallback:
+                raise
+            warn_fallback_once(
+                f"worker pool unavailable for checkpointed {kind!r} sweep "
+                f"({exc}); finishing serially"
+            )
+    task = workers.TASKS[kind]
+    while done < len(pending):
+        finish(pending[done], task(args_list[pending[done]]))
+        done += 1
+    return results

@@ -1,0 +1,190 @@
+"""Append-only JSON-lines ledger of completed sweep cells.
+
+A :class:`SweepLedger` is the checkpoint substrate for long sweeps
+(``bench --distribute``, ``touch --sweep``, the Fact 1/2 validation
+runs): every completed cell is appended as one self-contained JSON line
+keyed by a content hash of the cell's full identity (task kind,
+arguments, and caller context such as the bench schema and job count).
+A crashed or killed run leaves a valid prefix on disk; ``--resume``
+loads it, skips every completed cell, and re-folds the recorded results
+into the final document **bit-identically** — JSON round-trips floats
+exactly (shortest-repr encode, exact decode), so a resumed document's
+charged numbers are byte-equal to an uninterrupted run's.
+
+Robustness contract:
+
+* the write path appends and flushes one line per cell, so at most the
+  final line can be torn by a crash;
+* the read path skips corrupt lines individually (counting them in the
+  recovery counters and warning once per load) — a torn tail or a
+  garbled middle line costs exactly the affected cells, never the rest
+  of the ledger.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import warnings
+from typing import Any, IO
+
+from repro.resilience import recovery
+
+__all__ = [
+    "LEDGER_SCHEMA",
+    "LedgerWarning",
+    "MISSING",
+    "cell_key",
+    "SweepLedger",
+]
+
+#: ledger file format version (the header line carries it)
+LEDGER_SCHEMA = 1
+
+
+class LedgerWarning(RuntimeWarning):
+    """A ledger line could not be parsed and was skipped (the affected
+    cell will simply be recomputed)."""
+
+
+class _Missing:
+    """Sentinel for "no recorded result" (results themselves may be
+    any JSON value, including ``null``)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<missing>"
+
+
+MISSING = _Missing()
+
+
+def _canonical(doc: Any) -> str:
+    """Canonical JSON for hashing: sorted keys, no whitespace."""
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+
+def cell_key(kind: str, args: Any, context: dict[str, Any] | None = None) -> str:
+    """Content hash identifying one sweep cell.
+
+    ``kind`` is the worker-task name, ``args`` its JSON-serializable
+    argument tuple, and ``context`` whatever else qualifies the result
+    (bench schema, engine-internal job count, ...).  Two cells share a
+    key iff they would compute the identical result, so resuming under
+    a changed context recomputes rather than reusing stale cells.
+    """
+    blob = _canonical({"kind": kind, "args": args, "context": context or {}})
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:32]
+
+
+class SweepLedger:
+    """Append-only journal of ``(cell key -> recorded result)``.
+
+    Construct via :meth:`create` (fresh file) or :meth:`resume` (load an
+    existing ledger and continue appending to it).  ``hits`` counts
+    :meth:`get` calls that found a recorded cell this session — the
+    "cells skipped on resume" number surfaced in documents and echoes.
+    """
+
+    def __init__(self, path: str, entries: dict[str, Any], fh: IO[str]):
+        self.path = path
+        self._entries = entries
+        self._fh = fh
+        #: cells appended this session
+        self.cells_recorded = 0
+        #: get() calls that found a recorded result this session
+        self.hits = 0
+
+    # ---------------------------------------------------------- constructors
+    @classmethod
+    def create(cls, path: str) -> "SweepLedger":
+        """Start a fresh ledger at ``path`` (truncating any old file)."""
+        fh = open(path, "w")
+        fh.write(_canonical({"ledger": LEDGER_SCHEMA}) + "\n")
+        fh.flush()
+        return cls(path, {}, fh)
+
+    @classmethod
+    def resume(cls, path: str) -> "SweepLedger":
+        """Load an existing ledger and reopen it for appending.
+
+        Corrupt lines (torn tail after a crash, garbled bytes) are
+        skipped one by one: each costs only its own cell.  Raises
+        :class:`OSError` when the file cannot be read at all.
+        """
+        entries: dict[str, Any] = {}
+        corrupt = 0
+        with open(path, "r") as fh:
+            for lineno, line in enumerate(fh, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    doc = json.loads(line)
+                except ValueError:
+                    doc = None
+                if isinstance(doc, dict) and "ledger" in doc:
+                    continue  # header line
+                if (
+                    isinstance(doc, dict)
+                    and isinstance(doc.get("key"), str)
+                    and "result" in doc
+                ):
+                    entries[doc["key"]] = doc["result"]
+                else:
+                    corrupt += 1
+                    recovery.record(
+                        "ledger_corrupt_lines", path=path, line=lineno
+                    )
+        if corrupt:
+            warnings.warn(
+                f"skipped {corrupt} corrupt line(s) in ledger {path}; the "
+                f"affected cells will be recomputed",
+                LedgerWarning,
+                stacklevel=2,
+            )
+        return cls(path, entries, open(path, "a"))
+
+    # --------------------------------------------------------------- access
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str) -> Any:
+        """The recorded result for ``key``, or :data:`MISSING`."""
+        if key in self._entries:
+            self.hits += 1
+            return self._entries[key]
+        return MISSING
+
+    def record(self, key: str, kind: str, result: Any) -> None:
+        """Append one completed cell and flush it to disk immediately."""
+        line = json.dumps(
+            {"key": key, "kind": kind, "result": result},
+            separators=(",", ":"),
+        )
+        self._fh.write(line + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self._entries[key] = result
+        self.cells_recorded += 1
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "SweepLedger":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def summary(self) -> dict[str, Any]:
+        """The ``resilience`` section embedded in checkpointed documents."""
+        return {
+            "ledger": self.path,
+            "cells_resumed": self.hits,
+            "cells_recorded": self.cells_recorded,
+        }

@@ -499,7 +499,13 @@ class _BrentRun:
                 )
                 payloads.append(dumps_payload(("brent-hosts", args)))
             futures = pool.submit_many("brent-hosts", payloads)
-            for host, result in enumerate(pool.gather_ordered(futures)):
+            results = pool.gather_ordered(
+                futures,
+                kind="brent-hosts",
+                payloads=payloads,
+                policy=cfg.retry,
+            )
+            for host, result in enumerate(results):
                 w_contexts, w_pending, w_time, w_counters = result
                 offset = host * g_per_host
                 self.contexts[offset : offset + g_per_host] = w_contexts

@@ -636,7 +636,9 @@ class _HMMSimRun:
             try:
                 if pool is None:
                     pool = shared_pool(cfg.jobs)
-                self._run_segment_parallel(pool, pos, end, l1, v_sub)
+                self._run_segment_parallel(
+                    pool, pos, end, l1, v_sub, cfg.retry
+                )
             except PoolUnavailable as exc:
                 if not cfg.fallback:
                     raise
@@ -647,7 +649,7 @@ class _HMMSimRun:
             pos = end
 
     def _run_segment_parallel(
-        self, pool, pos: int, end: int, l1: int, v_sub: int
+        self, pool, pos: int, end: int, l1: int, v_sub: int, policy=None
     ) -> None:
         """Dispatch one segment's clusters to the pool and merge in order.
 
@@ -695,7 +697,10 @@ class _HMMSimRun:
             )
             payloads.append(dumps_payload(("hmm-segment", args)))
         futures = pool.submit_many("hmm-segment", payloads)
-        for j, result in enumerate(pool.gather_ordered(futures)):
+        results = pool.gather_ordered(
+            futures, kind="hmm-segment", payloads=payloads, policy=policy
+        )
+        for j, result in enumerate(results):
             self._merge_segment_result(
                 j, v_sub, l1, end, result, want_spans, counters_on
             )

@@ -127,7 +127,7 @@ class _FailingPool:
     def submit_many(self, kind, payloads):
         raise PoolUnavailable("injected failure")
 
-    def run_ordered(self, kind, args_list):
+    def run_ordered(self, kind, args_list, **kwargs):
         raise PoolUnavailable("injected failure")
 
 

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo docs (stdlib only).
+
+Scans markdown files for inline links/images ``[text](target)`` and
+reference definitions ``[label]: target`` and verifies that every
+*local* target resolves:
+
+* relative file targets must exist on disk (relative to the file that
+  links them);
+* ``#fragment`` anchors (same-file or ``page.md#section``) must match a
+  heading in the target file, using GitHub's slug rules (lowercase,
+  punctuation stripped, spaces to hyphens);
+* ``http(s)``/``mailto`` targets are *not* fetched — CI must not depend
+  on network weather — but their URL syntax is sanity-checked.
+
+Exit status 0 when everything resolves, 1 with one line per broken
+link otherwise.  Used by ``tests/test_docs.py`` and the CI docs job::
+
+    python tools/check_links.py README.md DESIGN.md docs/*.md
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from urllib.parse import urlsplit
+
+# inline [text](target) — also matches images; ignores ](... inside code
+# spans well enough for our docs, which keep links out of code blocks
+_INLINE = re.compile(r"\[[^\]^\[]*\]\(([^()\s]+(?:\([^()\s]*\))?)\)")
+# reference definition: [label]: target
+_REFDEF = re.compile(r"^\s{0,3}\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+_HEADING = re.compile(r"^#{1,6}\s+(.+?)\s*#*\s*$", re.MULTILINE)
+
+
+def _strip_code_blocks(text: str) -> str:
+    """Drop fenced code blocks — links inside them are illustrative."""
+    out, in_fence = [], False
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            out.append(line)
+    return "\n".join(out)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading text."""
+    # inline markup does not contribute to the slug
+    heading = re.sub(r"[*_`]", "", heading)
+    # links in headings keep only their text
+    heading = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)
+    slug = heading.strip().lower()
+    slug = re.sub(r"[^\w\- ]", "", slug, flags=re.UNICODE)
+    return slug.replace(" ", "-")
+
+
+def heading_slugs(path: Path) -> set[str]:
+    text = _strip_code_blocks(path.read_text(encoding="utf-8"))
+    slugs: set[str] = set()
+    counts: dict[str, int] = {}
+    for match in _HEADING.finditer(text):
+        slug = github_slug(match.group(1))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def iter_targets(path: Path):
+    text = _strip_code_blocks(path.read_text(encoding="utf-8"))
+    for pattern in (_INLINE, _REFDEF):
+        for match in pattern.finditer(text):
+            yield match.group(1)
+
+
+def check_file(path: Path, root: Path) -> list[str]:
+    """Return one error string per broken link in ``path``."""
+    errors: list[str] = []
+    for target in iter_targets(path):
+        scheme = urlsplit(target).scheme
+        if scheme in ("http", "https", "mailto"):
+            if scheme != "mailto" and not urlsplit(target).netloc:
+                errors.append(f"{path}: malformed URL {target!r}")
+            continue
+        if scheme:  # ftp:, file:, ... — nothing in our docs should
+            errors.append(f"{path}: unexpected URL scheme in {target!r}")
+            continue
+        base, _, fragment = target.partition("#")
+        dest = (path.parent / base).resolve() if base else path.resolve()
+        if not dest.exists():
+            errors.append(f"{path}: broken link {target!r} "
+                          f"({dest.relative_to(root)} does not exist)")
+            continue
+        if fragment and dest.suffix == ".md":
+            if github_slug(fragment) not in heading_slugs(dest):
+                errors.append(f"{path}: broken anchor {target!r} "
+                              f"(no such heading in {dest.name})")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    root = Path.cwd()
+    files = [Path(arg) for arg in argv] or sorted(
+        [root / "README.md", root / "DESIGN.md", *root.glob("docs/*.md")]
+    )
+    errors: list[str] = []
+    for path in files:
+        if not path.exists():
+            errors.append(f"{path}: file not found")
+            continue
+        errors.extend(check_file(path, root))
+    for err in errors:
+        print(err, file=sys.stderr)
+    if not errors:
+        print(f"checked {len(files)} file(s): all links resolve")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
