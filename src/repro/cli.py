@@ -11,7 +11,10 @@
     python -m repro bench --jobs 4
     python -m repro bench --distribute --jobs 4 --checkpoint bench.ledger
     python -m repro bench --distribute --jobs 4 --resume bench.ledger
+    python -m repro serve --port 8173 --jobs 2 --checkpoint cache.ledger
+    python -m repro loadgen --url http://127.0.0.1:8173 --smoke
     python -m repro list
+    python -m repro --version
 
 ``run`` executes one of the bundled D-BSP programs on the chosen engine(s)
 and prints the charged costs plus, for simulations, the slowdown against
@@ -25,8 +28,14 @@ completed sweep cell to an append-only ledger and ``--resume LEDGER``
 replays it after an interruption, recomputing only the missing cells —
 the resumed document's charged costs are byte-identical to an
 uninterrupted run's (``bench`` and ``touch --sweep`` both take the
-pair).  ``list`` enumerates programs and access functions.  ``run``, ``profile``, ``touch`` and ``bench`` all take
-``--json`` for machine-readable output.
+pair).  ``serve`` exposes the engines over HTTP (``POST /run``,
+``POST /batch``, ``GET /healthz``, ``GET /metrics``) with a
+content-addressed result cache, single-flight coalescing and 429
+backpressure; ``loadgen`` drives a server with a closed-loop hot/cold
+client mix and writes ``BENCH_service_throughput.json``.  ``list``
+enumerates programs and access functions.  ``run``, ``profile``,
+``touch``, ``bench`` and ``loadgen`` all take ``--json`` for
+machine-readable output, and ``--version`` prints the package version.
 
 All commands are thin shells over the engine registry
 (:mod:`repro.engines`): they build a program, pick an engine from
@@ -307,6 +316,90 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from repro.service.server import serve
+
+    ledger = _open_ledger(args)
+    try:
+        return serve(
+            host=args.host,
+            port=args.port,
+            cache_capacity=args.cache_capacity,
+            queue_limit=args.queue_limit,
+            jobs=args.jobs,
+            ledger=ledger,
+        )
+    finally:
+        if ledger is not None:
+            ledger.close()
+
+
+def cmd_loadgen(args) -> int:
+    from repro.service.loadgen import (
+        check_service_against,
+        run_loadgen,
+        write_service_bench,
+    )
+
+    echo = None if args.json else print
+    doc = run_loadgen(
+        url=args.url,
+        clients=args.clients,
+        requests_per_client=args.requests,
+        hot_ratio=args.hot_ratio,
+        hot_keys=args.hot_keys,
+        batch=args.batch,
+        seed=args.seed,
+        smoke=args.smoke,
+        jobs=args.jobs,
+        echo=echo,
+    )
+
+    if args.check:
+        try:
+            baseline = json.loads(pathlib.Path(args.check).read_text())
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"cannot read baseline {args.check}: {exc}")
+        try:
+            problems = check_service_against(
+                doc, baseline,
+                tolerance=args.tolerance,
+                min_speedup=args.min_speedup,
+            )
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+        if args.output:
+            write_service_bench(args.output, doc)
+        if problems:
+            for p in problems:
+                print(f"REGRESSION: {p}", file=sys.stderr)
+            return 1
+        if echo:
+            echo(f"no regressions vs {args.check} "
+                 f"(tolerance {args.tolerance:g}x)")
+        return 0
+
+    if args.json:
+        _dump_json(doc)
+    out = args.output or "BENCH_service_throughput.json"
+    write_service_bench(out, doc)
+    if echo:
+        echo(f"\nwrote {out}")
+    if doc["errors"]:
+        print(f"{doc['errors']} request(s) failed", file=sys.stderr)
+        return 1
+    if args.min_speedup is not None:
+        speedup = doc.get("hot_vs_cold_speedup")
+        if not speedup or speedup < args.min_speedup:
+            print(
+                f"hot/cold speedup {speedup!r} is below the "
+                f"{args.min_speedup:g}x floor",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
 def cmd_touch(args) -> int:
     if args.sweep:
         from repro.parallel.sweep import touch_sweep
@@ -380,6 +473,10 @@ def build_parser() -> argparse.ArgumentParser:
             "Locality of Reference' (IPDPS 2004)."
         ),
     )
+    from repro import __version__
+
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_list = sub.add_parser("list", help="list programs, functions, engines")
@@ -461,6 +558,68 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--json", action="store_true",
                          help="emit the result document to stdout as JSON")
     p_bench.set_defaults(func=cmd_bench)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve the engines over HTTP (cache, coalescing, backpressure)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=8173,
+                         help="TCP port (default 8173; 0 for ephemeral)")
+    p_serve.add_argument("--cache-capacity", type=int, default=1024,
+                         help="result-cache entries kept in memory (LRU)")
+    p_serve.add_argument("--queue-limit", type=int, default=64,
+                         help="distinct in-flight computations before 429")
+    p_serve.add_argument("--jobs", type=int, default=1,
+                         help="worker processes computations dispatch to "
+                              "(served charged costs are identical for "
+                              "any value)")
+    p_serve.add_argument("--checkpoint", default=None, metavar="LEDGER",
+                         help="persist every cached result to a fresh "
+                              "ledger at this path")
+    p_serve.add_argument("--resume", default=None, metavar="LEDGER",
+                         help="preload the cache from an existing ledger "
+                              "(warm restart) and keep appending to it")
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_load = sub.add_parser(
+        "loadgen",
+        help="drive a simulation server with a closed-loop client mix",
+    )
+    p_load.add_argument("--url", default=None,
+                        help="server base URL (default: start an "
+                             "in-process server on an ephemeral port)")
+    p_load.add_argument("--clients", type=int, default=4,
+                        help="concurrent closed-loop clients")
+    p_load.add_argument("--requests", type=int, default=50,
+                        help="requests per client per phase")
+    p_load.add_argument("--hot-ratio", type=float, default=0.9,
+                        help="hot-key fraction in the hot phase")
+    p_load.add_argument("--hot-keys", type=int, default=8,
+                        help="size of the hot-key set")
+    p_load.add_argument("--batch", type=int, default=1,
+                        help="requests per POST /batch call (1 = POST /run)")
+    p_load.add_argument("--seed", type=int, default=7,
+                        help="request-stream RNG seed")
+    p_load.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the in-process server")
+    p_load.add_argument("--smoke", action="store_true",
+                        help="reduced request counts (CI smoke job)")
+    p_load.add_argument("--output", default=None, metavar="PATH",
+                        help="output JSON "
+                             "(default BENCH_service_throughput.json)")
+    p_load.add_argument("--check", default=None, metavar="BASELINE",
+                        help="compare against a recorded run; exit 1 on "
+                             "throughput regressions or failed requests")
+    p_load.add_argument("--tolerance", type=float, default=3.0,
+                        help="allowed slow-down factor for --check")
+    p_load.add_argument("--min-speedup", type=float, default=None,
+                        help="fail unless hot/cold speedup reaches this "
+                             "floor")
+    p_load.add_argument("--json", action="store_true",
+                        help="emit the result document to stdout as JSON")
+    p_load.set_defaults(func=cmd_loadgen)
 
     p_touch = sub.add_parser("touch", help="Fact 1 vs Fact 2 at one size")
     p_touch.add_argument("--n", type=int, default=1 << 16)

@@ -244,6 +244,38 @@ class EngineResult:
             doc["trace"] = [span.to_json() for span in self.trace]
         return doc
 
+    @classmethod
+    def from_json(cls, doc: dict[str, Any]) -> "EngineResult":
+        """Rebuild a result from its :meth:`to_json` document.
+
+        The inverse used by every replay path (the service result
+        cache, ledger-backed restarts, trace files): all charged fields
+        — ``time``, ``slowdown``, ``baseline_time``, ``breakdown``,
+        ``counters``, recorded ``trace`` spans — round-trip exactly
+        (JSON encodes floats shortest-repr and decodes them exactly),
+        so ``EngineResult.from_json(res.to_json()).to_json() ==
+        res.to_json()``.  ``contexts`` and ``native`` are not part of
+        the document and come back empty.
+
+        >>> from repro import run
+        >>> res = run("broadcast", v=8)
+        >>> EngineResult.from_json(res.to_json()).to_json() == res.to_json()
+        True
+        """
+        return cls(
+            engine=doc["engine"],
+            time=doc["time"],
+            contexts=[],
+            breakdown=dict(doc.get("breakdown") or {}),
+            counters=dict(doc.get("counters") or {}),
+            trace=[
+                SpanRecord.from_json(span) for span in doc.get("trace", [])
+            ],
+            slowdown=doc.get("slowdown"),
+            baseline_time=doc.get("baseline_time"),
+            meta=dict(doc.get("meta") or {}),
+        )
+
 
 @runtime_checkable
 class Engine(Protocol):

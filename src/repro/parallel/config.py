@@ -75,6 +75,8 @@ class ParallelConfig:
     False
     >>> resolve_parallel(2)
     ParallelConfig(jobs=2, min_work_per_task=4096, fallback=True, retry=None)
+    >>> resolve_parallel(1) is SERIAL
+    True
     """
 
     jobs: int = 1
@@ -88,7 +90,14 @@ class ParallelConfig:
 
     @classmethod
     def from_env(cls) -> "ParallelConfig":
-        """Read ``REPRO_JOBS`` (unset, empty or invalid -> serial)."""
+        """Read ``REPRO_JOBS``.
+
+        Both serial outcomes return the :data:`SERIAL` singleton itself,
+        not a fresh instance: an unset/empty/invalid ``REPRO_JOBS`` and
+        a parsed ``jobs <= 1`` alike yield ``from_env() is SERIAL``
+        (``tests/test_parallel.py`` asserts the identity), so consumers
+        may use ``is SERIAL`` as the "no parallelism requested" check.
+        """
         raw = os.environ.get("REPRO_JOBS", "").strip()
         if not raw:
             return SERIAL

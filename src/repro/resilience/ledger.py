@@ -159,6 +159,16 @@ class SweepLedger:
             return self._entries[key]
         return MISSING
 
+    def items(self) -> list[tuple[str, Any]]:
+        """All recorded ``(key, result)`` pairs, in insertion order.
+
+        Iteration order is the order the lines were appended (dicts
+        preserve insertion order), so consumers that warm a bounded
+        cache from a ledger see the oldest cells first and the newest
+        last — the newest survive an LRU preload cap.
+        """
+        return list(self._entries.items())
+
     def record(self, key: str, kind: str, result: Any) -> None:
         """Append one completed cell and flush it to disk immediately."""
         line = json.dumps(

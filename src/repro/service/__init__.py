@@ -1,0 +1,52 @@
+"""Simulation-as-a-service: serve engine runs over HTTP.
+
+Every simulation in this package is a *pure function* of
+``(program, engine, access function, config)`` — charged model costs are
+deterministic and JSON round-trips them exactly.  That makes simulation
+results perfectly cacheable and identical in-flight requests perfectly
+coalescible, which is what this package exploits to turn the one-shot
+CLI into a serving subsystem:
+
+* :mod:`repro.service.cache` — a content-addressed LRU result cache
+  keyed by the same ``cell_key`` hashing the sweep ledger uses, with
+  hit/miss/eviction counters and optional ledger-backed persistence (a
+  warm cache survives restarts);
+* :mod:`repro.service.scheduler` — bounded admission, single-flight
+  coalescing of identical concurrent requests, and dispatch onto the
+  existing :class:`~repro.parallel.pool.WorkerPool` /
+  :class:`~repro.resilience.retry.RetryPolicy` machinery so worker
+  deaths and timeouts degrade gracefully instead of failing requests;
+* :mod:`repro.service.server` — the stdlib ``ThreadingHTTPServer``
+  front end: ``POST /run``, ``POST /batch``, ``GET /healthz``,
+  ``GET /metrics``, with 429 + ``Retry-After`` backpressure;
+* :mod:`repro.service.loadgen` — a closed-loop load generator
+  (hot/cold key mix, batches) writing
+  ``BENCH_service_throughput.json``.
+
+The serving contract mirrors the PR 3/PR 4 re-fold contracts: for a
+fixed request, the charged ``time``/``counters`` in the response are
+``==``-identical whether the result was computed, coalesced onto
+another request's computation, served from the cache, or replayed from
+a persisted ledger — at any ``jobs`` value
+(``tests/test_service.py`` pins this).
+"""
+
+from repro.service.cache import ResultCache
+from repro.service.scheduler import (
+    SERVICE_SCHEMA,
+    QueueFull,
+    Scheduler,
+    SimRequest,
+)
+from repro.service.server import ServiceServer, SimService, serve
+
+__all__ = [
+    "ResultCache",
+    "Scheduler",
+    "SimRequest",
+    "QueueFull",
+    "SERVICE_SCHEMA",
+    "SimService",
+    "ServiceServer",
+    "serve",
+]

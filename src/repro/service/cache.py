@@ -1,0 +1,123 @@
+"""Content-addressed LRU result cache for the serving subsystem.
+
+Keys are :func:`~repro.resilience.ledger.cell_key` content hashes —
+the same kind + args + context hashing the sweep ledger uses — so a
+cached entry is valid for exactly the requests that would compute the
+identical result.  Values are the JSON-normalized result documents the
+scheduler produces (one ``json.loads(json.dumps(...))`` round-trip
+before insertion), so a cache hit serves a document ``==``-identical to
+a fresh computation.
+
+Two operational features ride on top of the plain ``OrderedDict`` LRU:
+
+* **observability** — a :class:`~repro.obs.counters.Counters` registry
+  (``hits``, ``misses``, ``stores``, ``evictions``, ``preloaded``)
+  surfaced by ``GET /metrics``;
+* **persistence** — an optional
+  :class:`~repro.resilience.ledger.SweepLedger`: every store is also
+  appended to the ledger (flush + fsync per entry), and a cache built
+  over a resumed ledger preloads the recorded entries, so a warm cache
+  survives restarts.  Eviction only trims the in-memory LRU; the
+  append-only ledger keeps everything (capacity bounds memory, the
+  ledger bounds recomputation).
+
+All methods are thread-safe — the HTTP front end serves from many
+handler threads at once.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any
+
+from repro.obs.counters import Counters
+from repro.resilience.ledger import MISSING, SweepLedger
+
+__all__ = ["ResultCache"]
+
+#: default in-memory capacity (entries, not bytes — result documents
+#: for the bundled programs are a few KB each)
+DEFAULT_CAPACITY = 1024
+
+
+class ResultCache:
+    """A bounded, content-addressed, optionally ledger-backed LRU cache."""
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        ledger: SweepLedger | None = None,
+    ):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.counters = Counters()
+        self._entries: OrderedDict[str, Any] = OrderedDict()
+        self._lock = threading.Lock()
+        self._ledger = ledger
+        if ledger is not None:
+            # Oldest-first iteration + LRU eviction keeps the *newest*
+            # recorded cells when the ledger outgrew the capacity.
+            for key, result in ledger.items():
+                self._entries[key] = result
+                self._entries.move_to_end(key)
+                if len(self._entries) > capacity:
+                    self._entries.popitem(last=False)
+                else:
+                    self.counters.add("preloaded")
+
+    # -------------------------------------------------------------- access
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str) -> Any:
+        """The cached document for ``key``, or :data:`MISSING`.
+
+        A hit refreshes the entry's LRU position.
+        """
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.counters.add("hits")
+                return self._entries[key]
+            self.counters.add("misses")
+            return MISSING
+
+    def put(self, key: str, kind: str, doc: Any) -> None:
+        """Insert (or refresh) ``key``; evict LRU entries over capacity.
+
+        With a backing ledger, a key the ledger has not seen yet is also
+        appended there (``kind`` is the ledger's task-kind column), so
+        the entry survives both eviction and restart.
+        """
+        with self._lock:
+            known = key in self._entries
+            self._entries[key] = doc
+            self._entries.move_to_end(key)
+            if not known:
+                self.counters.add("stores")
+                if self._ledger is not None and key not in self._ledger:
+                    self._ledger.record(key, kind, doc)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.counters.add("evictions")
+
+    def keys(self) -> list[str]:
+        """Current keys, least- to most-recently used (tests, metrics)."""
+        with self._lock:
+            return list(self._entries)
+
+    # ------------------------------------------------------------- metrics
+    def gauges(self) -> dict[str, Any]:
+        """The ``cache`` section of ``GET /metrics``: counters + gauges."""
+        doc: dict[str, Any] = {
+            "size": len(self._entries),
+            "capacity": self.capacity,
+            "persistent": self._ledger is not None,
+        }
+        doc.update(self.counters.snapshot())
+        return doc

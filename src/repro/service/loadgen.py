@@ -1,0 +1,425 @@
+"""Closed-loop load generator for the simulation service.
+
+Drives a running server (or an in-process one) with a configurable
+client mix and records served-request throughput in
+``BENCH_service_throughput.json`` — the serving counterpart of
+``repro.bench``'s engine-throughput document, in the same schema-2
+style (header with ``schema`` / ``python`` / ``platform`` /
+``cpu_count`` / ``revision``; ``--check`` refuses cross-schema
+comparisons).
+
+The run has two phases, each a closed loop (every client issues its
+next request the moment the previous response lands):
+
+* ``cold`` — every request carries a unique content key (the access
+  function's exponent is perturbed per request), so every request is
+  computed: this measures the service's raw compute-bound ceiling
+  against a cold cache.
+* ``hot`` — a ``hot_ratio`` fraction of requests (default 0.9) draws
+  from a small fixed hot-key set, the rest stay unique: this measures
+  the cache-accelerated serving rate.  ``hot_vs_cold_speedup`` is the
+  ratio of the two phases' requests/s — the number the ROADMAP's
+  "heavy traffic" goal turns on.
+
+Request streams are seeded (`random.Random`), so two runs against
+equivalent servers issue the identical request sequences.  A 429 from
+the server's backpressure is not an error: the client honours
+``Retry-After`` and retries, counting the rejection.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import platform
+import random
+import socket
+import threading
+import time
+import urllib.parse
+from typing import Any
+
+__all__ = [
+    "SERVICE_BENCH_SCHEMA",
+    "run_loadgen",
+    "check_service_against",
+    "write_service_bench",
+]
+
+#: service bench document schema (styled after ``repro.bench``'s
+#: schema 2: same provenance header, phases instead of workloads)
+SERVICE_BENCH_SCHEMA = 2
+
+#: engines in the request mix (every family; ``direct`` keeps the guest
+#: reference in the traffic)
+_MIX_ENGINES = ("hmm", "bt", "brent", "direct")
+
+#: programs in the request mix (delivery-heavy, cheap to build at v=16)
+_MIX_PROGRAMS = ("sort", "fft-rec")
+
+
+#: guest width of the mix (big enough that computing a request costs
+#: milliseconds — the hot/cold contrast must measure caching, not HTTP)
+_MIX_V = 64
+
+
+def _hot_set(count: int) -> list[dict[str, Any]]:
+    """The fixed hot-key request set: ``count`` distinct documents."""
+    hot = []
+    for i in range(count):
+        hot.append({
+            "engine": _MIX_ENGINES[i % len(_MIX_ENGINES)],
+            "program": _MIX_PROGRAMS[(i // len(_MIX_ENGINES)) % len(_MIX_PROGRAMS)],
+            "v": _MIX_V,
+            "mu": 8,
+            "f": f"x^0.{50 + i}",
+            "trace": "counters",
+        })
+    return hot
+
+
+def _cold_request(index: int) -> dict[str, Any]:
+    """A request whose content key no other request shares.
+
+    The access-function exponent is perturbed per index —
+    ``x^0.100001``, ``x^0.100002``, ... — so every cold request hashes
+    to a fresh :func:`~repro.resilience.ledger.cell_key` and must be
+    computed.
+    """
+    return {
+        "engine": _MIX_ENGINES[index % len(_MIX_ENGINES)],
+        "program": _MIX_PROGRAMS[index % len(_MIX_PROGRAMS)],
+        "v": _MIX_V,
+        "mu": 8,
+        "f": f"x^0.{100001 + index}",
+        "trace": "counters",
+    }
+
+
+class _Client(threading.Thread):
+    """One closed-loop client: issue requests back-to-back, tally paths.
+
+    Uses one persistent (keep-alive) HTTP/1.1 connection for its whole
+    stream — per-request TCP setup would otherwise put a floor under
+    the cache-hit serving rate and understate the hot/cold contrast.
+    """
+
+    def __init__(
+        self,
+        url: str,
+        requests: list[dict[str, Any]],
+        batch: int = 1,
+    ):
+        super().__init__(daemon=True)
+        parsed = urllib.parse.urlsplit(url)
+        self.host = parsed.hostname or "127.0.0.1"
+        self.port = parsed.port or 80
+        self.requests = requests
+        self.batch = max(1, batch)
+        self.served: dict[str, int] = {}
+        self.rejected = 0
+        self.errors = 0
+        self.failures: list[str] = []
+        self._conn: http.client.HTTPConnection | None = None
+
+    def _connect(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=120.0
+            )
+            self._conn.connect()
+            # mirror the server's TCP_NODELAY: a request is also two
+            # small writes (headers, JSON body), and Nagle + delayed
+            # ACK would floor every round trip at tens of milliseconds
+            self._conn.sock.setsockopt(
+                socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+            )
+        return self._conn
+
+    def _reconnect(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def _tally(self, response: dict[str, Any]) -> None:
+        for item in response.get("results", [response]):
+            served = item.get("served", "?")
+            self.served[served] = self.served.get(served, 0) + 1
+
+    def _issue(self, path: str, body: Any) -> None:
+        payload = json.dumps(body).encode("utf-8")
+        transport_failures = 0
+        while True:
+            try:
+                conn = self._connect()
+                conn.request(
+                    "POST", path, body=payload,
+                    headers={"Content-Type": "application/json"},
+                )
+                resp = conn.getresponse()
+                raw = resp.read()
+                status = resp.status
+                retry_after = resp.headers.get("Retry-After")
+            except (http.client.HTTPException, OSError) as exc:
+                self._reconnect()
+                transport_failures += 1
+                if transport_failures > 3:
+                    self.errors += 1
+                    if len(self.failures) < 8:
+                        self.failures.append(f"transport: {exc!r}")
+                    return
+                continue
+            try:
+                doc = json.loads(raw) if raw else {}
+            except ValueError:
+                doc = {"error": raw.decode("utf-8", "replace")}
+            if status == 200:
+                self._tally(doc)
+                return
+            if status == 429:
+                self.rejected += 1
+                time.sleep(min(float(retry_after or 0.1), 0.5))
+                continue
+            self.errors += 1
+            if len(self.failures) < 8:
+                self.failures.append(f"{status}: {doc.get('error', doc)}")
+            return
+
+    def run(self) -> None:
+        try:
+            if self.batch == 1:
+                for request in self.requests:
+                    self._issue("/run", request)
+            else:
+                for start in range(0, len(self.requests), self.batch):
+                    chunk = self.requests[start : start + self.batch]
+                    self._issue("/batch", {"requests": chunk})
+        finally:
+            self._reconnect()
+
+
+def _run_phase(
+    url: str,
+    name: str,
+    clients: int,
+    requests_per_client: int,
+    hot_ratio: float,
+    hot_keys: int,
+    batch: int,
+    seed: int,
+    cold_base: int,
+    echo=None,
+) -> tuple[dict[str, Any], int]:
+    """Run one closed-loop phase; returns ``(phase doc, cold keys used)``."""
+    hot = _hot_set(hot_keys)
+    cold_index = cold_base
+    workers: list[_Client] = []
+    for c in range(clients):
+        rng = random.Random(seed * 1000 + c)
+        stream = []
+        for _ in range(requests_per_client):
+            if hot_ratio > 0 and rng.random() < hot_ratio:
+                stream.append(hot[rng.randrange(len(hot))])
+            else:
+                stream.append(_cold_request(cold_index))
+                cold_index += 1
+        workers.append(_Client(url, stream, batch=batch))
+    t0 = time.perf_counter()
+    for w in workers:
+        w.start()
+    for w in workers:
+        w.join()
+    wall = time.perf_counter() - t0
+    total = clients * requests_per_client
+    served: dict[str, int] = {}
+    rejected = 0
+    errors = 0
+    failures: list[str] = []
+    for w in workers:
+        for k, v in w.served.items():
+            served[k] = served.get(k, 0) + v
+        rejected += w.rejected
+        errors += w.errors
+        failures.extend(w.failures)
+    doc = {
+        "requests": total,
+        "wall_s": wall,
+        "requests_per_s": total / wall if wall > 0 else None,
+        "hot_ratio": hot_ratio,
+        "served": {k: served[k] for k in sorted(served)},
+        "rejected_429": rejected,
+        "errors": errors,
+    }
+    if failures:
+        doc["failures"] = failures[:8]
+    if echo:
+        rps = doc["requests_per_s"]
+        echo(
+            f"  {name:5s} {total:>5d} requests in {wall:7.2f}s  "
+            f"{rps:>8,.1f} req/s  (served: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(served.items()))
+            + (f", rejected={rejected}" if rejected else "")
+            + (f", ERRORS={errors}" if errors else "")
+            + ")"
+        )
+    return doc, cold_index - cold_base
+
+
+def run_loadgen(
+    url: str | None = None,
+    clients: int = 4,
+    requests_per_client: int = 50,
+    hot_ratio: float = 0.9,
+    hot_keys: int = 8,
+    batch: int = 1,
+    seed: int = 7,
+    smoke: bool = False,
+    jobs: int = 1,
+    cache_capacity: int | None = None,
+    queue_limit: int | None = None,
+    echo=None,
+) -> dict[str, Any]:
+    """Run the two-phase load and return the bench document.
+
+    With ``url=None`` an in-process
+    :class:`~repro.service.server.ServiceServer` is started on an
+    ephemeral port (and torn down afterwards) — the standalone mode the
+    checked-in ``BENCH_service_throughput.json`` is generated in.  With
+    a ``url``, an already-running server is driven — the CI mode
+    (``python -m repro serve`` + ``python -m repro loadgen --url ...``);
+    note the cold phase is only *cold* against a freshly started server.
+    ``smoke`` shrinks the request counts for CI without changing the
+    phase structure.
+    """
+    from repro.bench import _git_revision
+
+    if smoke:
+        clients = min(clients, 2)
+        requests_per_client = min(requests_per_client, 8)
+        hot_keys = min(hot_keys, 4)
+    produced_by = "python -m repro loadgen"
+    if smoke:
+        produced_by += " --smoke"
+    doc: dict[str, Any] = {
+        "schema": SERVICE_BENCH_SCHEMA,
+        "produced_by": produced_by,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "jobs": jobs,
+        "revision": _git_revision(),
+        "clients": clients,
+        "requests_per_client": requests_per_client,
+        "hot_ratio": hot_ratio,
+        "hot_keys": hot_keys,
+        "batch": batch,
+        "seed": seed,
+        "phases": {},
+    }
+    server = None
+    if url is None:
+        from repro.service.server import ServiceServer, SimService
+
+        kwargs: dict[str, Any] = {"jobs": jobs}
+        if cache_capacity is not None:
+            kwargs["cache_capacity"] = cache_capacity
+        if queue_limit is not None:
+            kwargs["queue_limit"] = queue_limit
+        server = ServiceServer(SimService(**kwargs))
+        url = server.url
+        doc["in_process_server"] = True
+    try:
+        if echo:
+            echo(f"load-generating against {url} "
+                 f"({clients} client(s) x {requests_per_client} request(s))")
+        cold, cold_used = _run_phase(
+            url, "cold", clients, requests_per_client,
+            hot_ratio=0.0, hot_keys=hot_keys, batch=batch,
+            seed=seed, cold_base=0, echo=echo,
+        )
+        hot, _ = _run_phase(
+            url, "hot", clients, requests_per_client,
+            hot_ratio=hot_ratio, hot_keys=hot_keys, batch=batch,
+            seed=seed + 1, cold_base=cold_used, echo=echo,
+        )
+    finally:
+        if server is not None:
+            server.close()
+    doc["phases"]["cold"] = cold
+    doc["phases"]["hot"] = hot
+    cold_rps = cold["requests_per_s"]
+    hot_rps = hot["requests_per_s"]
+    doc["hot_vs_cold_speedup"] = (
+        hot_rps / cold_rps if cold_rps and hot_rps else None
+    )
+    doc["errors"] = cold["errors"] + hot["errors"]
+    if echo and doc["hot_vs_cold_speedup"]:
+        echo(f"  hot/cold speedup: {doc['hot_vs_cold_speedup']:.1f}x")
+    return doc
+
+
+def check_service_against(
+    fresh: dict[str, Any],
+    baseline: dict[str, Any],
+    tolerance: float = 3.0,
+    min_speedup: float | None = None,
+) -> list[str]:
+    """Compare a fresh loadgen run against a recorded baseline.
+
+    Mirrors :func:`repro.bench.check_against`: refuses (raises
+    :class:`ValueError`) on schema drift, and reports only
+    slow-direction regressions beyond the (generous, cross-machine)
+    ``tolerance``.  A fresh run with any failed request is always a
+    problem, whatever the baseline says; ``min_speedup`` additionally
+    enforces a hot/cold throughput floor.
+    """
+    fresh_schema = fresh.get("schema")
+    base_schema = baseline.get("schema")
+    if fresh_schema != base_schema:
+        raise ValueError(
+            f"cannot compare service bench documents across schemas: fresh "
+            f"run is schema {fresh_schema!r}, baseline is schema "
+            f"{base_schema!r}.  Regenerate the baseline with the current "
+            f"code (python -m repro loadgen --output <baseline.json>) and "
+            f"re-check."
+        )
+    problems: list[str] = []
+    if fresh.get("errors"):
+        problems.append(
+            f"{fresh['errors']} request(s) failed "
+            f"(first: {_first_failure(fresh)})"
+        )
+    for name, base_phase in baseline.get("phases", {}).items():
+        fresh_phase = fresh.get("phases", {}).get(name)
+        if fresh_phase is None:
+            problems.append(f"phase {name!r} missing from the fresh run")
+            continue
+        b = base_phase.get("requests_per_s")
+        got = fresh_phase.get("requests_per_s")
+        if b and got and got < b / tolerance:
+            problems.append(
+                f"phase {name!r}: {got:,.1f} req/s < baseline "
+                f"{b:,.1f} / {tolerance:g}"
+            )
+    if min_speedup is not None:
+        speedup = fresh.get("hot_vs_cold_speedup")
+        if not speedup or speedup < min_speedup:
+            problems.append(
+                f"hot/cold speedup {speedup!r} is below the "
+                f"{min_speedup:g}x floor"
+            )
+    return problems
+
+
+def _first_failure(doc: dict[str, Any]) -> str:
+    for phase in doc.get("phases", {}).values():
+        for failure in phase.get("failures", []):
+            return failure
+    return "no failure detail recorded"
+
+
+def write_service_bench(path: str, doc: dict[str, Any]) -> None:
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=False)
+        fh.write("\n")

@@ -1,0 +1,310 @@
+"""Admission, coalescing and dispatch for the simulation service.
+
+The scheduler is the piece between the HTTP front end and the engines.
+One request flows through four stages::
+
+    admit ──► coalesce ──► cache ──► schedule (pool or inline) ──► charge
+
+* **Admit** — at most ``queue_limit`` distinct computations may be in
+  flight; a request that would exceed the bound is rejected with
+  :class:`QueueFull` (the server maps it to ``429`` +  ``Retry-After``).
+  Coalesced followers and cache hits never occupy a slot — backpressure
+  applies to *work*, not to *traffic*.
+* **Coalesce** — identical concurrent requests (same content-addressed
+  key) share one computation: the first becomes the *leader*, the rest
+  wait on the leader's flight and receive the same document
+  (single-flight, N identical requests -> exactly 1 engine invocation).
+* **Cache** — see :class:`~repro.service.cache.ResultCache`.
+* **Schedule** — the computation itself is the registered ``run-cell``
+  worker task (a pure function of the request args).  With ``jobs > 1``
+  it is dispatched onto the shared
+  :class:`~repro.parallel.pool.WorkerPool` under the configured
+  :class:`~repro.resilience.retry.RetryPolicy`, so a worker death or a
+  per-task deadline overrun is retried instead of failing the request;
+  an unusable pool degrades to the inline path with one
+  :class:`~repro.parallel.config.ParallelFallbackWarning`.  Either way
+  the engine runs with ``parallel=1`` inside the task, so the charged
+  document is identical at any ``jobs`` value.
+
+Every computed document passes one ``json.loads(json.dumps(...))``
+round-trip before it is cached or returned, so computed, coalesced,
+cache-hit and ledger-replayed responses are ``==``-identical.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass
+from typing import Any
+
+from repro.engines import ENGINES, PROGRAMS, resolve_access_function
+from repro.obs.counters import Counters
+from repro.obs.trace import SpanRecord
+from repro.parallel.config import (
+    ParallelConfig,
+    resolve_parallel,
+    warn_fallback_once,
+)
+from repro.parallel.pool import PoolUnavailable, shared_pool
+from repro.resilience.ledger import MISSING, cell_key
+
+__all__ = [
+    "SERVICE_SCHEMA",
+    "TRACE_LEVELS",
+    "QueueFull",
+    "SimRequest",
+    "Scheduler",
+]
+
+#: version of the request/response contract; part of every cache key, so
+#: bumping it invalidates every cached/persisted result at once
+SERVICE_SCHEMA = 1
+
+#: worker-task kind every service computation runs as (and the ledger
+#: kind persisted entries are recorded under)
+TASK_KIND = "run-cell"
+
+TRACE_LEVELS = ("off", "counters", "phases", "full")
+
+#: bound on distinct in-flight computations before 429
+DEFAULT_QUEUE_LIMIT = 64
+
+#: ``Retry-After`` seconds advertised on a 429
+DEFAULT_RETRY_AFTER_S = 1.0
+
+
+class QueueFull(RuntimeError):
+    """The admission queue is full; retry after ``retry_after_s``."""
+
+    def __init__(self, message: str, retry_after_s: float):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+@dataclass(frozen=True)
+class SimRequest:
+    """One validated simulation request (the body of ``POST /run``).
+
+    The tuple of fields is exactly the argument list of the
+    ``run-cell`` worker task, so a request *is* its computation's
+    payload; :meth:`key` hashes it (plus the service schema) with the
+    same :func:`~repro.resilience.ledger.cell_key` content addressing
+    the sweep ledger uses.
+    """
+
+    engine: str
+    program: str
+    v: int = 64
+    mu: int = 8
+    f: str = "x^0.5"
+    trace: str = "counters"
+
+    _FIELDS = ("engine", "program", "v", "mu", "f", "trace")
+
+    @classmethod
+    def from_json(cls, doc: Any) -> "SimRequest":
+        """Build and validate a request from a decoded JSON body.
+
+        Raises :class:`ValueError` with an actionable message on any
+        malformed body — the server maps it to a 400.
+        """
+        if not isinstance(doc, dict):
+            raise ValueError(
+                f"request body must be a JSON object, got {type(doc).__name__}"
+            )
+        unknown = sorted(set(doc) - set(cls._FIELDS))
+        if unknown:
+            raise ValueError(
+                f"unknown request field(s) {', '.join(unknown)}; "
+                f"expected a subset of: {', '.join(cls._FIELDS)}"
+            )
+        for required in ("engine", "program"):
+            if required not in doc:
+                raise ValueError(f"request is missing the {required!r} field")
+        req = cls(**doc)
+        req.validate()
+        return req
+
+    def validate(self) -> None:
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; "
+                f"try: {', '.join(sorted(ENGINES))}"
+            )
+        if self.program not in PROGRAMS:
+            raise ValueError(
+                f"unknown program {self.program!r}; "
+                f"try: {', '.join(sorted(PROGRAMS))}"
+            )
+        if not isinstance(self.v, int) or isinstance(self.v, bool) or self.v < 1:
+            raise ValueError(f"v must be a positive integer, got {self.v!r}")
+        if not isinstance(self.mu, int) or isinstance(self.mu, bool) or self.mu < 1:
+            raise ValueError(f"mu must be a positive integer, got {self.mu!r}")
+        if self.trace not in TRACE_LEVELS:
+            raise ValueError(
+                f"unknown trace level {self.trace!r}; "
+                f"expected one of: {', '.join(TRACE_LEVELS)}"
+            )
+        resolve_access_function(self.f)  # raises on a bad spec
+
+    @property
+    def args(self) -> tuple:
+        """The ``run-cell`` worker-task argument tuple."""
+        return (self.engine, self.program, self.v, self.mu, self.f, self.trace)
+
+    def key(self) -> str:
+        """Content-addressed identity of this request's result."""
+        return cell_key(
+            TASK_KIND, list(self.args), {"schema": SERVICE_SCHEMA}
+        )
+
+    def to_json(self) -> dict[str, Any]:
+        return {name: getattr(self, name) for name in self._FIELDS}
+
+
+class _Flight:
+    """One in-flight computation: the leader computes, followers wait."""
+
+    __slots__ = ("done", "result", "error")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.result: Any = None
+        self.error: BaseException | None = None
+
+
+class Scheduler:
+    """Bounded, coalescing dispatcher in front of the engine registry."""
+
+    def __init__(
+        self,
+        cache,
+        parallel: "ParallelConfig | int | None" = 1,
+        queue_limit: int = DEFAULT_QUEUE_LIMIT,
+        retry_after_s: float = DEFAULT_RETRY_AFTER_S,
+    ):
+        if queue_limit < 1:
+            raise ValueError(f"queue_limit must be >= 1, got {queue_limit}")
+        self.cache = cache
+        self.parallel = resolve_parallel(parallel)
+        self.queue_limit = queue_limit
+        self.retry_after_s = retry_after_s
+        self.counters = Counters()
+        self._lock = threading.Lock()
+        self._inflight: dict[str, _Flight] = {}
+
+    # ------------------------------------------------------------- serving
+    def submit(self, request: SimRequest) -> tuple[str, Any, str]:
+        """Serve one request; returns ``(key, document, served)``.
+
+        ``served`` says which path produced the response: ``"cached"``
+        (result cache, including ledger-preloaded entries),
+        ``"coalesced"`` (rode another request's computation) or
+        ``"computed"`` (this request led a fresh engine invocation).
+        Raises :class:`QueueFull` when admission would exceed
+        ``queue_limit`` distinct in-flight computations.
+        """
+        key = request.key()
+        with self._lock:
+            cached = self.cache.get(key)
+            if cached is not MISSING:
+                self.counters.add("served_cached")
+                return key, cached, "cached"
+            flight = self._inflight.get(key)
+            if flight is None:
+                if len(self._inflight) >= self.queue_limit:
+                    self.counters.add("rejected")
+                    raise QueueFull(
+                        f"admission queue is full "
+                        f"({self.queue_limit} computation(s) in flight)",
+                        self.retry_after_s,
+                    )
+                flight = self._inflight[key] = _Flight()
+                self.counters.add("admitted")
+                leader = True
+            else:
+                leader = False
+
+        if not leader:
+            flight.done.wait()
+            if flight.error is not None:
+                self.counters.add("errors")
+                raise flight.error
+            self.counters.add("served_coalesced")
+            return key, flight.result, "coalesced"
+
+        try:
+            doc = self._compute(request)
+        except BaseException as exc:
+            flight.error = exc
+            self.counters.add("errors")
+            raise
+        else:
+            self.cache.put(key, TASK_KIND, doc)
+            flight.result = doc
+            self.counters.add("served_computed")
+            return key, doc, "computed"
+        finally:
+            with self._lock:
+                self._inflight.pop(key, None)
+            flight.done.set()
+
+    # ------------------------------------------------------------ computing
+    def _compute(self, request: SimRequest) -> Any:
+        """Run the engine, preferring the worker pool when configured.
+
+        The pool path survives worker deaths and deadline overruns via
+        the retry policy; any :class:`PoolUnavailable` that escapes it
+        (with ``fallback=True``) degrades to the inline path.  Both
+        paths execute the identical pure ``run-cell`` task body, so the
+        served document does not depend on where it ran.
+        """
+        cfg = self.parallel
+        if cfg.enabled:
+            pool = shared_pool(cfg.jobs)
+            try:
+                docs = list(
+                    pool.run_ordered(
+                        TASK_KIND, [request.args], policy=cfg.retry
+                    )
+                )
+                return _normalize(docs[0])
+            except PoolUnavailable as exc:
+                if not cfg.fallback:
+                    raise
+                warn_fallback_once(
+                    f"worker pool unavailable for service requests ({exc}); "
+                    f"computing inline"
+                )
+        from repro.parallel import workers
+
+        return _normalize(workers.TASKS[TASK_KIND](request.args))
+
+    # ------------------------------------------------------------- metrics
+    def gauges(self) -> dict[str, Any]:
+        """The ``queue`` section of ``GET /metrics``."""
+        with self._lock:
+            in_flight = len(self._inflight)
+        return {
+            "in_flight": in_flight,
+            "limit": self.queue_limit,
+            "jobs": self.parallel.jobs,
+        }
+
+
+def _normalize(doc: dict[str, Any]) -> dict[str, Any]:
+    """Canonicalize a fresh ``run-cell`` document for serving.
+
+    Recorded spans (``trace="full"`` runs) are rendered to their JSON
+    form under ``"trace"``, then the whole document takes the same JSON
+    round-trip the ledger replay path applies — floats survive exactly,
+    tuples normalize to lists — so a computed response is
+    ``==``-identical to a cached, coalesced or replayed one.
+    """
+    spans = doc.pop("spans", [])
+    doc["trace"] = [
+        span.to_json() if isinstance(span, SpanRecord) else span
+        for span in spans
+    ]
+    return json.loads(json.dumps(doc))

@@ -1,0 +1,297 @@
+"""The HTTP front end: a stdlib ``ThreadingHTTPServer`` over the scheduler.
+
+Endpoints (all JSON):
+
+* ``POST /run`` — body is one :class:`~repro.service.scheduler.SimRequest`
+  document (``{"engine": ..., "program": ..., "v": ..., ...}``);
+  response carries the content-addressed ``key``, the ``served`` path
+  (``computed`` | ``cached`` | ``coalesced``) and the engine ``result``
+  document.
+* ``POST /batch`` — ``{"requests": [...]}``; the requests are served
+  sequentially on this connection's handler thread (each one still
+  coalesces with, and is cached for, every other connection), response
+  is ``{"results": [...]}`` in request order.
+* ``GET /healthz`` — liveness plus the engine/program inventories.
+* ``GET /metrics`` — cache counters + gauges, queue gauges, request
+  counters and the host-side recovery counters, as one JSON document.
+
+Failure mapping: a malformed body or unknown engine/program/function is
+a ``400`` with the validating :class:`ValueError`'s message; a full
+admission queue is a ``429`` with a ``Retry-After`` header; anything
+else is a ``500``.  Worker deaths and task timeouts are *not* failures
+— the scheduler retries them via the resilience machinery, and their
+traces appear in ``/metrics`` under ``recovery``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from repro.engines import ENGINES, FUNCTION_HELP, PROGRAMS
+from repro.resilience import recovery
+from repro.service.cache import DEFAULT_CAPACITY, ResultCache
+from repro.service.scheduler import (
+    DEFAULT_QUEUE_LIMIT,
+    SERVICE_SCHEMA,
+    QueueFull,
+    Scheduler,
+    SimRequest,
+)
+
+__all__ = ["SimService", "ServiceServer", "make_server", "serve"]
+
+#: default TCP port (8173 = "BSP" on a phone keypad, roughly)
+DEFAULT_PORT = 8173
+
+#: request bodies above this are rejected outright (1 MiB is orders of
+#: magnitude beyond any valid batch)
+MAX_BODY_BYTES = 1 << 20
+
+
+class SimService:
+    """The served application: one cache + one scheduler, HTTP-agnostic.
+
+    Separating the application from the socket machinery keeps the
+    serving logic callable in-process (tests, the in-process loadgen
+    mode) with byte-identical behaviour to the HTTP path.
+    """
+
+    def __init__(
+        self,
+        cache_capacity: int = DEFAULT_CAPACITY,
+        queue_limit: int = DEFAULT_QUEUE_LIMIT,
+        jobs: int = 1,
+        ledger=None,
+        retry_after_s: float = 1.0,
+    ):
+        self.cache = ResultCache(cache_capacity, ledger=ledger)
+        self.scheduler = Scheduler(
+            self.cache,
+            parallel=jobs,
+            queue_limit=queue_limit,
+            retry_after_s=retry_after_s,
+        )
+
+    # ------------------------------------------------------------ handlers
+    def handle_run(self, body: Any) -> dict[str, Any]:
+        """Serve one request document; raises ``ValueError``/``QueueFull``."""
+        request = SimRequest.from_json(body)
+        key, doc, served = self.scheduler.submit(request)
+        return {"key": key, "served": served, "result": doc}
+
+    def handle_batch(self, body: Any) -> dict[str, Any]:
+        """Serve a batch document: ``{"requests": [...]}`` -> results."""
+        if not isinstance(body, dict) or "requests" not in body:
+            raise ValueError(
+                'batch body must be a JSON object with a "requests" list'
+            )
+        requests = body["requests"]
+        if not isinstance(requests, list) or not requests:
+            raise ValueError('"requests" must be a non-empty list')
+        # validate everything first: a 400 must not half-execute a batch
+        parsed = [SimRequest.from_json(doc) for doc in requests]
+        results = []
+        for request in parsed:
+            key, doc, served = self.scheduler.submit(request)
+            results.append({"key": key, "served": served, "result": doc})
+        return {"results": results}
+
+    def healthz(self) -> dict[str, Any]:
+        return {
+            "ok": True,
+            "schema": SERVICE_SCHEMA,
+            "engines": sorted(ENGINES),
+            "programs": sorted(PROGRAMS),
+            "functions": FUNCTION_HELP,
+        }
+
+    def metrics(self) -> dict[str, Any]:
+        """The ``GET /metrics`` document (all sections, one scrape)."""
+        requests = {
+            "admitted": 0,
+            "served_computed": 0,
+            "served_cached": 0,
+            "served_coalesced": 0,
+            "rejected": 0,
+            "errors": 0,
+        }
+        requests.update(self.scheduler.counters.snapshot())
+        return {
+            "schema": SERVICE_SCHEMA,
+            "cache": self.cache.gauges(),
+            "queue": self.scheduler.gauges(),
+            "requests": requests,
+            "recovery": recovery.counters(),
+        }
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Route the four endpoints onto the :class:`SimService`."""
+
+    server_version = "repro-service/" + str(SERVICE_SCHEMA)
+    protocol_version = "HTTP/1.1"
+    # a response is two small writes (header block, JSON body); with
+    # Nagle on, the body segment can sit behind the peer's delayed ACK
+    # for ~40 ms per request — a floor that would bury the hot/cold
+    # throughput contrast the cache exists to deliver.  socketserver's
+    # StreamRequestHandler.setup() turns this into TCP_NODELAY.
+    disable_nagle_algorithm = True
+
+    @property
+    def service(self) -> SimService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: Any) -> None:
+        if getattr(self.server, "verbose", False):  # pragma: no cover
+            super().log_message(format, *args)
+
+    # ------------------------------------------------------------ plumbing
+    def _send_json(
+        self, status: int, doc: Any, headers: dict[str, str] | None = None
+    ) -> None:
+        payload = json.dumps(doc).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _read_body(self) -> Any:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise ValueError("request body is empty")
+        if length > MAX_BODY_BYTES:
+            raise ValueError(
+                f"request body of {length} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte limit"
+            )
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw)
+        except ValueError:
+            raise ValueError("request body is not valid JSON") from None
+
+    # ------------------------------------------------------------- routes
+    def do_GET(self) -> None:
+        if self.path == "/healthz":
+            self._send_json(200, self.service.healthz())
+        elif self.path == "/metrics":
+            self._send_json(200, self.service.metrics())
+        else:
+            self._send_json(404, {"error": f"no such endpoint {self.path!r}"})
+
+    def do_POST(self) -> None:
+        if self.path == "/run":
+            handler = self.service.handle_run
+        elif self.path == "/batch":
+            handler = self.service.handle_batch
+        else:
+            self._send_json(404, {"error": f"no such endpoint {self.path!r}"})
+            return
+        try:
+            body = self._read_body()
+            doc = handler(body)
+        except QueueFull as exc:
+            self._send_json(
+                429,
+                {"error": str(exc), "retry_after_s": exc.retry_after_s},
+                headers={"Retry-After": f"{exc.retry_after_s:g}"},
+            )
+        except ValueError as exc:
+            self._send_json(400, {"error": str(exc)})
+        except Exception as exc:  # pragma: no cover - defensive
+            self._send_json(500, {"error": f"internal error: {exc!r}"})
+        else:
+            self._send_json(200, doc)
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+
+
+def make_server(
+    host: str, port: int, service: SimService, verbose: bool = False
+) -> ThreadingHTTPServer:
+    """Bind a threading HTTP server serving ``service`` (``port=0`` for
+    an ephemeral port — read the bound one off ``server_address``)."""
+    httpd = _Server((host, port), _Handler)
+    httpd.service = service  # type: ignore[attr-defined]
+    httpd.verbose = verbose  # type: ignore[attr-defined]
+    return httpd
+
+
+class ServiceServer:
+    """An in-process server on a background thread (tests, loadgen).
+
+    >>> server = ServiceServer(SimService(cache_capacity=4))
+    >>> server.url.startswith("http://127.0.0.1:")
+    True
+    >>> server.close()
+    """
+
+    def __init__(self, service: SimService | None = None, host: str = "127.0.0.1"):
+        self.service = service or SimService()
+        self.httpd = make_server(host, 0, self.service)
+        self._thread = threading.Thread(
+            target=self.httpd.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            daemon=True,
+        )
+        self._thread.start()
+
+    @property
+    def url(self) -> str:
+        host, port = self.httpd.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def close(self) -> None:
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        self._thread.join(timeout=5)
+
+    def __enter__(self) -> "ServiceServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = DEFAULT_PORT,
+    cache_capacity: int = DEFAULT_CAPACITY,
+    queue_limit: int = DEFAULT_QUEUE_LIMIT,
+    jobs: int = 1,
+    ledger=None,
+    echo=print,
+) -> int:
+    """Blocking CLI entry: serve until interrupted (Ctrl-C -> clean exit)."""
+    service = SimService(
+        cache_capacity=cache_capacity,
+        queue_limit=queue_limit,
+        jobs=jobs,
+        ledger=ledger,
+    )
+    httpd = make_server(host, port, service)
+    bound_host, bound_port = httpd.server_address[:2]
+    if echo:
+        echo(
+            f"repro simulation service on http://{bound_host}:{bound_port}  "
+            f"(cache {cache_capacity}, queue {queue_limit}, jobs {jobs}"
+            + (", persistent cache" if ledger is not None else "")
+            + ")"
+        )
+        echo("endpoints: POST /run  POST /batch  GET /healthz  GET /metrics")
+    try:
+        httpd.serve_forever(poll_interval=0.2)
+    except KeyboardInterrupt:
+        if echo:
+            echo("\nshutting down")
+    finally:
+        httpd.server_close()
+    return 0

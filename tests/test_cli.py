@@ -196,3 +196,51 @@ class TestCLIErrors:
     def test_conv_too_small_fails_cleanly(self):
         with pytest.raises(SystemExit, match="cannot build"):
             main(["run", "conv", "--v", "2"])
+
+
+class TestVersionFlag:
+    def test_version_prints_and_exits_zero(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        assert out.strip() == f"repro {repro.__version__}"
+
+
+class TestServiceCommands:
+    def test_loadgen_smoke_writes_and_checks(self, tmp_path, capsys):
+        out_path = tmp_path / "BENCH_service_smoke.json"
+        assert main([
+            "loadgen", "--smoke", "--clients", "1", "--requests", "4",
+            "--seed", "13", "--output", str(out_path),
+        ]) == 0
+        doc = json.loads(out_path.read_text())
+        assert doc["errors"] == 0
+        assert set(doc["phases"]) == {"cold", "hot"}
+        # --check against the run's own output always passes
+        assert main([
+            "loadgen", "--smoke", "--clients", "1", "--requests", "4",
+            "--seed", "13", "--output", str(tmp_path / "again.json"),
+            "--check", str(out_path),
+        ]) == 0
+
+    def test_loadgen_check_fails_on_schema_drift(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema": 999, "phases": {}}))
+        with pytest.raises(SystemExit, match="schema"):
+            main([
+                "loadgen", "--smoke", "--clients", "1", "--requests", "2",
+                "--output", str(tmp_path / "out.json"), "--check", str(bad),
+            ])
+
+    def test_loadgen_min_speedup_floor_fails(self, tmp_path, capsys):
+        # a 2-request smoke run cannot hit an absurd 10000x floor
+        assert main([
+            "loadgen", "--smoke", "--clients", "1", "--requests", "2",
+            "--output", str(tmp_path / "out.json"),
+            "--min-speedup", "10000",
+        ]) == 1
+        err = capsys.readouterr().err
+        assert "floor" in err

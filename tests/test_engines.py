@@ -246,6 +246,31 @@ class TestEngineResult:
         slim = res.to_json(include_trace=False)
         assert "trace" not in slim
 
+    @pytest.mark.parametrize("engine", sorted(ENGINES))
+    def test_from_json_round_trips_with_trace(self, engine):
+        res = run("reduce", engine=engine, v=8, trace="full")
+        doc = res.to_json()
+        rebuilt = EngineResult.from_json(doc)
+        assert rebuilt.to_json() == doc
+        assert rebuilt.engine == res.engine
+        assert rebuilt.time == res.time
+        assert rebuilt.counters == res.counters
+        assert len(rebuilt.trace) == len(res.trace)
+
+    @pytest.mark.parametrize("engine", sorted(ENGINES))
+    def test_from_json_round_trips_trace_free(self, engine):
+        res = run("reduce", engine=engine, v=8)
+        slim = res.to_json(include_trace=False)
+        rebuilt = EngineResult.from_json(slim)
+        assert rebuilt.trace == []
+        assert rebuilt.to_json(include_trace=False) == slim
+        # a wire round-trip (floats included) survives exactly
+        import json
+
+        assert EngineResult.from_json(
+            json.loads(json.dumps(slim))
+        ).to_json(include_trace=False) == slim
+
     def test_deprecated_total_time(self):
         res = run("reduce", engine="hmm", v=8, baseline=False)
         with pytest.deprecated_call():

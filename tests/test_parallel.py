@@ -249,6 +249,21 @@ def test_repro_jobs_env(monkeypatch):
         assert ParallelConfig.from_env() is SERIAL
 
 
+def test_serial_outcomes_return_the_singleton(monkeypatch):
+    # both documented serial paths yield the SERIAL object itself, not a
+    # fresh equal instance — consumers may use `is SERIAL` as the check
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    assert ParallelConfig.from_env() is SERIAL
+    monkeypatch.setenv("REPRO_JOBS", "1")
+    assert ParallelConfig.from_env() is SERIAL
+    monkeypatch.setenv("REPRO_JOBS", "0")
+    assert ParallelConfig.from_env() is SERIAL
+    monkeypatch.setenv("REPRO_JOBS", "-2")
+    assert ParallelConfig.from_env() is SERIAL
+    assert resolve_parallel(1) is SERIAL
+    assert resolve_parallel(0) is SERIAL
+
+
 # -------------------------------------------------------- sweep runner
 def test_touch_sweep_parallel_matches_serial():
     sizes = [256, 1024]
