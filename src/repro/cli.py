@@ -12,7 +12,9 @@
     python -m repro bench --distribute --jobs 4 --checkpoint bench.ledger
     python -m repro bench --distribute --jobs 4 --resume bench.ledger
     python -m repro serve --port 8173 --jobs 2 --checkpoint cache.ledger
+    python -m repro serve --port 8173 --jobs 2 --jobs-dir jobs/
     python -m repro loadgen --url http://127.0.0.1:8173 --smoke
+    python -m repro loadgen --job-mode --smoke
     python -m repro list
     python -m repro --version
 
@@ -28,11 +30,16 @@ completed sweep cell to an append-only ledger and ``--resume LEDGER``
 replays it after an interruption, recomputing only the missing cells —
 the resumed document's charged costs are byte-identical to an
 uninterrupted run's (``bench`` and ``touch --sweep`` both take the
-pair).  ``serve`` exposes the engines over HTTP (``POST /run``,
-``POST /batch``, ``GET /healthz``, ``GET /metrics``) with a
-content-addressed result cache, single-flight coalescing and 429
-backpressure; ``loadgen`` drives a server with a closed-loop hot/cold
-client mix and writes ``BENCH_service_throughput.json``.  ``list``
+pair).  ``serve`` exposes the engines over HTTP under a versioned
+``/v1`` surface (``POST /v1/run``, ``POST /v1/batch``, the
+``/v1/jobs`` async-sweep lifecycle, ``GET /v1/healthz``,
+``GET /v1/metrics``) with a content-addressed result cache,
+single-flight coalescing and 429 backpressure; ``--jobs-dir`` enables
+background sweep jobs that checkpoint per cell and are resumed by a
+restarted server.  ``loadgen`` drives a server with a closed-loop
+hot/cold client mix and writes ``BENCH_service_throughput.json``
+(``--job-mode`` measures batch-job interference and restart-resume
+identity instead).  ``list``
 enumerates programs and access functions.  ``run``, ``profile``,
 ``touch``, ``bench`` and ``loadgen`` all take ``--json`` for
 machine-readable output, and ``--version`` prints the package version.
@@ -328,6 +335,7 @@ def cmd_serve(args) -> int:
             queue_limit=args.queue_limit,
             jobs=args.jobs,
             ledger=ledger,
+            jobs_dir=args.jobs_dir,
         )
     finally:
         if ledger is not None:
@@ -337,11 +345,44 @@ def cmd_serve(args) -> int:
 def cmd_loadgen(args) -> int:
     from repro.service.loadgen import (
         check_service_against,
+        run_job_bench,
         run_loadgen,
         write_service_bench,
     )
 
     echo = None if args.json else print
+    if args.job_mode:
+        if args.url:
+            raise SystemExit(
+                "--job-mode runs against in-process servers (it must stop "
+                "the job runner mid-job); --url is not supported"
+            )
+        doc = run_job_bench(
+            clients=args.clients,
+            requests_per_client=args.requests,
+            hot_ratio=args.hot_ratio,
+            hot_keys=args.hot_keys,
+            seed=args.seed,
+            smoke=args.smoke,
+            jobs=args.jobs,
+            echo=echo,
+        )
+        if args.json:
+            _dump_json(doc)
+        out = args.output or "BENCH_service_jobs.json"
+        write_service_bench(out, doc)
+        if echo:
+            echo(f"\nwrote {out}")
+        if doc["errors"]:
+            print(f"{doc['errors']} request(s) failed", file=sys.stderr)
+            return 1
+        if not doc["results_identical"]:
+            print(
+                "resumed job result differs from the uninterrupted run",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
     doc = run_loadgen(
         url=args.url,
         clients=args.clients,
@@ -581,6 +622,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--resume", default=None, metavar="LEDGER",
                          help="preload the cache from an existing ledger "
                               "(warm restart) and keep appending to it")
+    p_serve.add_argument("--jobs-dir", default=None, metavar="DIR",
+                         help="enable the async jobs API (POST /v1/jobs): "
+                              "manifests, per-job ledgers and results live "
+                              "here, and a restarted server re-adopts and "
+                              "resumes incomplete jobs from this directory")
     p_serve.set_defaults(func=cmd_serve)
 
     p_load = sub.add_parser(
@@ -606,6 +652,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="worker processes for the in-process server")
     p_load.add_argument("--smoke", action="store_true",
                         help="reduced request counts (CI smoke job)")
+    p_load.add_argument("--job-mode", action="store_true",
+                        help="measure batch-job interference instead: "
+                             "interactive p50 with/without a background "
+                             "sweep job, job time-to-complete with/without "
+                             "an injected mid-job restart (writes "
+                             "BENCH_service_jobs.json)")
     p_load.add_argument("--output", default=None, metavar="PATH",
                         help="output JSON "
                              "(default BENCH_service_throughput.json)")

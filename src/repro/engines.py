@@ -27,7 +27,6 @@ anywhere downstream.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Protocol, runtime_checkable
 
@@ -196,38 +195,9 @@ class EngineResult:
     meta: dict[str, Any] = field(default_factory=dict)
     native: Any = None
 
-    # ------------------------------------------------- deprecated aliases
-    @property
-    def total_time(self) -> float:
-        """Deprecated alias of :attr:`time` (pre-unification API)."""
-        warnings.warn(
-            "EngineResult.total_time is deprecated; use EngineResult.time",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.time
-
-    @property
-    def block_transfers(self) -> int:
-        """Deprecated alias of ``counters['block_transfers']``."""
-        warnings.warn(
-            "EngineResult.block_transfers is deprecated; use "
-            "EngineResult.counters['block_transfers']",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return int(self.counters.get("block_transfers", 0))
-
-    @property
-    def rounds(self) -> int:
-        """Deprecated alias of ``counters['rounds']``."""
-        warnings.warn(
-            "EngineResult.rounds is deprecated; use "
-            "EngineResult.counters['rounds']",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return int(self.counters.get("rounds", 0))
+    # The pre-unification aliases (``total_time``, ``block_transfers``,
+    # ``rounds``) were deprecated through the v0 line and are gone as of
+    # the /v1 API redesign: use ``time`` and ``counters[...]``.
 
     def to_json(self, include_trace: bool = True) -> dict[str, Any]:
         """JSON-serializable document (contexts and ``native`` omitted)."""

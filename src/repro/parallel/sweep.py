@@ -184,20 +184,39 @@ def run_cells(
     cells: Sequence[tuple],
     trace: str = "counters",
     parallel: "ParallelConfig | int | None" = None,
+    ledger=None,
+    context: dict[str, Any] | None = None,
 ) -> tuple[list[dict[str, Any]], list]:
     """Run ad-hoc ``(engine, program, v, mu, f)`` cells across the pool.
+
+    Cells may also be full 6-tuples ``(engine, program, v, mu, f,
+    trace)`` — the exact ``run-cell`` worker payload — in which case the
+    per-cell trace level wins over the ``trace`` argument (the jobs API
+    submits heterogeneous cell lists this way).
 
     Returns ``(docs, spans)``: one result document per cell (order
     preserved) and, when ``trace="full"``, the merged span forest with
     every span tagged by its task index.
+
+    With a :class:`~repro.resilience.ledger.SweepLedger` (and the
+    ``context`` that qualifies the cell keys), cells are checkpointed
+    and replayed through :func:`~repro.resilience.checkpoint.resume_map`
+    exactly like the bench and touch sweeps; replayed documents are
+    JSON round-trips of the computed ones, so the fold is identical
+    either way.
     """
     from repro.obs.trace import merge_span_lists, tag_spans
 
     args_list = [
-        (engine, program, v, mu, f_spec, trace)
-        for engine, program, v, mu, f_spec in cells
+        tuple(cell) if len(cell) == 6 else (*cell, trace) for cell in cells
     ]
-    docs = parallel_map("run-cell", args_list, parallel)
+    if ledger is not None:
+        from repro.resilience.checkpoint import resume_map
+
+        docs = resume_map("run-cell", args_list, ledger, parallel,
+                          context=context)
+    else:
+        docs = parallel_map("run-cell", args_list, parallel)
     span_lists = []
     for i, doc in enumerate(docs):
         span_lists.append(tag_spans(doc.pop("spans", []), worker=i))

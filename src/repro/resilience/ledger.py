@@ -94,6 +94,18 @@ class SweepLedger:
         self.cells_recorded = 0
         #: get() calls that found a recorded result this session
         self.hits = 0
+        self._observers: list = []
+
+    def subscribe(self, callback) -> None:
+        """Register ``callback(key, kind, result)`` to fire after every
+        :meth:`record` append (once the line is flushed and fsynced).
+
+        This is the hook the jobs API streams progress from: a job's
+        event feed is literally the ledger's append stream.  Observer
+        exceptions propagate to the recorder — observers are expected
+        to be in-process bookkeeping, not I/O.
+        """
+        self._observers.append(callback)
 
     # ---------------------------------------------------------- constructors
     @classmethod
@@ -180,6 +192,8 @@ class SweepLedger:
         os.fsync(self._fh.fileno())
         self._entries[key] = result
         self.cells_recorded += 1
+        for observer in self._observers:
+            observer(key, kind, result)
 
     def close(self) -> None:
         if not self._fh.closed:

@@ -12,40 +12,61 @@ CLI into a serving subsystem:
   hit/miss/eviction counters and optional ledger-backed persistence (a
   warm cache survives restarts);
 * :mod:`repro.service.scheduler` — bounded admission, single-flight
-  coalescing of identical concurrent requests, and dispatch onto the
+  coalescing of identical concurrent requests, dispatch onto the
   existing :class:`~repro.parallel.pool.WorkerPool` /
   :class:`~repro.resilience.retry.RetryPolicy` machinery so worker
-  deaths and timeouts degrade gracefully instead of failing requests;
+  deaths and timeouts degrade gracefully instead of failing requests,
+  and the :class:`~repro.service.scheduler.PoolGate` giving interactive
+  requests pool precedence over batch jobs;
+* :mod:`repro.service.jobs` — the async jobs subsystem: long sweeps
+  enqueued over HTTP, checkpointed per cell through the sweep ledger,
+  streamed as progress events, and re-adopted (resumed from their
+  checkpoints) by a restarted server;
+* :mod:`repro.service.errors` — the unified
+  ``{"error": {"code", "message", "retry_after_s"}}`` envelope every
+  non-2xx response carries;
 * :mod:`repro.service.server` — the stdlib ``ThreadingHTTPServer``
-  front end: ``POST /run``, ``POST /batch``, ``GET /healthz``,
-  ``GET /metrics``, with 429 + ``Retry-After`` backpressure;
+  front end, all endpoints under ``/v1`` (unprefixed aliases answer
+  with a ``Deprecation`` header): ``POST /v1/run``, ``POST /v1/batch``,
+  the ``/v1/jobs`` lifecycle, ``GET /v1/healthz``, ``GET /v1/metrics``,
+  with 429 + ``Retry-After`` backpressure;
 * :mod:`repro.service.loadgen` — a closed-loop load generator
-  (hot/cold key mix, batches) writing
+  (hot/cold key mix, batches, a job-mode interference driver) writing
   ``BENCH_service_throughput.json``.
 
 The serving contract mirrors the PR 3/PR 4 re-fold contracts: for a
 fixed request, the charged ``time``/``counters`` in the response are
 ``==``-identical whether the result was computed, coalesced onto
-another request's computation, served from the cache, or replayed from
-a persisted ledger — at any ``jobs`` value
-(``tests/test_service.py`` pins this).
+another request's computation, served from the cache, replayed from a
+persisted ledger, or produced by a background job — at any ``jobs``
+value (``tests/test_service.py`` / ``tests/test_jobs.py`` pin this).
 """
 
 from repro.service.cache import ResultCache
+from repro.service.errors import ApiError, error_envelope
+from repro.service.jobs import Job, JobManager, JobSpec
 from repro.service.scheduler import (
     SERVICE_SCHEMA,
+    PoolGate,
     QueueFull,
     Scheduler,
     SimRequest,
 )
-from repro.service.server import ServiceServer, SimService, serve
+from repro.service.server import API_VERSION, ServiceServer, SimService, serve
 
 __all__ = [
+    "API_VERSION",
+    "ApiError",
+    "error_envelope",
     "ResultCache",
     "Scheduler",
     "SimRequest",
     "QueueFull",
+    "PoolGate",
     "SERVICE_SCHEMA",
+    "Job",
+    "JobManager",
+    "JobSpec",
     "SimService",
     "ServiceServer",
     "serve",

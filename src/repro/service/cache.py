@@ -87,12 +87,15 @@ class ResultCache:
             self.counters.add("misses")
             return MISSING
 
-    def put(self, key: str, kind: str, doc: Any) -> None:
+    def put(self, key: str, kind: str, doc: Any, source: str | None = None) -> None:
         """Insert (or refresh) ``key``; evict LRU entries over capacity.
 
         With a backing ledger, a key the ledger has not seen yet is also
         appended there (``kind`` is the ledger's task-kind column), so
-        the entry survives both eviction and restart.
+        the entry survives both eviction and restart.  ``source`` tags
+        the store's origin in the counters (e.g. ``"job"`` when a batch
+        job warms the interactive cache with its completed cells) —
+        ``stores`` always counts, ``stores_<source>`` additionally.
         """
         with self._lock:
             known = key in self._entries
@@ -100,6 +103,8 @@ class ResultCache:
             self._entries.move_to_end(key)
             if not known:
                 self.counters.add("stores")
+                if source is not None:
+                    self.counters.add(f"stores_{source}")
                 if self._ledger is not None and key not in self._ledger:
                     self._ledger.record(key, kind, doc)
             while len(self._entries) > self.capacity:

@@ -1,0 +1,74 @@
+"""The unified error envelope of the ``/v1`` API surface.
+
+Every non-2xx response body has exactly one shape::
+
+    {"error": {"code": <machine-readable>, "message": str,
+               "retry_after_s": float | null}}
+
+``code`` is a stable machine-readable identifier (clients branch on it;
+``message`` is for humans and may change wording freely), and
+``retry_after_s`` is non-null exactly when retrying the identical
+request later can succeed (it mirrors the ``Retry-After`` header).
+
+Status-to-code mapping used by the server:
+
+========  ====================  =============================================
+status    code                  raised by
+========  ====================  =============================================
+400       ``bad_request``       request validation (:class:`ValueError`)
+400       ``jobs_disabled``     jobs endpoint without a ``--jobs-dir``
+404       ``not_found``         unknown endpoint or unknown job id
+409       ``job_not_finished``  ``GET .../result`` before the job is done
+409       ``job_finished``      ``DELETE`` on an already-terminal job
+413       ``payload_too_large`` request body over the byte limit
+429       ``queue_full``        admission backpressure (has ``retry_after_s``)
+500       ``internal``          anything else
+500       ``job_failed``        ``GET .../result`` of a failed job
+========  ====================  =============================================
+
+``tests/test_service.py`` pins the envelope schema; ``loadgen`` parses
+it back.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["ApiError", "error_envelope"]
+
+
+def error_envelope(
+    code: str, message: str, retry_after_s: float | None = None
+) -> dict[str, Any]:
+    """The one true error body (exactly three keys, always)."""
+    return {
+        "error": {
+            "code": code,
+            "message": message,
+            "retry_after_s": retry_after_s,
+        }
+    }
+
+
+class ApiError(Exception):
+    """An error with a designated HTTP status and envelope code.
+
+    Application code (the jobs subsystem, the service handlers) raises
+    this instead of reaching for HTTP concepts piecemeal; the server
+    maps it onto one envelope response.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        retry_after_s: float | None = None,
+    ):
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.retry_after_s = retry_after_s
+
+    def to_json(self) -> dict[str, Any]:
+        return error_envelope(self.code, str(self), self.retry_after_s)

@@ -24,7 +24,17 @@ next request the moment the previous response lands):
 Request streams are seeded (`random.Random`), so two runs against
 equivalent servers issue the identical request sequences.  A 429 from
 the server's backpressure is not an error: the client honours
-``Retry-After`` and retries, counting the rejection.
+``Retry-After`` and retries, counting the rejection.  Every non-2xx
+response is parsed through the unified error envelope
+(``{"error": {"code", "message", "retry_after_s"}}``).
+
+:func:`run_job_bench` is the jobs-mode driver (``loadgen --job-mode``):
+it measures interactive ``/v1/run`` p50 latency with and without a
+background sweep job competing for the worker pool, the job's
+time-to-complete, and — after stopping the job runner mid-job and
+re-adopting on a fresh service over the same jobs directory — whether
+the resumed job's result document is identical to an uninterrupted
+run's.
 """
 
 from __future__ import annotations
@@ -43,6 +53,7 @@ from typing import Any
 __all__ = [
     "SERVICE_BENCH_SCHEMA",
     "run_loadgen",
+    "run_job_bench",
     "check_service_against",
     "write_service_bench",
 ]
@@ -121,6 +132,7 @@ class _Client(threading.Thread):
         self.rejected = 0
         self.errors = 0
         self.failures: list[str] = []
+        self.latencies: list[float] = []
         self._conn: http.client.HTTPConnection | None = None
 
     def _connect(self) -> http.client.HTTPConnection:
@@ -150,6 +162,7 @@ class _Client(threading.Thread):
     def _issue(self, path: str, body: Any) -> None:
         payload = json.dumps(body).encode("utf-8")
         transport_failures = 0
+        t0 = time.perf_counter()
         while True:
             try:
                 conn = self._connect()
@@ -173,30 +186,51 @@ class _Client(threading.Thread):
             try:
                 doc = json.loads(raw) if raw else {}
             except ValueError:
-                doc = {"error": raw.decode("utf-8", "replace")}
+                doc = {}
             if status == 200:
+                # latency includes any 429 backoff the request rode out
+                # — it is the latency the client experienced
+                self.latencies.append(time.perf_counter() - t0)
                 self._tally(doc)
                 return
+            envelope = doc.get("error")
+            if not isinstance(envelope, dict):  # non-envelope (proxy?) error
+                envelope = {
+                    "code": "unknown",
+                    "message": raw.decode("utf-8", "replace"),
+                }
             if status == 429:
                 self.rejected += 1
-                time.sleep(min(float(retry_after or 0.1), 0.5))
+                backoff = envelope.get("retry_after_s") or retry_after
+                time.sleep(min(float(backoff or 0.1), 0.5))
                 continue
             self.errors += 1
             if len(self.failures) < 8:
-                self.failures.append(f"{status}: {doc.get('error', doc)}")
+                self.failures.append(
+                    f"{status} {envelope.get('code', '?')}: "
+                    f"{envelope.get('message', '')}"
+                )
             return
 
     def run(self) -> None:
         try:
             if self.batch == 1:
                 for request in self.requests:
-                    self._issue("/run", request)
+                    self._issue("/v1/run", request)
             else:
                 for start in range(0, len(self.requests), self.batch):
                     chunk = self.requests[start : start + self.batch]
-                    self._issue("/batch", {"requests": chunk})
+                    self._issue("/v1/batch", {"requests": chunk})
         finally:
             self._reconnect()
+
+
+def _percentile(values: list[float], q: float) -> float | None:
+    """Nearest-rank percentile (small samples; no interpolation)."""
+    if not values:
+        return None
+    ranked = sorted(values)
+    return ranked[min(len(ranked) - 1, round(q * (len(ranked) - 1)))]
 
 
 def _run_phase(
@@ -236,12 +270,14 @@ def _run_phase(
     rejected = 0
     errors = 0
     failures: list[str] = []
+    latencies: list[float] = []
     for w in workers:
         for k, v in w.served.items():
             served[k] = served.get(k, 0) + v
         rejected += w.rejected
         errors += w.errors
         failures.extend(w.failures)
+        latencies.extend(w.latencies)
     doc = {
         "requests": total,
         "wall_s": wall,
@@ -250,6 +286,8 @@ def _run_phase(
         "served": {k: served[k] for k in sorted(served)},
         "rejected_429": rejected,
         "errors": errors,
+        "latency_p50_s": _percentile(latencies, 0.50),
+        "latency_p95_s": _percentile(latencies, 0.95),
     }
     if failures:
         doc["failures"] = failures[:8]
@@ -356,6 +394,164 @@ def run_loadgen(
     doc["errors"] = cold["errors"] + hot["errors"]
     if echo and doc["hot_vs_cold_speedup"]:
         echo(f"  hot/cold speedup: {doc['hot_vs_cold_speedup']:.1f}x")
+    return doc
+
+
+def _wait_job(manager, job_id: str, timeout_s: float = 300.0) -> None:
+    """Block until the job is terminal (the in-process polling loop)."""
+    deadline = time.monotonic() + timeout_s
+    while not manager.get(job_id).terminal:
+        if time.monotonic() > deadline:
+            raise RuntimeError(f"job {job_id} did not finish in {timeout_s}s")
+        time.sleep(0.02)
+
+
+def run_job_bench(
+    clients: int = 2,
+    requests_per_client: int = 16,
+    hot_ratio: float = 0.9,
+    hot_keys: int = 4,
+    seed: int = 7,
+    smoke: bool = False,
+    jobs: int = 1,
+    sizes: list[int] | None = None,
+    echo=None,
+) -> dict[str, Any]:
+    """Measure batch-job interference on interactive serving latency.
+
+    Three rounds, each against a fresh in-process server (fresh cache,
+    fresh jobs directory), all issuing the identical seeded interactive
+    request stream:
+
+    1. **baseline** — interactive traffic only; records p50 latency.
+    2. **with_job** — a touch-sweep job is enqueued first, then the same
+       interactive stream runs while the job's cells compete for the
+       worker pool through the :class:`~repro.service.scheduler.PoolGate`;
+       records the contended p50 and the job's time-to-complete.
+    3. **restart** — the same job is enqueued, the job runner is stopped
+       after at least one cell checkpointed (the in-process equivalent
+       of killing the server), and a new service over the same jobs
+       directory re-adopts and finishes it; records total
+       time-to-complete including the restart and whether the resumed
+       result document equals round 2's uninterrupted one.
+
+    ``p50_ratio`` (round 2 p50 / round 1 p50) is the acceptance number:
+    the ROADMAP requires it within 2x.  ``results_identical`` must be
+    ``True`` — the byte-identity contract under restart.
+    """
+    import shutil
+    import tempfile
+
+    from repro.bench import _git_revision
+    from repro.service.server import ServiceServer, SimService
+
+    if smoke:
+        clients = min(clients, 2)
+        requests_per_client = min(requests_per_client, 8)
+        hot_keys = min(hot_keys, 4)
+    if sizes is None:
+        sizes = [1024, 2048, 4096, 8192] if smoke else (
+            [4096, 8192, 16384, 32768, 65536]
+        )
+    job_body = {"kind": "touch", "sizes": sizes, "f": "x^0.5"}
+    doc: dict[str, Any] = {
+        "schema": SERVICE_BENCH_SCHEMA,
+        "produced_by": "python -m repro loadgen --job-mode"
+        + (" --smoke" if smoke else ""),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "jobs": jobs,
+        "revision": _git_revision(),
+        "clients": clients,
+        "requests_per_client": requests_per_client,
+        "hot_ratio": hot_ratio,
+        "hot_keys": hot_keys,
+        "seed": seed,
+        "job": job_body,
+        "rounds": {},
+    }
+    errors = 0
+
+    def interactive_round(url: str, name: str) -> dict[str, Any]:
+        phase, _ = _run_phase(
+            url, name, clients, requests_per_client,
+            hot_ratio=hot_ratio, hot_keys=hot_keys, batch=1,
+            seed=seed, cold_base=0, echo=echo,
+        )
+        return phase
+
+    # round 1: no batch job anywhere near the pool
+    with ServiceServer(SimService(jobs=jobs)) as server:
+        baseline = interactive_round(server.url, "base")
+    errors += baseline["errors"]
+    doc["rounds"]["baseline"] = baseline
+
+    # round 2: the job competes with the identical interactive stream
+    jobs_dir = tempfile.mkdtemp(prefix="repro-jobbench-")
+    try:
+        service = SimService(jobs=jobs, jobs_dir=jobs_dir)
+        with ServiceServer(service) as server:
+            manager = service.job_manager
+            t0 = time.monotonic()
+            job = manager.submit_json(dict(job_body))
+            contended = interactive_round(server.url, "j+int")
+            _wait_job(manager, job.id)
+            job_s = time.monotonic() - t0
+            uninterrupted = manager.result(job.id)
+        errors += contended["errors"]
+        doc["rounds"]["with_job"] = contended
+        doc["job_s"] = job_s
+    finally:
+        shutil.rmtree(jobs_dir, ignore_errors=True)
+
+    # round 3: stop the runner mid-job, re-adopt, finish from checkpoint
+    jobs_dir = tempfile.mkdtemp(prefix="repro-jobbench-")
+    try:
+        service = SimService(jobs=jobs, jobs_dir=jobs_dir)
+        manager = service.job_manager
+        t0 = time.monotonic()
+        job = manager.submit_json(dict(job_body))
+        deadline = time.monotonic() + 300.0
+        while (
+            manager.get(job.id).cells_done < 1
+            and not manager.get(job.id).terminal
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.005)
+        interrupted = not manager.get(job.id).terminal
+        service.close()  # runner stops at the next cell edge
+        service = SimService(jobs=jobs, jobs_dir=jobs_dir)  # re-adopts
+        manager = service.job_manager
+        _wait_job(manager, job.id)
+        doc["job_with_restart_s"] = time.monotonic() - t0
+        doc["restart_interrupted_mid_job"] = interrupted
+        resumed = manager.result(job.id)
+        service.close()
+    finally:
+        shutil.rmtree(jobs_dir, ignore_errors=True)
+
+    doc["results_identical"] = resumed == uninterrupted
+    base_p50 = baseline.get("latency_p50_s")
+    contended_p50 = contended.get("latency_p50_s")
+    doc["p50_no_job_s"] = base_p50
+    doc["p50_with_job_s"] = contended_p50
+    doc["p50_ratio"] = (
+        contended_p50 / base_p50 if base_p50 and contended_p50 else None
+    )
+    doc["errors"] = errors
+    if echo:
+        if doc["p50_ratio"]:
+            echo(
+                f"  interactive p50 {base_p50 * 1e3:.1f}ms alone -> "
+                f"{contended_p50 * 1e3:.1f}ms beside the job "
+                f"({doc['p50_ratio']:.2f}x)"
+            )
+        echo(
+            f"  job: {doc['job_s']:.2f}s uninterrupted, "
+            f"{doc['job_with_restart_s']:.2f}s with an injected restart "
+            f"(results identical: {doc['results_identical']})"
+        )
     return doc
 
 

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from dataclasses import dataclass
 from typing import Any
 
@@ -53,6 +54,7 @@ __all__ = [
     "SERVICE_SCHEMA",
     "TRACE_LEVELS",
     "QueueFull",
+    "PoolGate",
     "SimRequest",
     "Scheduler",
 ]
@@ -80,6 +82,68 @@ class QueueFull(RuntimeError):
     def __init__(self, message: str, retry_after_s: float):
         super().__init__(message)
         self.retry_after_s = retry_after_s
+
+
+class PoolGate:
+    """Interactive-over-batch arbitration for the shared worker pool.
+
+    The scheduler (interactive ``/v1/run`` traffic) and the job runner
+    (batch sweep cells) dispatch onto the *same* worker processes.  The
+    gate gives interactive computations strict precedence at cell
+    granularity: the scheduler marks each in-flight interactive
+    computation with :meth:`interactive_begin` / :meth:`interactive_end`,
+    and the job runner calls :meth:`batch_turn` before starting every
+    batch cell — blocking while any interactive computation is running,
+    up to an anti-starvation deadline (``max_batch_wait_s``) after which
+    the batch cell proceeds anyway so a saturating interactive stream
+    cannot stall a job forever.
+
+    Cache hits and coalesced followers never touch the gate (they do no
+    pool work), so a hot serving mix barely delays batch progress.
+    """
+
+    def __init__(self, max_batch_wait_s: float = 2.0):
+        self.max_batch_wait_s = max_batch_wait_s
+        self._cond = threading.Condition()
+        self._active = 0
+        self.counters = Counters()
+
+    def interactive_begin(self) -> None:
+        with self._cond:
+            self._active += 1
+
+    def interactive_end(self) -> None:
+        with self._cond:
+            self._active -= 1
+            if self._active == 0:
+                self._cond.notify_all()
+
+    def batch_turn(self) -> bool:
+        """Block until no interactive computation is in flight.
+
+        Returns ``True`` when the pool was yielded cleanly, ``False``
+        when the anti-starvation deadline expired and the batch cell is
+        proceeding alongside interactive traffic.
+        """
+        deadline = time.monotonic() + self.max_batch_wait_s
+        with self._cond:
+            if self._active == 0:
+                return True
+            self.counters.add("batch_waits")
+            while self._active > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    self.counters.add("batch_wait_timeouts")
+                    return False
+                self._cond.wait(remaining)
+            return True
+
+    def gauges(self) -> dict[str, Any]:
+        with self._cond:
+            active = self._active
+        doc: dict[str, Any] = {"interactive_in_flight": active}
+        doc.update(self.counters.snapshot())
+        return doc
 
 
 @dataclass(frozen=True)
@@ -183,6 +247,7 @@ class Scheduler:
         parallel: "ParallelConfig | int | None" = 1,
         queue_limit: int = DEFAULT_QUEUE_LIMIT,
         retry_after_s: float = DEFAULT_RETRY_AFTER_S,
+        gate: "PoolGate | None" = None,
     ):
         if queue_limit < 1:
             raise ValueError(f"queue_limit must be >= 1, got {queue_limit}")
@@ -190,6 +255,7 @@ class Scheduler:
         self.parallel = resolve_parallel(parallel)
         self.queue_limit = queue_limit
         self.retry_after_s = retry_after_s
+        self.gate = gate
         self.counters = Counters()
         self._lock = threading.Lock()
         self._inflight: dict[str, _Flight] = {}
@@ -234,6 +300,8 @@ class Scheduler:
             self.counters.add("served_coalesced")
             return key, flight.result, "coalesced"
 
+        if self.gate is not None:
+            self.gate.interactive_begin()
         try:
             doc = self._compute(request)
         except BaseException as exc:
@@ -246,6 +314,8 @@ class Scheduler:
             self.counters.add("served_computed")
             return key, doc, "computed"
         finally:
+            if self.gate is not None:
+                self.gate.interactive_end()
             with self._lock:
                 self._inflight.pop(key, None)
             flight.done.set()

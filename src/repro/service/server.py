@@ -1,26 +1,50 @@
 """The HTTP front end: a stdlib ``ThreadingHTTPServer`` over the scheduler.
 
-Endpoints (all JSON):
+The surface is versioned under ``/v1`` (all JSON):
 
-* ``POST /run`` — body is one :class:`~repro.service.scheduler.SimRequest`
-  document (``{"engine": ..., "program": ..., "v": ..., ...}``);
-  response carries the content-addressed ``key``, the ``served`` path
-  (``computed`` | ``cached`` | ``coalesced``) and the engine ``result``
-  document.
-* ``POST /batch`` — ``{"requests": [...]}``; the requests are served
+* ``POST /v1/run`` — body is one
+  :class:`~repro.service.scheduler.SimRequest` document (``{"engine":
+  ..., "program": ..., "v": ..., ...}``); response carries the
+  content-addressed ``key``, the ``served`` path (``computed`` |
+  ``cached`` | ``coalesced``) and the engine ``result`` document.
+* ``POST /v1/batch`` — ``{"requests": [...]}``; the requests are served
   sequentially on this connection's handler thread (each one still
   coalesces with, and is cached for, every other connection), response
   is ``{"results": [...]}`` in request order.
-* ``GET /healthz`` — liveness plus the engine/program inventories.
-* ``GET /metrics`` — cache counters + gauges, queue gauges, request
-  counters and the host-side recovery counters, as one JSON document.
+* ``POST /v1/jobs`` — enqueue a named sweep as a background *job* (body
+  is one :class:`~repro.service.jobs.JobSpec` document plus an optional
+  ``priority``); returns ``202`` with the job's status document.
+* ``GET /v1/jobs`` / ``GET /v1/jobs/<id>`` — job list / one job's
+  status with per-cell progress.
+* ``GET /v1/jobs/<id>/events`` — chunked JSON-lines progress stream,
+  fed from the job ledger's append hook; ends when the job reaches a
+  terminal state.
+* ``GET /v1/jobs/<id>/result`` — the finished document (``409`` while
+  the job is still running); byte-identical to the equivalent
+  uninterrupted CLI sweep.
+* ``DELETE /v1/jobs/<id>`` — cancel (takes effect at a cell edge).
+* ``GET /v1/healthz`` — liveness plus the engine/program inventories.
+* ``GET /v1/metrics`` — cache counters + gauges, queue gauges, request
+  counters, job/gate gauges and the host-side recovery counters.
 
-Failure mapping: a malformed body or unknown engine/program/function is
-a ``400`` with the validating :class:`ValueError`'s message; a full
-admission queue is a ``429`` with a ``Retry-After`` header; anything
-else is a ``500``.  Worker deaths and task timeouts are *not* failures
-— the scheduler retries them via the resilience machinery, and their
-traces appear in ``/metrics`` under ``recovery``.
+The pre-versioning unprefixed paths (``/run``, ``/batch``, ...) remain
+as deprecated aliases: same handlers, same responses, plus a
+``Deprecation: true`` response header (and a ``deprecated_requests``
+counter under ``/v1/metrics``).  Routing is one declarative table
+(:data:`ROUTES`) shared by every method — there is no per-endpoint
+if/elif chain to keep in sync.
+
+Failure mapping — every error status carries the same envelope,
+``{"error": {"code", "message", "retry_after_s"}}`` (see
+:mod:`repro.service.errors`): a malformed body or unknown
+engine/program/function is ``400 bad_request``; an unknown path is
+``404 not_found``; an oversized body is ``413 payload_too_large`` (the
+connection closes without reading the body); a full admission queue is
+``429 queue_full`` with a ``Retry-After`` header; job-lifecycle
+conflicts are ``409``; anything else is ``500``.  Worker deaths and
+task timeouts are *not* failures — the scheduler retries them via the
+resilience machinery, and their traces appear in ``/v1/metrics`` under
+``recovery``.
 """
 
 from __future__ import annotations
@@ -31,17 +55,31 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 
 from repro.engines import ENGINES, FUNCTION_HELP, PROGRAMS
+from repro.obs.counters import Counters
 from repro.resilience import recovery
 from repro.service.cache import DEFAULT_CAPACITY, ResultCache
+from repro.service.errors import ApiError, error_envelope
+from repro.service.jobs import JobManager
 from repro.service.scheduler import (
     DEFAULT_QUEUE_LIMIT,
     SERVICE_SCHEMA,
+    PoolGate,
     QueueFull,
     Scheduler,
     SimRequest,
 )
 
-__all__ = ["SimService", "ServiceServer", "make_server", "serve"]
+__all__ = [
+    "API_VERSION",
+    "ROUTES",
+    "SimService",
+    "ServiceServer",
+    "make_server",
+    "serve",
+]
+
+#: the current (only) API surface version; paths live under ``/v1``
+API_VERSION = "v1"
 
 #: default TCP port (8173 = "BSP" on a phone keypad, roughly)
 DEFAULT_PORT = 8173
@@ -50,13 +88,24 @@ DEFAULT_PORT = 8173
 #: magnitude beyond any valid batch)
 MAX_BODY_BYTES = 1 << 20
 
+#: streaming marker: a route handler that already wrote its own
+#: response (the events stream) returns this instead of a document
+_STREAMED = object()
+
 
 class SimService:
-    """The served application: one cache + one scheduler, HTTP-agnostic.
+    """The served application: cache + scheduler + jobs, HTTP-agnostic.
 
     Separating the application from the socket machinery keeps the
     serving logic callable in-process (tests, the in-process loadgen
     mode) with byte-identical behaviour to the HTTP path.
+
+    With a ``jobs_dir`` the service also runs a
+    :class:`~repro.service.jobs.JobManager`: long sweeps are enqueued as
+    background jobs, checkpointed per cell, and re-adopted after a
+    restart on the same directory.  Interactive requests keep pool
+    precedence over batch cells through the shared
+    :class:`~repro.service.scheduler.PoolGate`.
     """
 
     def __init__(
@@ -66,14 +115,33 @@ class SimService:
         jobs: int = 1,
         ledger=None,
         retry_after_s: float = 1.0,
+        jobs_dir: str | None = None,
+        max_batch_wait_s: float = 2.0,
     ):
+        self.gate = PoolGate(max_batch_wait_s=max_batch_wait_s)
         self.cache = ResultCache(cache_capacity, ledger=ledger)
         self.scheduler = Scheduler(
             self.cache,
             parallel=jobs,
             queue_limit=queue_limit,
             retry_after_s=retry_after_s,
+            gate=self.gate,
         )
+        self.http_counters = Counters()
+        self.job_manager: JobManager | None = None
+        if jobs_dir is not None:
+            self.job_manager = JobManager(
+                jobs_dir, parallel=jobs, gate=self.gate, cache=self.cache
+            )
+
+    def _jobs(self) -> JobManager:
+        if self.job_manager is None:
+            raise ApiError(
+                400, "jobs_disabled",
+                "this server has no jobs directory; restart it with "
+                "--jobs-dir to enable the jobs API",
+            )
+        return self.job_manager
 
     # ------------------------------------------------------------ handlers
     def handle_run(self, body: Any) -> dict[str, Any]:
@@ -99,17 +167,41 @@ class SimService:
             results.append({"key": key, "served": served, "result": doc})
         return {"results": results}
 
+    def handle_jobs_submit(self, body: Any) -> dict[str, Any]:
+        """Validate, persist and enqueue one job; returns its status doc."""
+        return self._jobs().submit_json(body).status_doc()
+
+    def handle_jobs_list(self) -> dict[str, Any]:
+        return {"jobs": self._jobs().list()}
+
+    def handle_job_status(self, job_id: str) -> dict[str, Any]:
+        return self._jobs().get(job_id).status_doc()
+
+    def handle_job_result(self, job_id: str) -> Any:
+        return self._jobs().result(job_id)
+
+    def handle_job_cancel(self, job_id: str) -> dict[str, Any]:
+        return self._jobs().cancel(job_id).status_doc()
+
+    def job_events(self, job_id: str):
+        """The chunk-streamed event iterator for one job (404s eagerly)."""
+        manager = self._jobs()
+        manager.get(job_id)  # raise not_found before any bytes go out
+        return manager.stream(job_id)
+
     def healthz(self) -> dict[str, Any]:
         return {
             "ok": True,
             "schema": SERVICE_SCHEMA,
+            "api": API_VERSION,
+            "jobs_enabled": self.job_manager is not None,
             "engines": sorted(ENGINES),
             "programs": sorted(PROGRAMS),
             "functions": FUNCTION_HELP,
         }
 
     def metrics(self) -> dict[str, Any]:
-        """The ``GET /metrics`` document (all sections, one scrape)."""
+        """The ``GET /v1/metrics`` document (all sections, one scrape)."""
         requests = {
             "admitted": 0,
             "served_computed": 0,
@@ -119,17 +211,67 @@ class SimService:
             "errors": 0,
         }
         requests.update(self.scheduler.counters.snapshot())
+        http = {"deprecated_requests": 0}
+        http.update(self.http_counters.snapshot())
+        if self.job_manager is not None:
+            jobs_section = self.job_manager.gauges()
+        else:
+            jobs_section = {"enabled": False, "gate": self.gate.gauges()}
         return {
             "schema": SERVICE_SCHEMA,
+            "api": API_VERSION,
             "cache": self.cache.gauges(),
             "queue": self.scheduler.gauges(),
             "requests": requests,
+            "jobs": jobs_section,
+            "http": http,
             "recovery": recovery.counters(),
         }
 
+    def close(self) -> None:
+        """Stop the job runner (manifests stay; a restart re-adopts)."""
+        if self.job_manager is not None:
+            self.job_manager.close()
+
+
+#: the whole routing surface: ``(method, path segments, handler name)``.
+#: ``None`` segments are wildcards whose values are passed to the
+#: handler in order.  Paths are matched twice — under ``/v1`` and bare
+#: (the deprecated pre-versioning aliases).
+ROUTES: tuple[tuple[str, tuple[str | None, ...], str], ...] = (
+    ("GET", ("healthz",), "ep_healthz"),
+    ("GET", ("metrics",), "ep_metrics"),
+    ("POST", ("run",), "ep_run"),
+    ("POST", ("batch",), "ep_batch"),
+    ("POST", ("jobs",), "ep_jobs_submit"),
+    ("GET", ("jobs",), "ep_jobs_list"),
+    ("GET", ("jobs", None), "ep_job_status"),
+    ("GET", ("jobs", None, "events"), "ep_job_events"),
+    ("GET", ("jobs", None, "result"), "ep_job_result"),
+    ("DELETE", ("jobs", None), "ep_job_cancel"),
+)
+
+
+def _match(
+    method: str, segments: tuple[str, ...]
+) -> tuple[str, list[str]] | None:
+    """Resolve ``(handler name, captured wildcards)`` from :data:`ROUTES`."""
+    for route_method, pattern, handler in ROUTES:
+        if route_method != method or len(pattern) != len(segments):
+            continue
+        captured = []
+        for expected, got in zip(pattern, segments):
+            if expected is None:
+                captured.append(got)
+            elif expected != got:
+                break
+        else:
+            return handler, captured
+    return None
+
 
 class _Handler(BaseHTTPRequestHandler):
-    """Route the four endpoints onto the :class:`SimService`."""
+    """Route the versioned (and legacy-alias) surface onto the service."""
 
     server_version = "repro-service/" + str(SERVICE_SCHEMA)
     protocol_version = "HTTP/1.1"
@@ -166,9 +308,12 @@ class _Handler(BaseHTTPRequestHandler):
         if length <= 0:
             raise ValueError("request body is empty")
         if length > MAX_BODY_BYTES:
-            raise ValueError(
+            # refuse without reading: draining a deliberately huge body
+            # would be the denial of service; the connection closes
+            raise ApiError(
+                413, "payload_too_large",
                 f"request body of {length} bytes exceeds the "
-                f"{MAX_BODY_BYTES}-byte limit"
+                f"{MAX_BODY_BYTES}-byte limit",
             )
         raw = self.rfile.read(length)
         try:
@@ -176,38 +321,124 @@ class _Handler(BaseHTTPRequestHandler):
         except ValueError:
             raise ValueError("request body is not valid JSON") from None
 
-    # ------------------------------------------------------------- routes
+    # ----------------------------------------------------------- dispatch
     def do_GET(self) -> None:
-        if self.path == "/healthz":
-            self._send_json(200, self.service.healthz())
-        elif self.path == "/metrics":
-            self._send_json(200, self.service.metrics())
-        else:
-            self._send_json(404, {"error": f"no such endpoint {self.path!r}"})
+        self._dispatch("GET")
 
     def do_POST(self) -> None:
-        if self.path == "/run":
-            handler = self.service.handle_run
-        elif self.path == "/batch":
-            handler = self.service.handle_batch
-        else:
-            self._send_json(404, {"error": f"no such endpoint {self.path!r}"})
-            return
+        self._dispatch("POST")
+
+    def do_DELETE(self) -> None:
+        self._dispatch("DELETE")
+
+    def _dispatch(self, method: str) -> None:
+        path = self.path.split("?", 1)[0]
+        segments = tuple(s for s in path.split("/") if s)
+        deprecated = not (segments and segments[0] == API_VERSION)
+        if not deprecated:
+            segments = segments[1:]
+        headers: dict[str, str] = {}
+        if deprecated:
+            headers["Deprecation"] = "true"
+        match = _match(method, segments)
         try:
-            body = self._read_body()
-            doc = handler(body)
+            if match is None:
+                raise ApiError(
+                    404, "not_found",
+                    f"no such endpoint {method} {path!r}; see /v1/healthz",
+                )
+            if deprecated:
+                self.service.http_counters.add("deprecated_requests")
+            handler_name, captured = match
+            result = getattr(self, handler_name)(*captured, headers=headers)
+        except ApiError as exc:
+            if exc.retry_after_s is not None:
+                headers["Retry-After"] = f"{exc.retry_after_s:g}"
+            if exc.status == 413:
+                # the unread body is still on the wire; keep-alive would
+                # misparse it as the next request line
+                headers["Connection"] = "close"
+                self.close_connection = True
+            self._send_json(exc.status, exc.to_json(), headers=headers)
         except QueueFull as exc:
+            headers["Retry-After"] = f"{exc.retry_after_s:g}"
             self._send_json(
                 429,
-                {"error": str(exc), "retry_after_s": exc.retry_after_s},
-                headers={"Retry-After": f"{exc.retry_after_s:g}"},
+                error_envelope(
+                    "queue_full", str(exc), retry_after_s=exc.retry_after_s
+                ),
+                headers=headers,
             )
         except ValueError as exc:
-            self._send_json(400, {"error": str(exc)})
+            self._send_json(
+                400, error_envelope("bad_request", str(exc)), headers=headers
+            )
         except Exception as exc:  # pragma: no cover - defensive
-            self._send_json(500, {"error": f"internal error: {exc!r}"})
+            self._send_json(
+                500,
+                error_envelope("internal", f"internal error: {exc!r}"),
+                headers=headers,
+            )
         else:
-            self._send_json(200, doc)
+            if result is not _STREAMED:
+                status, doc = result
+                self._send_json(status, doc, headers=headers)
+
+    # ------------------------------------------------------------- routes
+    def ep_healthz(self, headers) -> tuple[int, Any]:
+        return 200, self.service.healthz()
+
+    def ep_metrics(self, headers) -> tuple[int, Any]:
+        return 200, self.service.metrics()
+
+    def ep_run(self, headers) -> tuple[int, Any]:
+        return 200, self.service.handle_run(self._read_body())
+
+    def ep_batch(self, headers) -> tuple[int, Any]:
+        return 200, self.service.handle_batch(self._read_body())
+
+    def ep_jobs_submit(self, headers) -> tuple[int, Any]:
+        return 202, self.service.handle_jobs_submit(self._read_body())
+
+    def ep_jobs_list(self, headers) -> tuple[int, Any]:
+        return 200, self.service.handle_jobs_list()
+
+    def ep_job_status(self, job_id: str, headers) -> tuple[int, Any]:
+        return 200, self.service.handle_job_status(job_id)
+
+    def ep_job_result(self, job_id: str, headers) -> tuple[int, Any]:
+        return 200, self.service.handle_job_result(job_id)
+
+    def ep_job_cancel(self, job_id: str, headers) -> tuple[int, Any]:
+        return 200, self.service.handle_job_cancel(job_id)
+
+    def ep_job_events(self, job_id: str, headers):
+        """Stream job progress as chunked JSON lines until terminal.
+
+        One event per line, flushed per event (``Transfer-Encoding:
+        chunked``, hand-rolled — ``BaseHTTPRequestHandler`` has no
+        streaming support).  ``http.client`` and curl both de-chunk
+        transparently.  The stream is fed from the job ledger's append
+        hook, so a line exists for every checkpointed cell.
+        """
+        events = self.service.job_events(job_id)  # ApiError 404 raises here
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.send_header("Connection", "close")
+        for name, value in headers.items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.close_connection = True
+        try:
+            for event in events:
+                chunk = (json.dumps(event) + "\n").encode("utf-8")
+                self.wfile.write(b"%x\r\n" % len(chunk) + chunk + b"\r\n")
+                self.wfile.flush()
+            self.wfile.write(b"0\r\n\r\n")
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client hung up mid-stream; the job keeps running
+        return _STREAMED
 
 
 class _Server(ThreadingHTTPServer):
@@ -253,6 +484,7 @@ class ServiceServer:
         self.httpd.shutdown()
         self.httpd.server_close()
         self._thread.join(timeout=5)
+        self.service.close()
 
     def __enter__(self) -> "ServiceServer":
         return self
@@ -268,6 +500,7 @@ def serve(
     queue_limit: int = DEFAULT_QUEUE_LIMIT,
     jobs: int = 1,
     ledger=None,
+    jobs_dir: str | None = None,
     echo=print,
 ) -> int:
     """Blocking CLI entry: serve until interrupted (Ctrl-C -> clean exit)."""
@@ -276,6 +509,7 @@ def serve(
         queue_limit=queue_limit,
         jobs=jobs,
         ledger=ledger,
+        jobs_dir=jobs_dir,
     )
     httpd = make_server(host, port, service)
     bound_host, bound_port = httpd.server_address[:2]
@@ -284,9 +518,15 @@ def serve(
             f"repro simulation service on http://{bound_host}:{bound_port}  "
             f"(cache {cache_capacity}, queue {queue_limit}, jobs {jobs}"
             + (", persistent cache" if ledger is not None else "")
+            + (f", jobs dir {jobs_dir}" if jobs_dir is not None else "")
             + ")"
         )
-        echo("endpoints: POST /run  POST /batch  GET /healthz  GET /metrics")
+        echo(
+            "endpoints (under /v1; unprefixed aliases are deprecated): "
+            "POST /v1/run  POST /v1/batch  POST /v1/jobs  GET /v1/jobs[/<id>"
+            "[/events|/result]]  DELETE /v1/jobs/<id>  GET /v1/healthz  "
+            "GET /v1/metrics"
+        )
     try:
         httpd.serve_forever(poll_interval=0.2)
     except KeyboardInterrupt:
@@ -294,4 +534,5 @@ def serve(
             echo("\nshutting down")
     finally:
         httpd.server_close()
+        service.close()
     return 0

@@ -271,18 +271,17 @@ class TestEngineResult:
             json.loads(json.dumps(slim))
         ).to_json(include_trace=False) == slim
 
-    def test_deprecated_total_time(self):
-        res = run("reduce", engine="hmm", v=8, baseline=False)
-        with pytest.deprecated_call():
-            assert res.total_time == res.time
-
-    def test_deprecated_block_transfers(self):
+    @pytest.mark.parametrize(
+        "alias", ["total_time", "block_transfers", "rounds"]
+    )
+    def test_pre_unification_aliases_removed(self, alias):
+        """The deprecated v0 aliases are gone as of the /v1 redesign."""
         res = run("reduce", engine="bt", v=8, baseline=False)
-        with pytest.deprecated_call():
-            assert res.block_transfers == res.counters["block_transfers"]
-        assert res.native.block_transfers == res.counters["block_transfers"]
+        with pytest.raises(AttributeError):
+            getattr(res, alias)
 
-    def test_deprecated_rounds(self):
-        res = run("reduce", engine="hmm", v=8, baseline=False)
-        with pytest.deprecated_call():
-            assert res.rounds == res.counters["rounds"]
+    def test_native_result_keeps_its_own_fields(self):
+        # the removal is about EngineResult only; engine-native results
+        # keep their own attributes
+        res = run("reduce", engine="bt", v=8, baseline=False)
+        assert res.native.block_transfers == res.counters["block_transfers"]

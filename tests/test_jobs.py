@@ -1,0 +1,585 @@
+"""Async jobs API tests: spec validation, lifecycle, restarts, arbitration.
+
+The load-bearing invariants:
+
+* **byte-identity under interruption** — a job killed mid-run (injected
+  ``FaultAbort``, killed workers, or a stopped runner) and re-adopted by
+  a fresh manager over the same jobs directory produces a result
+  document byte-identical (``json.dumps(..., sort_keys=True)``) to an
+  uninterrupted run's, which is itself identical to the equivalent
+  direct CLI sweep;
+* **interactive precedence** — the runner asks the shared
+  :class:`~repro.service.scheduler.PoolGate` for a turn before every
+  batch cell, so ``/v1/run`` traffic is never queued behind batch work
+  (with an anti-starvation deadline);
+* **cache warming** — a finished ``cells`` job's documents are exactly
+  what ``/v1/run`` would have served, and they land in the interactive
+  result cache.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.parallel import workers
+from repro.parallel.config import reset_fallback_warnings
+from repro.parallel.pool import shared_pool
+from repro.resilience import recovery
+from repro.service.errors import ApiError
+from repro.service.jobs import DEFAULT_PRIORITY, JobManager, JobSpec
+from repro.service.scheduler import PoolGate, SimRequest
+from repro.service.server import ServiceServer, SimService
+
+
+@pytest.fixture(autouse=True)
+def _clean_slate(monkeypatch):
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    recovery.reset()
+    reset_fallback_warnings()
+    yield
+    shared_pool(2).shutdown()
+    recovery.reset()
+    reset_fallback_warnings()
+
+
+def _wait(manager: JobManager, job_id: str, timeout_s: float = 120.0) -> None:
+    deadline = time.monotonic() + timeout_s
+    while not manager.get(job_id).terminal:
+        assert time.monotonic() < deadline, (
+            f"job {job_id} stuck in {manager.get(job_id).state}"
+        )
+        time.sleep(0.01)
+
+
+def _canon(doc) -> str:
+    return json.dumps(doc, sort_keys=True)
+
+
+def _post(url, path, doc, method="POST"):
+    data = json.dumps(doc).encode() if doc is not None else None
+    req = urllib.request.Request(
+        url + path, data=data,
+        headers={"Content-Type": "application/json"}, method=method,
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=60) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def _get(url, path):
+    try:
+        with urllib.request.urlopen(url + path, timeout=60) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+SIZES = [256, 512, 1024]
+
+
+def _touch_body(sizes=None):
+    return {"kind": "touch", "sizes": sizes or SIZES, "f": "x^0.5"}
+
+
+# ---------------------------------------------------------------- JobSpec
+class TestJobSpec:
+    def test_round_trip(self):
+        for body in [
+            _touch_body(),
+            {"kind": "bench", "smoke": True, "budget_s": 0.5},
+            {"kind": "cells", "cells": [
+                {"engine": "hmm", "program": "sort", "v": 16, "mu": 8,
+                 "f": "x^0.5", "trace": "counters"},
+            ]},
+        ]:
+            spec = JobSpec.from_json(body)
+            assert JobSpec.from_json(spec.to_json()) == spec
+
+    def test_plan_matches_cli_sweep_shapes(self):
+        task_kind, args, context = JobSpec.from_json(_touch_body()).plan()
+        assert task_kind == "touch-cost"
+        assert args == [(n, "x^0.5") for n in SIZES]
+        assert context is None  # job ledgers interchange with CLI ledgers
+
+    @pytest.mark.parametrize("body,fragment", [
+        ([], "JSON object"),
+        ({"kind": "mystery"}, "unknown job kind"),
+        ({"kind": "touch"}, '"sizes"'),
+        ({"kind": "touch", "sizes": []}, '"sizes"'),
+        ({"kind": "touch", "sizes": [0]}, '"sizes"'),
+        ({"kind": "touch", "sizes": [True]}, '"sizes"'),
+        ({"kind": "touch", "sizes": [256], "f": 7}, '"f" must be a string'),
+        ({"kind": "touch", "sizes": [256], "f": "bogus"},
+         "unknown access function"),
+        ({"kind": "touch", "sizes": [256], "smoke": True}, "unknown field"),
+        ({"kind": "bench", "smoke": "yes"}, '"smoke"'),
+        ({"kind": "bench", "budget_s": -1}, '"budget_s"'),
+        ({"kind": "cells"}, '"cells"'),
+        ({"kind": "cells", "cells": []}, '"cells"'),
+        ({"kind": "cells", "cells": [{"engine": "nope", "program": "sort"}]},
+         "cells\\[0\\]"),
+    ])
+    def test_validation_errors(self, body, fragment):
+        with pytest.raises(ValueError, match=fragment):
+            JobSpec.from_json(body)
+
+    def test_traced_cells_rejected(self):
+        # recorded spans do not survive the ledger's JSON checkpointing
+        with pytest.raises(ValueError, match="trace 'full'"):
+            JobSpec.from_json({"kind": "cells", "cells": [
+                {"engine": "hmm", "program": "sort", "trace": "full"},
+            ]})
+
+    def test_bad_priority_rejected(self, tmp_path):
+        manager = JobManager(str(tmp_path / "jobs"))
+        try:
+            with pytest.raises(ValueError, match='"priority"'):
+                manager.submit_json({**_touch_body(), "priority": -1})
+            with pytest.raises(ValueError, match='"priority"'):
+                manager.submit_json({**_touch_body(), "priority": True})
+        finally:
+            manager.close()
+
+
+# --------------------------------------------------------------- PoolGate
+class TestPoolGate:
+    def test_batch_turn_immediate_when_idle(self):
+        gate = PoolGate()
+        assert gate.batch_turn() is True
+        assert gate.gauges()["interactive_in_flight"] == 0
+        assert gate.counters.snapshot().get("batch_waits", 0) == 0
+
+    def test_batch_waits_for_interactive_traffic(self):
+        gate = PoolGate(max_batch_wait_s=30.0)
+        gate.interactive_begin()
+        yielded = {}
+
+        def batch():
+            yielded["cleanly"] = gate.batch_turn()
+
+        t = threading.Thread(target=batch)
+        t.start()
+        time.sleep(0.05)
+        assert "cleanly" not in yielded  # still parked behind interactive
+        gate.interactive_end()
+        t.join(timeout=10)
+        assert yielded["cleanly"] is True
+        assert gate.counters.snapshot()["batch_waits"] == 1
+
+    def test_anti_starvation_deadline(self):
+        gate = PoolGate(max_batch_wait_s=0.05)
+        gate.interactive_begin()
+        assert gate.batch_turn() is False  # proceeds anyway, counted
+        assert gate.counters.snapshot()["batch_wait_timeouts"] == 1
+        gate.interactive_end()
+
+
+# -------------------------------------------------------------- lifecycle
+class TestJobLifecycle:
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_touch_job_equals_direct_cli_sweep(self, tmp_path, jobs):
+        from repro.parallel.sweep import touch_sweep
+
+        manager = JobManager(str(tmp_path / "jobs"), parallel=jobs)
+        try:
+            job = manager.submit(JobSpec.from_json(_touch_body()))
+            assert job.state == "queued"
+            _wait(manager, job.id)
+            result = manager.result(job.id)
+        finally:
+            manager.close()
+        direct = json.loads(json.dumps(touch_sweep(SIZES, f="x^0.5")))
+        assert _canon(result) == _canon(direct)
+
+    def test_event_stream_shape(self, tmp_path):
+        manager = JobManager(str(tmp_path / "jobs"))
+        try:
+            job = manager.submit(JobSpec.from_json(_touch_body()))
+            _wait(manager, job.id)
+            events = list(manager.stream(job.id))
+        finally:
+            manager.close()
+        kinds = [ev["event"] for ev in events]
+        assert kinds[0] == "snapshot"
+        assert kinds[-1] == "done"
+        cells = [ev for ev in events if ev["event"] == "cell"]
+        assert len(cells) == len(SIZES)
+        assert [ev["done"] for ev in cells] == [1, 2, 3]
+        assert all(ev["total"] == len(SIZES) for ev in cells)
+        assert all(ev["replayed"] is False for ev in cells)
+
+    def test_cancel_running_job_stops_at_cell_edge(self, tmp_path, monkeypatch):
+        real = workers.TASKS["touch-cost"]
+        started = threading.Event()
+        release = threading.Event()
+
+        def gated(args):
+            started.set()
+            release.wait(timeout=30)
+            return real(args)
+
+        monkeypatch.setitem(workers.TASKS, "touch-cost", gated)
+        manager = JobManager(str(tmp_path / "jobs"), parallel=1)
+        try:
+            job = manager.submit(JobSpec.from_json(_touch_body()))
+            assert started.wait(timeout=30)
+            manager.cancel(job.id)
+            release.set()
+            _wait(manager, job.id)
+            assert manager.get(job.id).state == "cancelled"
+            assert manager.get(job.id).cells_done < len(SIZES)
+            with pytest.raises(ApiError) as exc:
+                manager.result(job.id)
+            assert exc.value.code == "job_not_finished"
+            assert exc.value.status == 409
+            with pytest.raises(ApiError) as exc:
+                manager.cancel(job.id)  # already terminal
+            assert exc.value.code == "job_finished"
+        finally:
+            release.set()
+            manager.close()
+
+    def test_priority_orders_queued_jobs(self, tmp_path, monkeypatch):
+        real = workers.TASKS["touch-cost"]
+        started = threading.Event()
+        release = threading.Event()
+
+        def gated(args):
+            started.set()
+            release.wait(timeout=60)
+            return real(args)
+
+        monkeypatch.setitem(workers.TASKS, "touch-cost", gated)
+        manager = JobManager(str(tmp_path / "jobs"), parallel=1)
+        try:
+            first = manager.submit(JobSpec.from_json(_touch_body([256])))
+            assert started.wait(timeout=30)  # runner is busy with `first`
+            low = manager.submit(
+                JobSpec.from_json(_touch_body([512])), priority=50
+            )
+            high = manager.submit(
+                JobSpec.from_json(_touch_body([1024])), priority=1
+            )
+            assert low.priority == 50 and high.priority == 1
+            release.set()
+            for job in (first, low, high):
+                _wait(manager, job.id)
+            assert manager.started_order == [first.id, high.id, low.id]
+        finally:
+            release.set()
+            manager.close()
+
+    def test_cells_job_warms_interactive_cache(self, tmp_path):
+        body = {"engine": "hmm", "program": "sort", "v": 16, "mu": 8,
+                "f": "x^0.51", "trace": "counters"}
+        service = SimService(cache_capacity=32,
+                             jobs_dir=str(tmp_path / "jobs"))
+        try:
+            job = service.job_manager.submit_json(
+                {"kind": "cells", "cells": [body]}
+            )
+            _wait(service.job_manager, job.id)
+            result = service.job_manager.result(job.id)
+            # the next interactive request rides the job's work
+            key, doc, served = service.scheduler.submit(
+                SimRequest.from_json(body)
+            )
+            assert served == "cached"
+            assert result["cells"][0] == doc  # byte-identical to /v1/run
+            assert service.cache.counters.snapshot()["stores_job"] == 1
+        finally:
+            service.close()
+
+    @pytest.mark.slow
+    def test_bench_job_produces_distributed_matrix(self, tmp_path):
+        manager = JobManager(str(tmp_path / "jobs"))
+        try:
+            job = manager.submit(JobSpec.from_json(
+                {"kind": "bench", "smoke": True, "budget_s": 0.05}
+            ))
+            _wait(manager, job.id, timeout_s=300.0)
+            doc = manager.result(job.id)
+        finally:
+            manager.close()
+        assert doc["distributed"] is True
+        assert doc["workloads"]
+        assert doc["resilience"]["cells_resumed"] == len(doc["workloads"])
+
+
+# --------------------------------------------------- restarts and chaos
+class TestJobRestarts:
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_interrupted_job_resumes_byte_identical(
+        self, tmp_path, monkeypatch, jobs
+    ):
+        """Crash mid-job (injected at a cell edge), re-adopt, re-finish:
+        the final document is byte-equal to an uninterrupted run's."""
+        sizes = [256, 512, 1024, 2048]
+        reference_mgr = JobManager(str(tmp_path / "ref"), parallel=jobs)
+        try:
+            ref_job = reference_mgr.submit(
+                JobSpec.from_json(_touch_body(sizes))
+            )
+            _wait(reference_mgr, ref_job.id)
+            reference = reference_mgr.result(ref_job.id)
+        finally:
+            reference_mgr.close()
+
+        monkeypatch.setenv("REPRO_FAULTS", "abort=2")
+        crashed = JobManager(str(tmp_path / "crash"), parallel=jobs)
+        job = crashed.submit(JobSpec.from_json(_touch_body(sizes)))
+        crashed._runner.join(timeout=120)  # FaultAbort kills the runner
+        assert crashed.get(job.id).state == "running"  # mid-flight manifest
+        assert 0 < crashed.get(job.id).cells_done < len(sizes)
+        monkeypatch.delenv("REPRO_FAULTS")
+
+        adopted = JobManager(str(tmp_path / "crash"), parallel=jobs)
+        try:
+            _wait(adopted, job.id)
+            resumed = adopted.result(job.id)
+            replays = [
+                ev for ev in adopted.get(job.id).events
+                if ev.get("event") == "cell" and ev.get("replayed")
+            ]
+            assert len(replays) >= 2  # checkpointed cells were not re-run
+        finally:
+            adopted.close()
+        assert _canon(resumed) == _canon(reference)
+
+    def test_stopped_manager_readopts_and_finishes(self, tmp_path):
+        """`close()` mid-job (the in-process server-kill stand-in) leaves
+        resumable state behind."""
+        from repro.parallel.sweep import touch_sweep
+
+        sizes = [256, 512, 1024, 2048]
+        m1 = JobManager(str(tmp_path / "jobs"))
+        job = m1.submit(JobSpec.from_json(_touch_body(sizes)))
+        while m1.get(job.id).cells_done < 1 and not m1.get(job.id).terminal:
+            time.sleep(0.002)
+        m1.close()
+
+        m2 = JobManager(str(tmp_path / "jobs"))
+        try:
+            _wait(m2, job.id)
+            resumed = m2.result(job.id)
+        finally:
+            m2.close()
+        direct = json.loads(json.dumps(touch_sweep(sizes, f="x^0.5")))
+        assert _canon(resumed) == _canon(direct)
+
+    def test_job_completes_under_worker_kills(self, tmp_path, monkeypatch):
+        """Every cell's first pool attempt dies; retries still converge on
+        the identical document."""
+        from repro.parallel.config import ParallelConfig
+        from repro.resilience.retry import RetryPolicy
+
+        reference_mgr = JobManager(str(tmp_path / "ref"))
+        try:
+            ref_job = reference_mgr.submit(JobSpec.from_json(_touch_body()))
+            _wait(reference_mgr, ref_job.id)
+            reference = reference_mgr.result(ref_job.id)
+        finally:
+            reference_mgr.close()
+
+        shared_pool(2).shutdown()  # workers inherit REPRO_FAULTS at spawn
+        monkeypatch.setenv(
+            "REPRO_FAULTS", f"seed=7,kill=1.0,dir={tmp_path / 'marks'}"
+        )
+        cfg = ParallelConfig(
+            jobs=2, retry=RetryPolicy(max_retries=4, backoff_s=0.0)
+        )
+        manager = JobManager(str(tmp_path / "jobs"), parallel=cfg)
+        try:
+            job = manager.submit(JobSpec.from_json(_touch_body()))
+            _wait(manager, job.id)
+            chaotic = manager.result(job.id)
+        finally:
+            manager.close()
+        assert _canon(chaotic) == _canon(reference)
+        assert recovery.counters()["worker_deaths"] >= 1
+
+    def test_adopts_hand_written_queued_manifest(self, tmp_path):
+        """The manifest format is a contract: a queued manifest written by
+        a previous process is picked up and run."""
+        from repro.parallel.sweep import touch_sweep
+
+        jobs_dir = tmp_path / "jobs"
+        jobs_dir.mkdir()
+        manifest = {
+            "schema": 1,
+            "id": "job-adopted0001",
+            "kind": "touch",
+            "spec": _touch_body([256]),
+            "priority": DEFAULT_PRIORITY,
+            "seq": 0,
+            "state": "queued",
+            "cells_total": 1,
+            "cells_done": 0,
+            "error": None,
+        }
+        (jobs_dir / "job-adopted0001.manifest.json").write_text(
+            json.dumps(manifest)
+        )
+        manager = JobManager(str(jobs_dir))
+        try:
+            _wait(manager, "job-adopted0001")
+            result = manager.result("job-adopted0001")
+        finally:
+            manager.close()
+        direct = json.loads(json.dumps(touch_sweep([256], f="x^0.5")))
+        assert _canon(result) == _canon(direct)
+
+    def test_corrupt_manifest_skipped_with_warning(self, tmp_path):
+        jobs_dir = tmp_path / "jobs"
+        jobs_dir.mkdir()
+        (jobs_dir / "job-bad.manifest.json").write_text("{torn")
+        with pytest.warns(RuntimeWarning, match="corrupt job manifest"):
+            manager = JobManager(str(jobs_dir))
+        try:
+            assert manager.list() == []
+        finally:
+            manager.close()
+
+
+# ------------------------------------------------------------------ HTTP
+class TestJobsOverHTTP:
+    @pytest.fixture()
+    def server(self, tmp_path):
+        service = SimService(cache_capacity=32,
+                             jobs_dir=str(tmp_path / "jobs"))
+        with ServiceServer(service) as srv:
+            yield srv
+
+    def test_full_http_lifecycle(self, server):
+        from repro.parallel.sweep import touch_sweep
+
+        status, doc = _post(server.url, "/v1/jobs", _touch_body())
+        assert status == 202
+        assert doc["state"] == "queued"
+        assert doc["cells_total"] == len(SIZES)
+        job_id = doc["id"]
+
+        status, listing = _get(server.url, "/v1/jobs")
+        assert status == 200
+        assert [j["id"] for j in listing["jobs"]] == [job_id]
+
+        deadline = time.monotonic() + 120
+        while True:
+            status, doc = _get(server.url, f"/v1/jobs/{job_id}")
+            assert status == 200
+            if doc["state"] == "done":
+                break
+            assert time.monotonic() < deadline
+            time.sleep(0.02)
+        assert doc["cells_done"] == len(SIZES)
+
+        status, result = _get(server.url, f"/v1/jobs/{job_id}/result")
+        assert status == 200
+        direct = json.loads(json.dumps(touch_sweep(SIZES, f="x^0.5")))
+        assert _canon(result) == _canon(direct)
+
+        # cancelling a finished job is a 409 with the envelope code
+        status, doc = _post(
+            server.url, f"/v1/jobs/{job_id}", None, method="DELETE"
+        )
+        assert status == 409
+        assert doc["error"]["code"] == "job_finished"
+
+        status, doc = _get(server.url, "/v1/jobs/job-nope/result")
+        assert status == 404
+        assert doc["error"]["code"] == "not_found"
+
+        status, metrics = _get(server.url, "/v1/metrics")
+        assert metrics["jobs"]["enabled"] is True
+        assert metrics["jobs"]["done"] == 1
+        assert metrics["requests"]["errors"] == 0
+
+    def test_events_stream_over_http(self, server):
+        status, doc = _post(server.url, "/v1/jobs", _touch_body())
+        assert status == 202
+        with urllib.request.urlopen(
+            server.url + f"/v1/jobs/{doc['id']}/events", timeout=120
+        ) as resp:
+            assert resp.headers["Content-Type"] == "application/x-ndjson"
+            events = [json.loads(line) for line in resp]
+        kinds = [ev["event"] for ev in events]
+        assert kinds[0] == "snapshot"
+        assert kinds[-1] == "done"
+        assert kinds.count("cell") == len(SIZES)
+
+    def test_jobs_disabled_without_jobs_dir(self):
+        with ServiceServer(SimService(cache_capacity=4)) as server:
+            status, doc = _post(server.url, "/v1/jobs", _touch_body())
+            assert status == 400
+            assert doc["error"]["code"] == "jobs_disabled"
+            status, doc = _get(server.url, "/v1/jobs")
+            assert status == 400
+            assert doc["error"]["code"] == "jobs_disabled"
+
+    def test_invalid_job_body_is_400(self, server):
+        status, doc = _post(server.url, "/v1/jobs", {"kind": "mystery"})
+        assert status == 400
+        assert doc["error"]["code"] == "bad_request"
+        assert "unknown job kind" in doc["error"]["message"]
+
+    def test_server_restart_readopts_and_result_is_identical(self, tmp_path):
+        """Kill the serving process mid-job (modulo in-process stand-in),
+        restart on the same --jobs-dir, and the finished document equals
+        an uninterrupted run's."""
+        from repro.parallel.sweep import touch_sweep
+
+        sizes = [256, 512, 1024, 2048]
+        jobs_dir = str(tmp_path / "jobs")
+        service = SimService(cache_capacity=32, jobs_dir=jobs_dir)
+        with ServiceServer(service) as server:
+            status, doc = _post(server.url, "/v1/jobs", _touch_body(sizes))
+            assert status == 202
+            job_id = doc["id"]
+            manager = service.job_manager
+            while (
+                manager.get(job_id).cells_done < 1
+                and not manager.get(job_id).terminal
+            ):
+                time.sleep(0.002)
+        # ServiceServer.close() stopped the runner at a cell edge; the
+        # manifest and ledger stay behind like after a kill -9
+
+        service2 = SimService(cache_capacity=32, jobs_dir=jobs_dir)
+        with ServiceServer(service2) as server:
+            deadline = time.monotonic() + 120
+            while True:
+                status, doc = _get(server.url, f"/v1/jobs/{job_id}")
+                if doc["state"] == "done":
+                    break
+                assert time.monotonic() < deadline
+                time.sleep(0.02)
+            status, resumed = _get(server.url, f"/v1/jobs/{job_id}/result")
+            assert status == 200
+        direct = json.loads(json.dumps(touch_sweep(sizes, f="x^0.5")))
+        assert _canon(resumed) == _canon(direct)
+
+
+# --------------------------------------------------------------- loadgen
+class TestJobModeLoadgen:
+    def test_job_bench_smoke(self):
+        from repro.service.loadgen import run_job_bench
+
+        doc = run_job_bench(smoke=True, clients=2, requests_per_client=6,
+                            hot_keys=2, seed=11,
+                            sizes=[256, 512, 1024, 2048])
+        assert doc["errors"] == 0
+        assert doc["results_identical"] is True
+        assert doc["job_s"] > 0
+        assert doc["job_with_restart_s"] > 0
+        assert set(doc["rounds"]) == {"baseline", "with_job"}
+        for round_doc in doc["rounds"].values():
+            assert round_doc["latency_p50_s"] is not None

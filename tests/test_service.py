@@ -323,23 +323,25 @@ class TestServer:
             yield srv
 
     def test_healthz(self, server):
-        status, doc = _get(server.url, "/healthz")
+        status, doc = _get(server.url, "/v1/healthz")
         assert status == 200
         assert doc["ok"] is True
+        assert doc["api"] == "v1"
+        assert doc["jobs_enabled"] is False
         assert "hmm" in doc["engines"]
         assert "sort" in doc["programs"]
 
     def test_run_then_metrics(self, server):
         body = _request().to_json()
-        status1, doc1, _ = _post(server.url, "/run", body)
-        status2, doc2, _ = _post(server.url, "/run", body)
+        status1, doc1, _ = _post(server.url, "/v1/run", body)
+        status2, doc2, _ = _post(server.url, "/v1/run", body)
         assert (status1, status2) == (200, 200)
         assert doc1["served"] == "computed"
         assert doc2["served"] == "cached"
         assert doc1["key"] == doc2["key"] == _request().key()
         assert doc1["result"] == doc2["result"]
 
-        status, metrics = _get(server.url, "/metrics")
+        status, metrics = _get(server.url, "/v1/metrics")
         assert status == 200
         assert metrics["schema"] == SERVICE_SCHEMA
         assert metrics["requests"]["served_computed"] == 1
@@ -347,32 +349,93 @@ class TestServer:
         assert metrics["requests"]["errors"] == 0
         assert metrics["cache"]["size"] == 1
         assert metrics["queue"]["limit"] == server.service.scheduler.queue_limit
+        assert metrics["jobs"]["enabled"] is False
+        assert metrics["http"]["deprecated_requests"] == 0
 
     def test_batch(self, server):
         body = {"requests": [_request(0).to_json(), _request(1).to_json(),
                              _request(0).to_json()]}
-        status, doc, _ = _post(server.url, "/batch", body)
+        status, doc, _ = _post(server.url, "/v1/batch", body)
         assert status == 200
         assert [r["served"] for r in doc["results"]] == [
             "computed", "computed", "cached",
         ]
 
+    def test_legacy_aliases_work_with_deprecation_header(self, server):
+        """Unprefixed paths serve identically, marked ``Deprecation``."""
+        body = _request().to_json()
+        status, legacy_doc, headers = _post(server.url, "/run", body)
+        assert status == 200
+        assert headers["Deprecation"] == "true"
+        status, v1_doc, v1_headers = _post(server.url, "/v1/run", body)
+        assert status == 200
+        assert "Deprecation" not in v1_headers
+        assert legacy_doc["result"] == v1_doc["result"]
+        # errors on legacy paths carry the header too
+        status, doc, headers = _post(server.url, "/run", {"engine": "nope"})
+        assert status == 400
+        assert headers["Deprecation"] == "true"
+        _, metrics = _get(server.url, "/v1/metrics")
+        assert metrics["http"]["deprecated_requests"] == 2
+
     @pytest.mark.parametrize("path,body,fragment", [
-        ("/run", {"engine": "nope", "program": "sort"}, "unknown engine"),
-        ("/run", "not an object", "JSON object"),
-        ("/batch", {"requests": []}, "non-empty list"),
-        ("/batch", {"nope": 1}, '"requests"'),
+        ("/v1/run", {"engine": "nope", "program": "sort"}, "unknown engine"),
+        ("/v1/run", "not an object", "JSON object"),
+        ("/v1/batch", {"requests": []}, "non-empty list"),
+        ("/v1/batch", {"nope": 1}, '"requests"'),
     ])
     def test_bad_request_is_400(self, server, path, body, fragment):
         status, doc, _ = _post(server.url, path, body)
         assert status == 400
-        assert fragment in doc["error"]
+        assert doc["error"]["code"] == "bad_request"
+        assert fragment in doc["error"]["message"]
 
     def test_unknown_endpoint_is_404(self, server):
-        status, doc = _get(server.url, "/nope")
-        assert status == 404
-        status, doc, _ = _post(server.url, "/nope", {})
-        assert status == 404
+        for status, doc in [
+            _get(server.url, "/nope"),
+            _get(server.url, "/v1/nope"),
+            _post(server.url, "/v1/nope", {})[:2],
+        ]:
+            assert status == 404
+            assert doc["error"]["code"] == "not_found"
+
+    def test_oversized_body_is_413_without_reading(self, server):
+        import http.client
+        import urllib.parse
+
+        from repro.service.server import MAX_BODY_BYTES
+
+        parsed = urllib.parse.urlsplit(server.url)
+        conn = http.client.HTTPConnection(parsed.hostname, parsed.port)
+        # declare a huge body but never send it: the server must answer
+        # from the Content-Length header alone and close the connection
+        conn.putrequest("POST", "/v1/run")
+        conn.putheader("Content-Type", "application/json")
+        conn.putheader("Content-Length", str(MAX_BODY_BYTES + 1))
+        conn.endheaders()
+        resp = conn.getresponse()
+        doc = json.loads(resp.read())
+        assert resp.status == 413
+        assert doc["error"]["code"] == "payload_too_large"
+        assert resp.headers["Connection"] == "close"
+        conn.close()
+
+    def test_error_envelope_schema_is_pinned(self, server):
+        """Every error body is exactly the envelope: one ``error`` object
+        with exactly ``code``/``message``/``retry_after_s``."""
+        cases = [
+            _post(server.url, "/v1/run", {"engine": "nope"})[:2],
+            _get(server.url, "/v1/nope"),
+            _post(server.url, "/run", "junk")[:2],  # legacy alias too
+        ]
+        for status, doc in cases:
+            assert status >= 400
+            assert set(doc) == {"error"}
+            assert set(doc["error"]) == {"code", "message", "retry_after_s"}
+            assert isinstance(doc["error"]["code"], str)
+            assert isinstance(doc["error"]["message"], str)
+            retry = doc["error"]["retry_after_s"]
+            assert retry is None or isinstance(retry, float)
 
     def test_backpressure_is_429_with_retry_after(self, monkeypatch):
         real = workers.TASKS[TASK_KIND]
@@ -388,19 +451,21 @@ class TestServer:
         service = SimService(queue_limit=1, retry_after_s=2.0)
         with ServiceServer(service) as server:
             blocker = threading.Thread(
-                target=_post, args=(server.url, "/run", _request(0).to_json())
+                target=_post,
+                args=(server.url, "/v1/run", _request(0).to_json()),
             )
             blocker.start()
             assert started.wait(timeout=10)
             status, doc, headers = _post(
-                server.url, "/run", _request(1).to_json()
+                server.url, "/v1/run", _request(1).to_json()
             )
             assert status == 429
             assert headers["Retry-After"] == "2"
-            assert doc["retry_after_s"] == 2.0
+            assert doc["error"]["code"] == "queue_full"
+            assert doc["error"]["retry_after_s"] == 2.0
             gate.set()
             blocker.join(timeout=30)
-            _, metrics = _get(server.url, "/metrics")
+            _, metrics = _get(server.url, "/v1/metrics")
             assert metrics["requests"]["rejected"] == 1
 
 
