@@ -24,6 +24,8 @@ from __future__ import annotations
 import math
 from typing import Callable
 
+import numpy as np
+
 from repro.dbsp.cluster import log2_exact
 from repro.dbsp.program import ProcView, Program, Superstep
 from repro.functions import AccessFunction, LogarithmicAccess, PolynomialAccess
@@ -36,6 +38,9 @@ def bitonic_sort_program(
 ) -> Program:
     """Build the bitonic n-sorting program for ``v = n`` processors."""
     log_v = log2_exact(v)
+    # custom keys may be arbitrary comparable objects; only the default
+    # integer keys are guaranteed to round-trip through an i8 column
+    vectorizable = make_key is None
     make_key = make_key or _hash_key()
 
     steps: list[Superstep] = []
@@ -48,13 +53,20 @@ def bitonic_sort_program(
                 log_v - j - 1,
                 _exchange_body(prev, k, j),
                 name=f"bitonic-k{k}-j{j}",
+                array_body=_array_exchange_body(prev, k, j),
             )
         )
-    steps.append(Superstep(0, _final_body(pairs[-1] if pairs else None),
-                           name="bitonic-final"))
+    last = pairs[-1] if pairs else None
+    steps.append(Superstep(0, _final_body(last), name="bitonic-final",
+                           array_body=_array_final_body(last)))
 
     return Program(
-        v, mu, steps, make_context=_sort_context(make_key), name=f"bitonic(n={v})"
+        v,
+        mu,
+        steps,
+        make_context=_sort_context(make_key),
+        name=f"bitonic(n={v})",
+        array_schema={"key": "i8"} if vectorizable else None,
     )
 
 
@@ -123,6 +135,64 @@ class _final_body:
         last = self.last
         if last is not None:
             _apply_exchange(view, last[0], last[1])
+        view.charge(1)
+
+    def __getstate__(self):
+        return self.last
+
+    def __setstate__(self, state):
+        self.last = state
+
+
+def _apply_exchange_array(view, k: int, j: int) -> None:
+    """Whole-machine version of :func:`_apply_exchange`.
+
+    Integer keys make the scalar tie-breaking branches (`other < mine`,
+    `mine > other`) coincide with ``np.minimum`` / ``np.maximum``.
+    """
+    other = view.inbox_payload
+    mine = view.ctx["key"]
+    keep_min = ((view.pids >> k) ^ (view.pids >> j)) & 1 == 0
+    view.ctx["key"] = np.where(
+        keep_min, np.minimum(mine, other), np.maximum(mine, other)
+    )
+
+
+class _array_exchange_body:
+    """Array counterpart of :class:`_exchange_body` (picklable)."""
+
+    __slots__ = ("prev", "bit")
+
+    def __init__(self, prev: tuple[int, int] | None, k: int, j: int):
+        self.prev = prev
+        self.bit = 1 << j
+
+    def __call__(self, view) -> None:
+        prev = self.prev
+        if prev is not None:
+            _apply_exchange_array(view, prev[0], prev[1])
+        view.send(view.pids ^ self.bit, view.ctx["key"])
+        view.charge(1)
+
+    def __getstate__(self):
+        return (self.prev, self.bit)
+
+    def __setstate__(self, state):
+        self.prev, self.bit = state
+
+
+class _array_final_body:
+    """Array counterpart of :class:`_final_body` (picklable)."""
+
+    __slots__ = ("last",)
+
+    def __init__(self, last: tuple[int, int] | None):
+        self.last = last
+
+    def __call__(self, view) -> None:
+        last = self.last
+        if last is not None:
+            _apply_exchange_array(view, last[0], last[1])
         view.charge(1)
 
     def __getstate__(self):

@@ -58,8 +58,12 @@ DEFAULT_BUDGET_S = 8.0
 #: bench document schema.  2 added ``cpu_count``, ``jobs`` and
 #: ``revision`` to the header — the context needed to interpret parallel
 #: results (a ``--jobs 4`` run on a 1-core host measures overhead, not
-#: speedup).  Documents with different schemas are not comparable.
-BENCH_SCHEMA = 2
+#: speedup).  3 added the ``vec`` rows to the matrix and stamps every
+#: engine cell with the ``engine`` and ``kernel`` that produced it (the
+#: same workload can now run on two kernels, so a cell must say which
+#: one it measured).  Documents with different schemas are not
+#: comparable.
+BENCH_SCHEMA = 3
 
 
 @dataclass(frozen=True)
@@ -83,9 +87,11 @@ class Workload:
 #: as the guest-side reference, and the two touching kernels
 WORKLOADS: tuple[Workload, ...] = (
     Workload("sort/hmm", "hmm", "sort", delivery_heavy=True),
+    Workload("sort/vec", "vec", "sort", delivery_heavy=True),
     Workload("sort/bt", "bt", "sort", delivery_heavy=True),
     Workload("sort/brent", "brent", "sort", delivery_heavy=True),
     Workload("fft-rec/hmm", "hmm", "fft-rec", delivery_heavy=True),
+    Workload("fft-rec/vec", "vec", "fft-rec", delivery_heavy=True),
     Workload("fft-rec/bt", "bt", "fft-rec", delivery_heavy=True),
     Workload("sort/direct", "direct", "sort"),
     Workload("touch/hmm", "touch-hmm", "-", start=1 << 14, cap=1 << 22),
@@ -111,7 +117,7 @@ def _run_engine_workload(
     except ValueError:
         return None  # e.g. matmul needs a power of 4
     opts = dict(w.opts)
-    if parallel.enabled and w.engine in ("hmm", "brent"):
+    if parallel.enabled and w.engine in ("hmm", "vec", "brent"):
         opts["parallel"] = parallel
     # raw engine throughput: span layer off, event counters on (the
     # throughput metric is charged words per second).  Older engine
@@ -149,6 +155,10 @@ def _run_engine_workload(
     rounds = res.counters.get("rounds", 0)
     return {
         "v": v,
+        "engine": w.engine,
+        # which execution kernel actually ran (hmm-family engines report
+        # it in meta; REPRO_ENGINE=vec flips it even for the hmm row)
+        "kernel": res.meta.get("kernel"),
         "wall_s": wall,
         "wall_s_total": total,
         "model_time": res.time,
@@ -181,6 +191,8 @@ def _run_touch_workload(kind: str, n: int) -> dict[str, Any]:
     wall = time.perf_counter() - t0
     return {
         "v": n,
+        "engine": kind,
+        "kernel": None,
         "wall_s": wall,
         "model_time": cost,
         "rounds": 0,

@@ -99,7 +99,7 @@ def _engine_opts(engine: str, args) -> dict:
     if engine == "brent":
         opts["v_host"] = args.v_host or max(1, args.v // 4)
     jobs = getattr(args, "jobs", None)
-    if jobs and jobs > 1 and engine in ("hmm", "brent"):
+    if jobs and jobs > 1 and engine in ("hmm", "vec", "brent"):
         opts["parallel"] = jobs
     return opts
 
@@ -137,12 +137,12 @@ def cmd_list(_args) -> int:
     for name, (_b, desc) in sorted(PROGRAMS.items()):
         print(f"  {name:10s} {desc}")
     print(f"\naccess functions: {FUNCTION_HELP}")
-    print("engines: direct | hmm | bt | brent | all")
+    print("engines: direct | hmm | vec | bt | brent | all")
     return 0
 
 
 def _engine_extra(res) -> str:
-    if res.engine == "hmm":
+    if res.engine in ("hmm", "vec"):
         return f"rounds={res.counters.get('rounds', 0)}"
     if res.engine == "bt":
         return f"block transfers={res.counters.get('block_transfers', 0)}"
@@ -157,7 +157,7 @@ def cmd_run(args) -> int:
     if args.engine == "direct":
         engines: list[str] = []
     elif args.engine == "all":
-        engines = ["hmm", "bt", "brent"]
+        engines = ["hmm", "vec", "bt", "brent"]
     else:
         engines = [args.engine]
 
@@ -261,13 +261,23 @@ def cmd_report(args) -> int:
 
 
 def cmd_bench(args) -> int:
-    from repro.bench import check_against, run_bench, write_bench
+    from repro.bench import WORKLOADS, check_against, run_bench, write_bench
 
+    workloads = WORKLOADS
+    if args.only:
+        workloads = tuple(w for w in WORKLOADS if args.only in w.name)
+        if not workloads:
+            raise SystemExit(
+                f"--only {args.only!r} matches no workload; have: "
+                f"{', '.join(w.name for w in WORKLOADS)}"
+            )
     echo = None if args.json else print
     if echo:
         mode = "smoke matrix" if args.smoke else "full matrix"
         extra = f", jobs={args.jobs}" if args.jobs > 1 else ""
         extra += ", distributed" if args.distribute else ""
+        if args.only:
+            extra += f", only '{args.only}'"
         echo(f"benchmarking simulator wall-clock throughput ({mode}, "
              f"budget {args.budget:g}s/workload{extra})")
     ledger = _open_ledger(args)
@@ -276,12 +286,13 @@ def cmd_bench(args) -> int:
             from repro.parallel.sweep import run_matrix_distributed
 
             doc = run_matrix_distributed(
+                workloads=workloads,
                 budget_s=args.budget, smoke=args.smoke,
                 parallel=args.jobs, echo=echo, ledger=ledger,
             )
         else:
             doc = run_bench(budget_s=args.budget, smoke=args.smoke, echo=echo,
-                            jobs=args.jobs, ledger=ledger)
+                            workloads=workloads, jobs=args.jobs, ledger=ledger)
     finally:
         if ledger is not None:
             ledger.close()
@@ -532,7 +543,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--f", type=parse_access_function, default="x^0.5",
                        help=f"access function: {FUNCTION_HELP}")
     p_run.add_argument("--engine", default="all",
-                       choices=["direct", "hmm", "bt", "brent", "all"])
+                       choices=["direct", "hmm", "vec", "bt", "brent", "all"])
     p_run.add_argument("--v-host", type=int, default=None,
                        help="host width for the brent engine (default v/4)")
     p_run.add_argument("--jobs", type=int, default=1,
@@ -555,7 +566,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_prof.add_argument("--f", type=parse_access_function, default="x^0.5",
                         help=f"access function: {FUNCTION_HELP}")
     p_prof.add_argument("--engine", default="bt",
-                        choices=["direct", "hmm", "bt", "brent"])
+                        choices=["direct", "hmm", "vec", "bt", "brent"])
     p_prof.add_argument("--v-host", type=int, default=None,
                         help="host width for the brent engine (default v/4)")
     p_prof.add_argument("--jobs", type=int, default=1,
@@ -575,6 +586,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="wall-clock budget per workload, seconds")
     p_bench.add_argument("--smoke", action="store_true",
                          help="reduced sweep caps (CI smoke job)")
+    p_bench.add_argument("--only", default=None, metavar="SUBSTR",
+                         help="run only workloads whose name contains "
+                              "SUBSTR (e.g. --only vec, --only sort/)")
     p_bench.add_argument("--output", default=None, metavar="PATH",
                          help="output JSON (default BENCH_sim_throughput.json)")
     p_bench.add_argument("--check", default=None, metavar="BASELINE",

@@ -61,11 +61,20 @@ class Superstep:
     and error messages.  A ``body`` of ``None`` denotes a dummy superstep
     (inserted by smoothing): no computation, no communication — only the
     synchronization structure of its label.
+
+    ``array_body`` is an optional whole-machine form of the same step:
+    called once with an array view (:class:`repro.sim.kernel.ArrayView`)
+    over column-store contexts, it must be semantically identical to
+    running ``body`` once per processor (the equivalence suites enforce
+    this for the built-in algorithms).  The vectorized simulation kernel
+    uses it when every non-dummy step of a program provides one; engines
+    without an array path ignore it.
     """
 
     label: int
     body: Callable[["ProcView"], None] | None
     name: str = ""
+    array_body: Callable[[Any], None] | None = None
 
     @property
     def is_dummy(self) -> bool:
@@ -93,6 +102,12 @@ class Program:
         Defaults to an empty dict per processor.
     name:
         For reports.
+    array_schema:
+        Optional column-store schema for the vectorized kernel: a mapping
+        of context field name to numpy dtype string (e.g.
+        ``{"key": "i8"}``).  Programs whose every context is exactly
+        these fields — and whose supersteps all carry ``array_body`` —
+        can be executed whole-superstep-at-a-time by the ``vec`` engine.
     """
 
     def __init__(
@@ -102,6 +117,7 @@ class Program:
         supersteps: Sequence[Superstep],
         make_context: Callable[[int], dict] | None = None,
         name: str = "program",
+        array_schema: dict[str, str] | None = None,
     ):
         self.tree = ClusterTree(v)
         if mu <= 0:
@@ -111,6 +127,7 @@ class Program:
         self.supersteps = list(supersteps)
         self.make_context = make_context or (lambda pid: {})
         self.name = name
+        self.array_schema = array_schema
         for idx, step in enumerate(self.supersteps):
             if not 0 <= step.label <= self.tree.log_v:
                 raise ValueError(
@@ -163,6 +180,7 @@ class Program:
             supersteps,
             make_context=self.make_context,
             name=self.name,
+            array_schema=self.array_schema,
         )
 
     def initial_contexts(self) -> list[dict]:
@@ -188,12 +206,20 @@ def concat_programs(first: Program, second: Program, name: str | None = None) ->
     seam: list[Superstep] = []
     if not first.ends_with_global_sync():
         seam.append(Superstep(0, DUMMY, name="concat-sync"))
+    # column schemas only survive concatenation when both halves agree —
+    # otherwise the composed program simply loses the array fast path
+    schema = (
+        first.array_schema
+        if first.array_schema == second.array_schema
+        else None
+    )
     return Program(
         first.v,
         first.mu,
         list(first.supersteps) + seam + list(second.supersteps),
         make_context=first.make_context,
         name=name or f"{first.name};{second.name}",
+        array_schema=schema,
     )
 
 

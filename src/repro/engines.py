@@ -20,7 +20,7 @@ writing one adapter and registering it — no per-engine special-casing
 anywhere downstream.
 
 >>> sorted(ENGINES)
-['brent', 'bt', 'direct', 'hmm']
+['brent', 'bt', 'direct', 'hmm', 'vec']
 >>> ENGINES["hmm"].description
 'D-BSP -> HMM simulation, Fig. 1 scheduler (Thm 5)'
 """
@@ -348,7 +348,8 @@ class HMMEngine:
         trace: str = "phases",
         **opts: Any,
     ) -> EngineResult:
-        res = HMMSimulator(f, trace=trace, **opts).simulate(program)
+        sim = HMMSimulator(f, trace=trace, **opts)
+        res = sim.simulate(program)
         return EngineResult(
             engine=self.name,
             time=res.time,
@@ -359,9 +360,35 @@ class HMMEngine:
             meta={"program": program.name, "f": f.name,
                   "v": program.v, "mu": program.mu,
                   "rounds": res.rounds,
+                  "kernel": sim.kernel,
                   "label_set": list(res.smoothed.label_set)},
             native=res,
         )
+
+
+class VecEngine(HMMEngine):
+    """The HMM simulation on the array-native superstep kernel.
+
+    Charged-model semantics are identical to ``hmm`` (same Fig. 1
+    schedule, bit-identical clocks, counters and spans — enforced by the
+    equivalence suites); only the wall-clock execution strategy differs:
+    the schedule is compiled once into a charge plan and bodies, message
+    delivery and charging run as whole-machine array operations
+    (:mod:`repro.sim.hmm_vec`).
+    """
+
+    name = "vec"
+    description = "D-BSP -> HMM simulation, vectorized kernel (Thm 5)"
+
+    def run(
+        self,
+        program: Program,
+        f: AccessFunction,
+        trace: str = "phases",
+        **opts: Any,
+    ) -> EngineResult:
+        opts.setdefault("kernel", "vec")
+        return super().run(program, f, trace=trace, **opts)
 
 
 class BTEngine:
@@ -433,7 +460,9 @@ class BrentEngine:
 #: the engine registry: every engine the package can run programs on
 ENGINES: dict[str, Engine] = {
     engine.name: engine
-    for engine in (DirectEngine(), HMMEngine(), BTEngine(), BrentEngine())
+    for engine in (
+        DirectEngine(), HMMEngine(), VecEngine(), BTEngine(), BrentEngine()
+    )
 }
 
 
@@ -456,7 +485,9 @@ def run(
         A :class:`~repro.dbsp.program.Program`, or the name of a bundled
         one (see :data:`PROGRAMS`) built for ``(v, mu)``.
     engine:
-        Registry key: ``direct`` | ``hmm`` | ``bt`` | ``brent``.
+        Registry key: ``direct`` | ``hmm`` | ``vec`` | ``bt`` |
+        ``brent`` (``vec`` is the ``hmm`` simulation on the vectorized
+        kernel — same charged results, much faster wall clock).
     f:
         Access/bandwidth function, as an object or a spec string
         (``x^0.5``, ``log``, ``const``, ``linear``, ``staircase``).

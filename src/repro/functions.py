@@ -88,19 +88,30 @@ class AccessFunction:
         The default applies the scalar :meth:`__call__` per element
         (``np.frompyfunc`` plus a float64 cast — the fastest generic
         fallback, but still a Python-level loop, roughly two orders of
-        magnitude slower than a vectorized override) and warns, so a new
-        access function cannot quietly de-vectorize
-        :class:`CostTable` construction.
+        magnitude slower than a vectorized override) and warns once per
+        instance, so a new access function cannot quietly de-vectorize
+        :class:`CostTable` construction.  The ufunc is built on the
+        first call and cached on the instance — rebuilding it (and
+        re-warning) on every call made repeated table construction
+        measurably slower and drowned the warning in duplicates.
         """
-        warnings.warn(
-            f"{type(self).__name__} does not override evaluate(); "
-            f"falling back to per-element scalar evaluation, which makes "
-            f"CostTable construction ~100x slower — add a vectorized "
-            f"evaluate() override",
-            VectorizationWarning,
-            stacklevel=2,
-        )
-        ufunc = np.frompyfunc(self.__call__, 1, 1)
+        ufunc = getattr(self, "_evaluate_ufunc", None)
+        if ufunc is None:
+            warnings.warn(
+                f"{type(self).__name__} does not override evaluate(); "
+                f"falling back to per-element scalar evaluation, which makes "
+                f"CostTable construction ~100x slower — add a vectorized "
+                f"evaluate() override",
+                VectorizationWarning,
+                stacklevel=2,
+            )
+            ufunc = np.frompyfunc(self.__call__, 1, 1)
+            try:
+                # most access functions are frozen dataclasses: go around
+                # the immutability for this private cache slot
+                object.__setattr__(self, "_evaluate_ufunc", ufunc)
+            except (AttributeError, TypeError):
+                pass  # __slots__ without the field: stay uncached
         return ufunc(np.asarray(xs, dtype=np.float64)).astype(np.float64)
 
     def star(self, n: float) -> int:

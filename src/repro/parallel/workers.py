@@ -41,7 +41,34 @@ from typing import Any, Callable
 
 from repro.dbsp.program import Message, Program, Superstep
 
-__all__ = ["TASKS", "_OffsetBody"]
+__all__ = ["TASKS", "_OffsetBody", "_OffsetArrayBody"]
+
+
+class _OffsetArrayBody:
+    """Array-body counterpart of :class:`_OffsetBody`.
+
+    Wraps a superstep's ``array_body`` in the pid-translating
+    :class:`~repro.sim.kernel.GlobalizedArrayView`, so the vectorized
+    kernel inside a worker presents global pids to bodies while running
+    on the cluster-local sub-machine.
+    """
+
+    __slots__ = ("body", "offset", "v_global", "label_shift")
+
+    def __init__(self, body, offset: int, v_global: int, label_shift: int = 0):
+        self.body = body
+        self.offset = offset
+        self.v_global = v_global
+        self.label_shift = label_shift
+
+    def __call__(self, view) -> None:
+        from repro.sim.kernel import GlobalizedArrayView
+
+        self.body(
+            GlobalizedArrayView(
+                view, self.offset, self.v_global, self.label_shift
+            )
+        )
 
 
 class _OffsetBody:
@@ -94,6 +121,9 @@ def _wrap_steps(
             if s.body is None
             else _OffsetBody(s.body, offset, v_global, label_shift),
             name=s.name,
+            array_body=None
+            if s.array_body is None
+            else _OffsetArrayBody(s.array_body, offset, v_global, label_shift),
         )
         for s in steps
     ]
@@ -106,14 +136,14 @@ def _hmm_segment(args: tuple) -> tuple:
     from repro.sim.smoothing import smooth_program
 
     common, offset, contexts, pending, want_spans = args
-    (f, c2, check, v_sub, mu, label_shift, steps, label_set, counters_on, v_global) = (
-        pickle.loads(common)
-    )
+    (f, c2, check, v_sub, mu, label_shift, steps, label_set, counters_on,
+     v_global, array_schema, kernel) = pickle.loads(common)
     program = Program(
         v_sub,
         mu,
         _wrap_steps(steps, offset, v_global, label_shift),
         name="hmm-segment",
+        array_schema=array_schema,
     )
     # parallel=1: never nest pools inside a worker (REPRO_JOBS would
     # otherwise re-resolve here)
@@ -123,6 +153,7 @@ def _hmm_segment(args: tuple) -> tuple:
         check_invariants=check,
         trace="counters" if counters_on else "off",
         parallel=1,
+        kernel=kernel,
     )
     # the shifted segment is already L-smooth for the shifted label set,
     # so smoothing is an identity transform here (no dummies, no label
@@ -147,7 +178,7 @@ def _brent_host(args: tuple) -> tuple:
     from repro.sim.hmm_sim import HMMSimulator
 
     common, offset, contexts, pending = args
-    (g, c2, v_sub, mu, steps, v_global, trace_off) = pickle.loads(common)
+    (g, c2, v_sub, mu, steps, v_global, trace_off, kernel) = pickle.loads(common)
     program = Program(
         v_sub,
         mu,
@@ -160,6 +191,7 @@ def _brent_host(args: tuple) -> tuple:
         check_invariants="off",
         trace="off" if trace_off else "counters",
         parallel=1,
+        kernel=kernel,
     )
     res = sim.simulate(
         program,

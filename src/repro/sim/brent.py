@@ -28,7 +28,6 @@ hierarchies seamlessly.
 
 from __future__ import annotations
 
-from bisect import insort
 from dataclasses import dataclass, field
 from typing import Any, Literal
 
@@ -39,6 +38,7 @@ from repro.obs.counters import NULL_COUNTERS, Counters
 from repro.obs.trace import NULL_TRACER, SpanRecord, Tracer
 from repro.parallel.config import ParallelConfig, resolve_parallel, warn_fallback_once
 from repro.sim.hmm_sim import HMMSimulator
+from repro.sim.kernel import deliver_sorted
 
 __all__ = ["BrentSimulator", "BrentSimResult", "RunRecord", "BRENT_PHASES"]
 
@@ -125,6 +125,7 @@ class BrentSimulator:
         c2: float = 0.5,
         trace: Literal["off", "counters", "phases", "full"] = "phases",
         parallel: "ParallelConfig | int | None" = None,
+        kernel: Literal["scalar", "vec"] | None = None,
     ):
         self.g = g
         self.v_host = v_host
@@ -133,6 +134,9 @@ class BrentSimulator:
         if trace not in ("off", "counters", "phases", "full"):
             raise ValueError(f"unknown trace level {trace!r}")
         self.trace = trace
+        #: execution kernel for the embedded Section 3 fine runs — passed
+        #: through to HMMSimulator (``None`` reads ``REPRO_ENGINE``)
+        self.kernel = kernel
         # host-parallelism policy: with jobs > 1, the independent per-host
         # fine runs are dispatched to worker processes; charged time,
         # counters and breakdowns stay bit-identical to the serial path
@@ -350,15 +354,19 @@ class _BrentRun:
         pending = self.pending
         max_filing = 0.0
         n_delivered = 0
+        all_outgoing: list[tuple[int, Message]] = []
         for host in range(self.v_host):
             box = deliveries[host]
             n_delivered += len(box)
             host_filing = 0.0
-            for dest, msg in box:
+            for dest, _msg in box:
                 host_filing += file_cost[dest % g_per_host]
-                insort(pending[dest], msg)
             if host_filing > max_filing:
                 max_filing = host_filing
+            all_outgoing.extend(box)
+        # host-order concatenation preserves the per-message insort tie
+        # order, so the batched delivery rebuilds identical inboxes
+        deliver_sorted(pending, all_outgoing)
         self.time += max_filing + 1.0
         self.tracer.close()
         self.counters.add("messages", n_delivered)
@@ -406,6 +414,7 @@ class _BrentRun:
                 else "phases"
             ),
             parallel=1,
+            kernel=self.sim.kernel,
         )
         # one shared Program for all hosts: its smoothing (and the label
         # set) is computed once by the first host's simulate() call and
@@ -486,6 +495,7 @@ class _BrentRun:
                     payload_steps,
                     self.v,
                     self.sim.trace == "off",
+                    self.sim.kernel,
                 )
             )
             payloads = []

@@ -32,7 +32,6 @@ block transfer hides the access costs almost completely.
 from __future__ import annotations
 
 import math
-from bisect import insort
 from dataclasses import dataclass, field
 from typing import Literal
 
@@ -43,6 +42,7 @@ from repro.dbsp.program import Message, ProcView, Program
 from repro.functions import AccessFunction
 from repro.obs.counters import NULL_COUNTERS, Counters
 from repro.obs.trace import NULL_TRACER, SpanRecord, Tracer
+from repro.sim.kernel import deliver_sorted
 from repro.sim.smoothing import SmoothedProgram, build_label_set_bt, smooth_program
 
 __all__ = ["BTSimulator", "BTSimResult", "LayoutSnapshot", "BT_PHASES"]
@@ -573,8 +573,7 @@ class _BTSimRun:
             t0 = machine.time
             machine.charge(float(m) * self.sim.f.star(m))
             tracer.add_leaf("transpose-route", "delivery", t0, machine.time)
-            for dest, msg in outgoing:
-                insort(self.pending[dest], msg)
+            deliver_sorted(self.pending, outgoing)
             return
         else:
             # operational delivery sort: order the cluster's elements by
@@ -596,9 +595,7 @@ class _BTSimRun:
         tracer.add_leaf("ALIGN", "delivery", t0, machine.time)
 
         # semantics: file every message into its destination's buffer
-        pending = self.pending
-        for dest, msg in outgoing:
-            insort(pending[dest], msg)
+        deliver_sorted(self.pending, outgoing)
 
     def _align_cost(self, n: int) -> float:
         """Cost recursion of ALIGN(n): T(n) = 2 T(n/2) + O(mu n)."""

@@ -27,6 +27,7 @@ an optimal ``Theta(T v)`` (Corollary 6).
 
 from __future__ import annotations
 
+import os
 from array import array
 from bisect import insort
 from dataclasses import dataclass, field
@@ -197,6 +198,17 @@ class HMMSimulator:
         path (only wall clock changes).  Incompatible observability
         modes (``trace="full"``, ``record_trace``,
         ``check_invariants="full"``) silently run serially.
+    kernel:
+        ``"scalar"`` runs the round loop one charge at a time (the
+        reference path); ``"vec"`` compiles the schedule into a
+        :class:`~repro.sim.hmm_vec.ChargePlan` and executes whole
+        supersteps as array programs — charged time, counters,
+        breakdowns and spans stay **bit-identical** (only wall clock
+        changes).  ``None`` reads ``REPRO_ENGINE`` from the environment
+        (``vec`` selects the vectorized kernel; anything else, or
+        unset, selects scalar).  Modes the vectorized kernel does not
+        cover (``record_trace``, ``check_invariants="full"``, the
+        parallel driver's inline serial bursts) silently run scalar.
     """
 
     def __init__(
@@ -208,6 +220,7 @@ class HMMSimulator:
         max_trace_rounds: int = 4096,
         trace: Literal["off", "counters", "phases", "full"] = "phases",
         parallel: "ParallelConfig | int | None" = None,
+        kernel: Literal["scalar", "vec"] | None = None,
     ):
         self.f = f
         self.c2 = c2
@@ -218,6 +231,11 @@ class HMMSimulator:
             raise ValueError(f"unknown trace level {trace!r}")
         self.trace = trace
         self.parallel = resolve_parallel(parallel)
+        if kernel is None:
+            kernel = "vec" if os.environ.get("REPRO_ENGINE") == "vec" else "scalar"
+        if kernel not in ("scalar", "vec"):
+            raise ValueError(f"unknown kernel {kernel!r}")
+        self.kernel = kernel
         # per-(v, mu) charged-cost lists shared by every run on this
         # simulator — the Brent engine re-enters simulate() once per host
         # per fine run, always with the same program shape
@@ -390,7 +408,31 @@ class _HMMSimRun:
         inter-cluster context swaps of a round whose *next* superstep is
         at or past ``stop``) still runs, so the state at the cut is
         bit-identical to a full serial run paused at the same point.
+
+        Full runs on a ``kernel="vec"`` simulator are dispatched to the
+        vectorized kernel (:mod:`repro.sim.hmm_vec`); partial runs
+        (``stop``) and the modes the kernel does not cover fall through
+        to the scalar loop.  Both produce the identical charge sequence,
+        so the choice is invisible to everything downstream.
         """
+        if stop is None and self.sim.kernel == "vec" and self._vec_ok():
+            from repro.sim.hmm_vec import execute_vec
+
+            execute_vec(self)
+            return
+        self._execute_scalar(stop)
+
+    def _vec_ok(self) -> bool:
+        sim = self.sim
+        return (
+            not sim.record_trace
+            and sim.check_invariants != "full"
+            and not isinstance(self.tape_rec, SpanTape)
+            and self.round_index == 0
+        )
+
+    def _execute_scalar(self, stop: int | None = None) -> None:
+        """The reference round loop, one elementary charge at a time."""
         steps = self.steps
         n_steps = len(steps)
         limit = n_steps if stop is None else min(stop, n_steps)
@@ -665,7 +707,9 @@ class _HMMSimRun:
         want_spans = self.tracer is not NULL_TRACER
         steps = self.steps
         sub_steps = [
-            Superstep(s.label - l1, s.body, name=s.name)
+            Superstep(
+                s.label - l1, s.body, name=s.name, array_body=s.array_body
+            )
             for s in steps[pos:end]
         ]
         sub_label_set = [
@@ -683,6 +727,8 @@ class _HMMSimRun:
                 sub_label_set,
                 counters_on,
                 self.v,
+                self.program.array_schema,
+                sim.kernel,
             )
         )
         payloads = []

@@ -218,7 +218,14 @@ def _smooth_program_uncached(
                     Superstep(label_set[k], DUMMY, name=f"dummy-l{label_set[k]}")
                 )
                 origin.append(None)
-        new_steps.append(Superstep(label_set[idx], step.body, name=step.name))
+        new_steps.append(
+            Superstep(
+                label_set[idx],
+                step.body,
+                name=step.name,
+                array_body=step.array_body,
+            )
+        )
         origin.append(orig_pos)
         prev_idx = idx
 

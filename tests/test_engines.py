@@ -25,11 +25,12 @@ from repro.sim.brent import BRENT_PHASES
 from repro.sim.bt_sim import BT_PHASES
 from repro.sim.hmm_sim import HMM_PHASES
 
-ALL_ENGINES = ("direct", "hmm", "bt", "brent")
+ALL_ENGINES = ("direct", "hmm", "vec", "bt", "brent")
 
 PHASES_OF = {
     "direct": DBSP_PHASES,
     "hmm": HMM_PHASES,
+    "vec": HMM_PHASES,
     "bt": BT_PHASES,
     "brent": BRENT_PHASES,
 }

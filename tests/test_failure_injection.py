@@ -35,7 +35,7 @@ class TestHMMSimInjection:
         monkeypatch.setattr(hmm_sim_module, "_HMMSimRun", Buggy)
         prog = random_program(16, labels=[2, 0], seed=1)
         with pytest.raises(AssertionError, match="Invariant"):
-            HMMSimulator(F, check_invariants="top").simulate(
+            HMMSimulator(F, check_invariants="top", kernel="scalar").simulate(
                 prog, label_set=[0, 1, 2, 3, 4]
             )
 
@@ -50,7 +50,7 @@ class TestHMMSimInjection:
         monkeypatch.setattr(hmm_sim_module, "_HMMSimRun", Buggy)
         prog = random_program(16, labels=[2, 2, 0], seed=2)
         with pytest.raises(AssertionError, match="Invariant"):
-            HMMSimulator(F, check_invariants="top").simulate(
+            HMMSimulator(F, check_invariants="top", kernel="scalar").simulate(
                 prog, label_set=[0, 2, 4]
             )
 
@@ -82,7 +82,8 @@ class TestHMMSimInjection:
         prog = random_program(8, labels=[1, 1, 0], seed=3)
         want = [c["w"] for c in DBSPMachine(F).run(prog.with_global_sync()).contexts]
         got = [c["w"] for c in
-               HMMSimulator(F, check_invariants="off").simulate(prog).contexts]
+               HMMSimulator(F, check_invariants="off",
+                            kernel="scalar").simulate(prog).contexts]
         assert got != want
 
     def test_stale_cluster_trips_readiness_invariant(self, monkeypatch):
@@ -97,7 +98,7 @@ class TestHMMSimInjection:
         monkeypatch.setattr(hmm_sim_module, "_HMMSimRun", Buggy)
         prog = random_program(8, labels=[1, 0], seed=4)
         with pytest.raises(AssertionError, match="Invariant 1"):
-            HMMSimulator(F, check_invariants="top").simulate(prog)
+            HMMSimulator(F, check_invariants="top", kernel="scalar").simulate(prog)
 
 
 class TestBTSimInjection:

@@ -311,9 +311,9 @@ def test_merge_span_lists_shifts_indices():
 
 
 # ----------------------------------------------------- bench satellites
-def test_bench_header_schema_two():
+def test_bench_header_schema_three():
     doc = bench_header(1.0, smoke=True, jobs=4)
-    assert doc["schema"] == BENCH_SCHEMA == 2
+    assert doc["schema"] == BENCH_SCHEMA == 3
     assert doc["cpu_count"] >= 1
     assert doc["jobs"] == 4
     assert "revision" in doc

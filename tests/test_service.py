@@ -160,7 +160,6 @@ class TestSimRequest:
     @pytest.mark.parametrize("body,fragment", [
         ([], "JSON object"),
         ({"engine": "hmm"}, "missing the 'program'"),
-        ({"program": "sort"}, "missing the 'engine'"),
         ({"engine": "hmm", "program": "sort", "bogus": 1}, "unknown request field"),
         ({"engine": "nope", "program": "sort"}, "unknown engine"),
         ({"engine": "hmm", "program": "nope"}, "unknown program"),
@@ -172,6 +171,13 @@ class TestSimRequest:
     def test_validation_errors(self, body, fragment):
         with pytest.raises(ValueError, match=fragment):
             SimRequest.from_json(body)
+
+    def test_engine_defaults_to_vec(self):
+        # a body without an engine picks the vectorized kernel — charged
+        # results are bit-identical to hmm, the wall clock is not
+        req = SimRequest.from_json({"program": "sort"})
+        assert req.engine == "vec"
+        req.validate()
 
     def test_bad_access_function_rejected(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,339 @@
+"""The vectorized superstep kernel: bit-identity, composition, contract.
+
+The ``vec`` engine's whole claim is *exact* equivalence — ``==`` on
+charged time, counters, breakdowns, contexts, and span tapes, not
+``approx``.  These tests pin that claim against every scalar engine,
+across trace levels, under ``--jobs`` folding, inside Brent fine runs,
+and with fault injection armed; they also exercise the array-kernel
+contract errors and the primitives (`deliver_sorted`, the plan cache,
+the access-function ufunc cache) the kernel is built from.
+"""
+
+from __future__ import annotations
+
+import warnings
+from bisect import insort
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dbsp.machine import DBSPMachine
+from repro.dbsp.program import Message
+from repro.engines import ENGINES, build_program, run
+from repro.functions import (
+    AccessFunction,
+    LogarithmicAccess,
+    PolynomialAccess,
+    VectorizationWarning,
+)
+from repro.sim.brent import BrentSimulator
+from repro.sim.hmm_sim import HMMSimulator
+from repro.sim.hmm_vec import plan_cache_info
+from repro.sim.kernel import ArrayView, deliver_sorted, interleave2, ranges_concat
+from repro.testing import random_program
+from tests.conftest import ACCESS_FUNCTIONS, program_zoo
+
+F = PolynomialAccess(0.5)
+
+
+def scalar_vs_vec(prog, f=F, trace="counters", **opts):
+    """Run one program under both kernels with identical options."""
+    s = HMMSimulator(f, kernel="scalar", trace=trace, **opts).simulate(prog)
+    v = HMMSimulator(f, kernel="vec", trace=trace, **opts).simulate(prog)
+    return s, v
+
+
+def assert_identical(s, v):
+    """``==`` everywhere — the vec kernel promises bit-identity."""
+    assert v.time == s.time
+    assert v.contexts == s.contexts
+    assert v.counters == s.counters
+    assert v.breakdown == s.breakdown
+    assert v.trace == s.trace
+
+
+# ------------------------------------------------------------ equivalence
+class TestZooEquivalence:
+    """Every library program, every trace level, several access functions."""
+
+    @pytest.mark.parametrize("trace", ["counters", "phases", "full"])
+    def test_zoo_bit_identical(self, trace):
+        for prog, _ in program_zoo(16):
+            s, v = scalar_vs_vec(prog, trace=trace)
+            assert_identical(s, v)
+
+    @pytest.mark.parametrize("f", ACCESS_FUNCTIONS, ids=lambda f: f.name)
+    def test_zoo_across_access_functions(self, f):
+        for prog, _ in program_zoo(16)[:4]:  # the algorithmic programs
+            s, v = scalar_vs_vec(prog, f=f)
+            assert_identical(s, v)
+
+    @pytest.mark.parametrize("name", ["sort", "fft-rec", "fft-dag"])
+    def test_vec_engine_matches_all_scalar_engines(self, name):
+        """The registry-level check: vec agrees with hmm exactly and
+        with every other engine on the computed contexts."""
+        vec = run(name, engine="vec", v=16, baseline=False)
+        hmm = run(name, engine="hmm", v=16, baseline=False)
+        assert vec.time == hmm.time
+        assert vec.counters == hmm.counters
+        assert vec.breakdown == hmm.breakdown
+        assert vec.contexts == hmm.contexts
+        for other in ("direct", "bt", "brent"):
+            res = run(name, engine=other, v=16, baseline=False)
+            assert vec.contexts == res.contexts, other
+
+    def test_vec_engine_reports_kernel_in_meta(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        res = run("sort", engine="vec", v=16, baseline=False)
+        assert res.meta["kernel"] == "vec"
+        scalar = run("sort", engine="hmm", v=16, baseline=False)
+        assert scalar.meta["kernel"] == "scalar"
+
+
+class TestPropertyEquivalence:
+    """Seeded random programs (scalar bodies → the per-pid vec path)."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 2**16),
+        log_v=st.integers(2, 5),
+        n_steps=st.integers(1, 6),
+    )
+    def test_random_programs_bit_identical(self, seed, log_v, n_steps):
+        prog = random_program(1 << log_v, n_steps=n_steps, seed=seed)
+        s, v = scalar_vs_vec(prog, trace="full")
+        assert_identical(s, v)
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_random_programs_match_direct(self, seed):
+        prog = random_program(16, n_steps=4, seed=seed)
+        want = [c["w"] for c in DBSPMachine(F).run(prog.with_global_sync()).contexts]
+        v = HMMSimulator(F, kernel="vec").simulate(prog)
+        assert [c["w"] for c in v.contexts] == want
+
+
+class TestComposition:
+    """The kernel composes with --jobs folding and Brent fine runs."""
+
+    @pytest.mark.parametrize("name", ["sort", "fft-rec"])
+    def test_jobs_two_tape_identical(self, name):
+        prog = build_program(name, 16)
+        serial = HMMSimulator(F, kernel="scalar", trace="full").simulate(prog)
+        par = HMMSimulator(
+            F, kernel="vec", parallel=2, trace="full"
+        ).simulate(prog)
+        assert_identical(serial, par)
+
+    @pytest.mark.parametrize("seed", [11, 12])
+    def test_jobs_two_random_program(self, seed):
+        prog = random_program(16, n_steps=4, seed=seed)
+        serial = HMMSimulator(F, kernel="scalar").simulate(prog)
+        par = HMMSimulator(F, kernel="vec", parallel=2).simulate(prog)
+        assert_identical(serial, par)
+
+    def test_brent_fine_runs_use_vec_identically(self):
+        prog = build_program("sort", 16)
+        scalar = BrentSimulator(F, v_host=4, kernel="scalar").simulate(prog)
+        vec = BrentSimulator(F, v_host=4, kernel="vec").simulate(prog)
+        assert vec.time == scalar.time
+        assert vec.contexts == scalar.contexts
+        assert vec.counters == scalar.counters
+
+
+class TestKernelSelection:
+    def test_default_is_scalar(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        assert HMMSimulator(F).kernel == "scalar"
+
+    def test_env_var_selects_vec(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "vec")
+        assert HMMSimulator(F).kernel == "vec"
+        # an explicit kernel= wins over the environment
+        assert HMMSimulator(F, kernel="scalar").kernel == "scalar"
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            HMMSimulator(F, kernel="simd")
+
+    def test_vec_engine_registered(self):
+        assert "vec" in ENGINES
+        assert "vec" in ENGINES["vec"].description.lower()
+
+    def test_scalar_fallback_modes_stay_identical(self):
+        """Modes execute_vec does not cover (full invariant checks)
+        silently fall back to scalar — results must be unchanged."""
+        prog = build_program("sort", 16)
+        s = HMMSimulator(F, kernel="scalar", check_invariants="full").simulate(prog)
+        v = HMMSimulator(F, kernel="vec", check_invariants="full").simulate(prog)
+        assert_identical(s, v)
+
+
+class TestPlanCache:
+    def test_plan_is_reused_and_bounded(self):
+        prog = build_program("sort", 16)
+        HMMSimulator(F, kernel="vec").simulate(prog)
+        size_after_first = plan_cache_info()["size"]
+        HMMSimulator(F, kernel="vec").simulate(prog)
+        info = plan_cache_info()
+        assert info["size"] == size_after_first  # second run hit the cache
+        assert info["size"] <= info["max"]
+
+    def test_cache_never_exceeds_max(self):
+        for v in (4, 8, 16, 32):
+            for seed in (1, 2, 3):
+                prog = random_program(v, n_steps=2, seed=seed)
+                HMMSimulator(F, kernel="vec").simulate(prog)
+        info = plan_cache_info()
+        assert info["size"] <= info["max"]
+
+
+# ----------------------------------------------------------------- chaos
+class TestChaosCleanRuns:
+    """REPRO_FAULTS armed: the vec kernel keeps its bit-identity promise
+    (mirrors TestGuardsStayQuietOnCorrectEngine for the scalar engines)."""
+
+    @pytest.mark.parametrize("seed", [1, 3, 5, 7])
+    def test_faults_env_does_not_perturb_results(
+        self, seed, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv(
+            "REPRO_FAULTS", f"seed={seed},kill=1.0,dir={tmp_path / 'marks'}"
+        )
+        prog = random_program(16, n_steps=4, seed=seed)
+        want = [c["w"] for c in DBSPMachine(F).run(prog.with_global_sync()).contexts]
+        s, v = scalar_vs_vec(prog, trace="full")
+        assert_identical(s, v)
+        assert [c["w"] for c in v.contexts] == want
+
+
+# ------------------------------------------------------------ primitives
+class TestDeliverSorted:
+    def _reference(self, n_pids, outgoing, pending=None):
+        pending = pending or [[] for _ in range(n_pids)]
+        for dest, msg in outgoing:
+            insort(pending[dest], msg)
+        return pending
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        n=st.integers(0, 60),
+        seed=st.integers(0, 2**16),
+    )
+    def test_matches_insort_loop(self, n, seed):
+        rng = np.random.default_rng(seed)
+        n_pids = 8
+        outgoing = [
+            (int(rng.integers(n_pids)), Message(int(rng.integers(n_pids)), i))
+            for i in range(n)
+        ]
+        want = self._reference(n_pids, outgoing)
+        got = [[] for _ in range(n_pids)]
+        deliver_sorted(got, list(outgoing))
+        assert got == want
+
+    def test_nonempty_inbox_fallback_keeps_tie_order(self):
+        """Pre-existing messages with equal src sort before the batch,
+        the insort_right tie order."""
+        n_pids, src = 4, 2
+        pending = [[Message(src, "old")] for _ in range(n_pids)]
+        outgoing = [(d, Message(src, f"new{i}")) for i in range(20) for d in range(n_pids)]
+        want = self._reference(
+            n_pids, outgoing, [list(box) for box in pending]
+        )
+        deliver_sorted(pending, outgoing)
+        assert pending == want
+
+    def test_small_batch_uses_insort_path(self):
+        pending = [[], []]
+        deliver_sorted(pending, [(1, Message(0, "a")), (0, Message(1, "b"))])
+        assert pending == [[Message(1, "b")], [Message(0, "a")]]
+
+
+class TestArrayViewContract:
+    def _view(self, n=4, v=4, mu=2, label=0):
+        return ArrayView(
+            np.arange(n),
+            v,
+            mu,
+            label,
+            {"key": np.zeros(n)},
+            None,
+            None,
+        )
+
+    def test_send_must_be_full_width(self):
+        view = self._view()
+        with pytest.raises(ValueError, match="full-width"):
+            view.send(np.array([0, 1]), np.zeros(2))
+
+    def test_send_rejects_out_of_range_dest(self):
+        view = self._view()
+        with pytest.raises(ValueError, match="destination outside"):
+            view.send(np.array([0, 1, 2, 4]), np.zeros(4))
+
+    def test_send_rejects_cross_cluster(self):
+        view = self._view(label=1)  # clusters {0,1} and {2,3}
+        with pytest.raises(ValueError, match="cluster boundary"):
+            view.send(np.array([2, 3, 0, 1]), np.zeros(4))
+
+    def test_send_respects_mu(self):
+        view = self._view(mu=1)
+        dest = np.array([1, 0, 3, 2])
+        view.send(dest, np.zeros(4))
+        with pytest.raises(ValueError, match="mu=1"):
+            view.send(dest, np.zeros(4))
+
+    def test_negative_charge_rejected(self):
+        view = self._view()
+        with pytest.raises(ValueError, match="negative"):
+            view.charge(-1.0)
+        with pytest.raises(ValueError, match="negative"):
+            view.charge(np.array([1.0, 1.0, -0.5, 1.0]))
+
+    def test_ranges_concat_matches_python(self):
+        starts = [3, 0, 7, 7]
+        lengths = [2, 0, 3, 1]
+        want = np.concatenate(
+            [np.arange(s, s + l) for s, l in zip(starts, lengths)]
+        )
+        assert (ranges_concat(starts, lengths) == want).all()
+        assert ranges_concat([], []).size == 0
+
+    def test_interleave2(self):
+        out = interleave2(np.array([1.0, 3.0]), np.array([2.0, 4.0]))
+        assert out.tolist() == [1.0, 2.0, 3.0, 4.0]
+
+
+# ------------------------------------------------- access-function ufunc
+class TestEvaluateFallbackCache:
+    class _Slow(AccessFunction):
+        name = "slow"
+
+        def __call__(self, x: float) -> float:
+            return float(x) ** 0.5
+
+    def test_warns_exactly_once_per_instance(self):
+        f = self._Slow()
+        xs = np.arange(4.0)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            first = f.evaluate(xs)
+            second = f.evaluate(xs)
+        vec_warnings = [
+            w for w in caught if issubclass(w.category, VectorizationWarning)
+        ]
+        assert len(vec_warnings) == 1
+        assert (first == second).all()
+        assert (first == np.sqrt(xs)).all()
+
+    def test_fresh_instance_warns_again(self):
+        with pytest.warns(VectorizationWarning):
+            self._Slow().evaluate(np.arange(3.0))
+
+    def test_overriding_subclasses_stay_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", VectorizationWarning)
+            PolynomialAccess(0.5).evaluate(np.arange(8.0))
+            LogarithmicAccess().evaluate(np.arange(1.0, 9.0))
