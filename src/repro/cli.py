@@ -13,8 +13,10 @@
     python -m repro bench --distribute --jobs 4 --resume bench.ledger
     python -m repro serve --port 8173 --jobs 2 --checkpoint cache.ledger
     python -m repro serve --port 8173 --jobs 2 --jobs-dir jobs/
+    python -m repro serve --port 8173 --shards 2 --shard-dir shards/
     python -m repro loadgen --url http://127.0.0.1:8173 --smoke
     python -m repro loadgen --job-mode --smoke
+    python -m repro loadgen --open-loop --smoke
     python -m repro list
     python -m repro --version
 
@@ -36,10 +38,15 @@ pair).  ``serve`` exposes the engines over HTTP under a versioned
 ``GET /v1/metrics``) with a content-addressed result cache,
 single-flight coalescing and 429 backpressure; ``--jobs-dir`` enables
 background sweep jobs that checkpoint per cell and are resumed by a
-restarted server.  ``loadgen`` drives a server with a closed-loop
+restarted server; ``--shards N`` runs the sharded tier instead — N
+shard processes (consistent hashing on the content key, one
+ledger-backed cache each) behind a health-probing failover router.
+``loadgen`` drives a server with a closed-loop
 hot/cold client mix and writes ``BENCH_service_throughput.json``
 (``--job-mode`` measures batch-job interference and restart-resume
-identity instead).  ``list``
+identity; ``--open-loop`` runs the sharded-tier bench — scaling rows,
+Poisson-arrival tail-latency phases, a shard-kill fault run — and
+writes ``BENCH_service_shard.json``).  ``list``
 enumerates programs and access functions.  ``run``, ``profile``,
 ``touch``, ``bench`` and ``loadgen`` all take ``--json`` for
 machine-readable output, and ``--version`` prints the package version.
@@ -335,6 +342,24 @@ def cmd_bench(args) -> int:
 
 
 def cmd_serve(args) -> int:
+    if args.shards > 1:
+        if args.checkpoint or args.resume:
+            raise SystemExit(
+                "--shards manages one ledger per shard under --shard-dir; "
+                "--checkpoint/--resume apply to the single-process server"
+            )
+        from repro.service.shard import serve_sharded
+
+        return serve_sharded(
+            host=args.host,
+            port=args.port,
+            shards=args.shards,
+            shard_dir=args.shard_dir,
+            cache_capacity=args.cache_capacity,
+            queue_limit=args.queue_limit,
+            jobs=args.jobs,
+            jobs_dir=args.jobs_dir,
+        )
     from repro.service.server import serve
 
     ledger = _open_ledger(args)
@@ -356,12 +381,58 @@ def cmd_serve(args) -> int:
 def cmd_loadgen(args) -> int:
     from repro.service.loadgen import (
         check_service_against,
+        check_shard_against,
         run_job_bench,
         run_loadgen,
+        run_shard_bench,
         write_service_bench,
     )
 
     echo = None if args.json else print
+    if args.open_loop:
+        if args.job_mode:
+            raise SystemExit("--open-loop and --job-mode are exclusive")
+        doc = run_shard_bench(
+            url=args.url,
+            shards=args.shards,
+            rate=args.rate,
+            duration_s=args.duration,
+            concurrency=args.concurrency,
+            seed=args.seed,
+            smoke=args.smoke,
+            echo=echo,
+        )
+        if args.check:
+            try:
+                baseline = json.loads(pathlib.Path(args.check).read_text())
+            except (OSError, ValueError) as exc:
+                raise SystemExit(f"cannot read baseline {args.check}: {exc}")
+            try:
+                problems = check_shard_against(
+                    doc, baseline, tolerance=args.tolerance
+                )
+            except ValueError as exc:
+                raise SystemExit(str(exc))
+            if args.output:
+                write_service_bench(args.output, doc)
+            if problems:
+                for p in problems:
+                    print(f"REGRESSION: {p}", file=sys.stderr)
+                return 1
+            if echo:
+                echo(f"no regressions vs {args.check} "
+                     f"(tolerance {args.tolerance:g}x)")
+            return 0
+        if args.json:
+            _dump_json(doc)
+        out = args.output or "BENCH_service_shard.json"
+        write_service_bench(out, doc)
+        if echo:
+            echo(f"\nwrote {out}")
+        problems = check_shard_against(doc, doc)
+        for p in problems:
+            print(f"SLO VIOLATION: {p}", file=sys.stderr)
+        return 1 if problems else 0
     if args.job_mode:
         if args.url:
             raise SystemExit(
@@ -641,6 +712,16 @@ def build_parser() -> argparse.ArgumentParser:
                               "manifests, per-job ledgers and results live "
                               "here, and a restarted server re-adopts and "
                               "resumes incomplete jobs from this directory")
+    p_serve.add_argument("--shards", type=int, default=1,
+                         help="run the sharded tier: N shard processes "
+                              "(consistent hashing on the content key, "
+                              "per-shard ledger-backed caches) behind a "
+                              "failover router on --port (default 1 = the "
+                              "single-process server)")
+    p_serve.add_argument("--shard-dir", default="shards", metavar="DIR",
+                         help="shard state directory (ledgers, port/pid "
+                              "files; default shards/) — reuse it across "
+                              "restarts for warm shard caches")
     p_serve.set_defaults(func=cmd_serve)
 
     p_load = sub.add_parser(
@@ -672,6 +753,24 @@ def build_parser() -> argparse.ArgumentParser:
                              "sweep job, job time-to-complete with/without "
                              "an injected mid-job restart (writes "
                              "BENCH_service_jobs.json)")
+    p_load.add_argument("--open-loop", action="store_true",
+                        help="run the sharded-tier bench instead: "
+                             "closed-loop scaling rows (N shards vs 1), "
+                             "open-loop (Poisson-arrival) tail-latency "
+                             "phases at --rate, a shard-kill fault run and "
+                             "the identity check (writes "
+                             "BENCH_service_shard.json); with --url, one "
+                             "open-loop phase against the running tier")
+    p_load.add_argument("--shards", type=int, default=2,
+                        help="shard count for --open-loop standalone mode")
+    p_load.add_argument("--rate", type=float, default=150.0,
+                        help="offered arrival rate (req/s) for --open-loop")
+    p_load.add_argument("--duration", type=float, default=8.0,
+                        help="seconds per open-loop phase")
+    p_load.add_argument("--concurrency", type=int, default=16,
+                        help="open-loop worker threads (bounds in-flight "
+                             "requests; queueing beyond it lands in the "
+                             "latency distribution)")
     p_load.add_argument("--output", default=None, metavar="PATH",
                         help="output JSON "
                              "(default BENCH_service_throughput.json)")

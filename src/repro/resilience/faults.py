@@ -8,6 +8,7 @@ task and injects nothing.  The spec is a comma-separated list of
     REPRO_FAULTS="seed=7,kill=1.0,dir=/tmp/faults"       # kill workers
     REPRO_FAULTS="seed=7,delay=1.0,delay_s=0.5,dir=..."  # stall tasks
     REPRO_FAULTS="seed=7,abort=3"                        # die mid-sweep
+    REPRO_FAULTS="seed=7,shard_exit=6,dir=..."           # kill a shard
 
 * ``kill`` / ``delay`` — probability that a pool task's *first* attempt
   kills its worker process (``os._exit``) or sleeps ``delay_s`` seconds.
@@ -19,6 +20,12 @@ task and injects nothing.  The spec is a comma-separated list of
 * ``abort`` — parent-side: raise :class:`FaultAbort` once that many
   cells have been checkpointed to the active ledger, simulating a crash
   or Ctrl-C at a cell boundary (the ledger keeps its completed prefix).
+* ``shard_exit`` — shard-server-side: ``os._exit`` the serving process
+  once it has answered that many requests, simulating a shard dying
+  mid-run under live traffic.  A marker file (keyed by the shard's
+  identity) makes the death fire exactly once, so a supervisor-restarted
+  shard armed with the same spec serves on — the recovery path can be
+  proven against the identical environment that killed its predecessor.
 * :func:`corrupt_ledger` — deterministically garble one entry line of a
   ledger file, for the corrupt-ledger recovery path.
 
@@ -40,6 +47,7 @@ __all__ = [
     "FaultPlan",
     "active_plan",
     "maybe_inject_task_fault",
+    "maybe_exit_shard",
     "check_abort",
     "corrupt_ledger",
 ]
@@ -59,6 +67,7 @@ class FaultPlan:
     delay: float = 0.0
     delay_s: float = 0.25
     abort: int = 0
+    shard_exit: int = 0
     dir: str = ""
 
     @classmethod
@@ -75,7 +84,7 @@ class FaultPlan:
             key, value = part.split("=", 1)
             key = key.strip()
             value = value.strip()
-            if key in ("seed", "abort"):
+            if key in ("seed", "abort", "shard_exit"):
                 fields[key] = int(value)
             elif key in ("kill", "delay", "delay_s"):
                 fields[key] = float(value)
@@ -138,6 +147,31 @@ def maybe_inject_task_fault(blob: bytes) -> None:
         with open(marker, "w") as fh:
             fh.write("delay\n")
         time.sleep(plan.delay_s)
+
+
+def maybe_exit_shard(identity: str, requests_served: int) -> None:
+    """Shard-server-side hook: die once ``shard_exit`` requests served.
+
+    Called by the shard HTTP handler after each answered request with
+    the shard's stable identity (its index).  Fires ``os._exit`` exactly
+    once per ``(plan, identity)`` — the marker file survives the death,
+    so the supervisor's replacement process (same identity, same
+    environment) keeps serving.  No-op unless ``REPRO_FAULTS`` arms
+    ``shard_exit``.
+    """
+    plan = active_plan()
+    if plan is None or plan.shard_exit <= 0:
+        return
+    if requests_served < plan.shard_exit:
+        return
+    marker_dir = plan.marker_dir
+    os.makedirs(marker_dir, exist_ok=True)
+    marker = os.path.join(marker_dir, f"shard-exit-{identity}")
+    if os.path.exists(marker):
+        return  # this shard already died once; its replacement serves on
+    with open(marker, "w") as fh:
+        fh.write("shard_exit\n")
+    os._exit(21)  # hard shard death: clients see connection resets
 
 
 def check_abort(cells_checkpointed: int) -> None:

@@ -30,9 +30,19 @@ CLI into a serving subsystem:
   with a ``Deprecation`` header): ``POST /v1/run``, ``POST /v1/batch``,
   the ``/v1/jobs`` lifecycle, ``GET /v1/healthz``, ``GET /v1/metrics``,
   with 429 + ``Retry-After`` backpressure;
-* :mod:`repro.service.loadgen` — a closed-loop load generator
-  (hot/cold key mix, batches, a job-mode interference driver) writing
-  ``BENCH_service_throughput.json``.
+* :mod:`repro.service.router` / :mod:`repro.service.shard` — the
+  sharded multi-process tier (``serve --shards N``): shard processes
+  each running the same :class:`~repro.service.server.SimService` over
+  a consistent-hashing slice of the key space with a private
+  ledger-backed cache, behind a front-door router with health-probing,
+  passive failure detection, deterministic failover and supervisor
+  respawns — submachine locality translated into per-shard locality of
+  reference;
+* :mod:`repro.service.loadgen` — the load generator: closed-loop
+  hot/cold phases (``BENCH_service_throughput.json``), a job-mode
+  interference driver, and the open-loop (Poisson-arrival)
+  sharded-tier bench with p50/p95/p99 + histogram tail-latency phases
+  and a shard-kill fault run (``BENCH_service_shard.json``).
 
 The serving contract mirrors the PR 3/PR 4 re-fold contracts: for a
 fixed request, the charged ``time``/``counters`` in the response are
@@ -52,7 +62,9 @@ from repro.service.scheduler import (
     Scheduler,
     SimRequest,
 )
+from repro.service.router import HashRing, Router, ShardClient
 from repro.service.server import API_VERSION, ServiceServer, SimService, serve
+from repro.service.shard import ShardedTier, ShardSupervisor, serve_sharded
 
 __all__ = [
     "API_VERSION",
@@ -70,4 +82,10 @@ __all__ = [
     "SimService",
     "ServiceServer",
     "serve",
+    "HashRing",
+    "Router",
+    "ShardClient",
+    "ShardedTier",
+    "ShardSupervisor",
+    "serve_sharded",
 ]

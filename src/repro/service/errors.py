@@ -24,6 +24,10 @@ status    code                  raised by
 429       ``queue_full``        admission backpressure (has ``retry_after_s``)
 500       ``internal``          anything else
 500       ``job_failed``        ``GET .../result`` of a failed job
+503       ``shard_unavailable`` the sharded tier's router when no shard in a
+                                key's failover chain answers (has
+                                ``retry_after_s``; the supervisor respawn is
+                                sub-second)
 ========  ====================  =============================================
 
 ``tests/test_service.py`` pins the envelope schema; ``loadgen`` parses

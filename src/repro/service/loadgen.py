@@ -28,6 +28,20 @@ the server's backpressure is not an error: the client honours
 response is parsed through the unified error envelope
 (``{"error": {"code", "message", "retry_after_s"}}``).
 
+Every phase document carries the latency block: ``latency_samples``,
+nearest-rank ``latency_p50_s`` / ``latency_p95_s`` / ``latency_p99_s``
+and a compact log-spaced ``latency_histogram``.
+
+:func:`run_shard_bench` is the sharded-tier driver (``loadgen
+--open-loop``, writing ``BENCH_service_shard.json``): closed-loop
+scaling rows (N shards vs 1 over the same working set), then
+**open-loop** phases — Poisson arrivals at a fixed offered rate, with
+latency measured from each request's *scheduled* arrival so queueing
+delay is charged to the tier, not silently absorbed by the arrival
+process — fault-free and with a shard killed mid-phase under the
+supervisor's watch.  Open-loop percentiles are suppressed below
+:data:`MIN_OPEN_LOOP_SAMPLES` samples.
+
 :func:`run_job_bench` is the jobs-mode driver (``loadgen --job-mode``):
 it measures interactive ``/v1/run`` p50 latency with and without a
 background sweep job competing for the worker pool, the job's
@@ -41,6 +55,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import math
 import os
 import platform
 import random
@@ -52,15 +67,23 @@ from typing import Any
 
 __all__ = [
     "SERVICE_BENCH_SCHEMA",
+    "SHARD_BENCH_SCHEMA",
+    "MIN_OPEN_LOOP_SAMPLES",
     "run_loadgen",
     "run_job_bench",
+    "run_shard_bench",
     "check_service_against",
+    "check_shard_against",
     "write_service_bench",
 ]
 
 #: service bench document schema (styled after ``repro.bench``'s
 #: schema 2: same provenance header, phases instead of workloads)
 SERVICE_BENCH_SCHEMA = 2
+
+#: sharded-tier bench document schema (``BENCH_service_shard.json``):
+#: scaling rows + open-loop tail-latency phases + fault-injection run
+SHARD_BENCH_SCHEMA = 1
 
 #: engines in the request mix (every family; ``direct`` keeps the guest
 #: reference in the traffic)
@@ -130,7 +153,9 @@ class _Client(threading.Thread):
         self.batch = max(1, batch)
         self.served: dict[str, int] = {}
         self.rejected = 0
+        self.unavailable_503 = 0
         self.errors = 0
+        self.non_envelope_errors = 0
         self.failures: list[str] = []
         self.latencies: list[float] = []
         self._conn: http.client.HTTPConnection | None = None
@@ -159,10 +184,18 @@ class _Client(threading.Thread):
             served = item.get("served", "?")
             self.served[served] = self.served.get(served, 0) + 1
 
-    def _issue(self, path: str, body: Any) -> None:
+    def _issue(self, path: str, body: Any, t0: float | None = None) -> None:
+        """Issue one request; ``t0`` overrides the latency clock's start.
+
+        Open-loop workers pass the request's *scheduled arrival time* so
+        the recorded latency includes any time the request spent waiting
+        for a worker — the coordinated-omission-safe measurement.
+        """
         payload = json.dumps(body).encode("utf-8")
         transport_failures = 0
-        t0 = time.perf_counter()
+        backoffs = 0
+        if t0 is None:
+            t0 = time.perf_counter()
         while True:
             try:
                 conn = self._connect()
@@ -195,12 +228,21 @@ class _Client(threading.Thread):
                 return
             envelope = doc.get("error")
             if not isinstance(envelope, dict):  # non-envelope (proxy?) error
+                self.non_envelope_errors += 1
                 envelope = {
                     "code": "unknown",
                     "message": raw.decode("utf-8", "replace"),
                 }
-            if status == 429:
-                self.rejected += 1
+            if status in (429, 503) and backoffs < 100:
+                # both are the service saying "come back shortly": 429
+                # is admission backpressure, 503 is the router riding
+                # out a dead shard until the supervisor respawns it.
+                # The eventual success latency includes every backoff.
+                backoffs += 1
+                if status == 429:
+                    self.rejected += 1
+                else:
+                    self.unavailable_503 += 1
                 backoff = envelope.get("retry_after_s") or retry_after
                 time.sleep(min(float(backoff or 0.1), 0.5))
                 continue
@@ -226,11 +268,124 @@ class _Client(threading.Thread):
 
 
 def _percentile(values: list[float], q: float) -> float | None:
-    """Nearest-rank percentile (small samples; no interpolation)."""
+    """Nearest-rank percentile (small samples; no interpolation).
+
+    Nearest-rank on N samples means the p99 *is* one of the observed
+    latencies — honest for small N, but off 3 requests it is just the
+    maximum.  Callers that promise tail percentiles (the open-loop
+    phases) therefore gate on :data:`MIN_OPEN_LOOP_SAMPLES` via
+    :func:`_latency_fields` and record ``latency_samples`` next to every
+    percentile so a reader can judge its weight.
+    """
     if not values:
         return None
     ranked = sorted(values)
     return ranked[min(len(ranked) - 1, round(q * (len(ranked) - 1)))]
+
+
+#: an open-loop phase refuses to report percentiles off fewer samples
+#: than this (a p99 needs ~100 samples to be a 99th percentile at all;
+#: 40 keeps smoke runs honest without making them slow)
+MIN_OPEN_LOOP_SAMPLES = 40
+
+#: latency histogram: bucket 0 is [0, floor); bucket i >= 1 is
+#: [floor * 2**(i-1), floor * 2**i) — log-spaced, so 24 buckets span
+#: 100 us to ~14 minutes
+_HISTOGRAM_FLOOR_S = 1e-4
+_HISTOGRAM_BUCKETS = 24
+
+
+def _latency_histogram(latencies: list[float]) -> dict[str, Any]:
+    """A compact log-spaced latency histogram (trailing zeros trimmed).
+
+    >>> _latency_histogram([0.00005, 0.0003, 0.0005, 0.009])
+    {'floor_s': 0.0001, 'factor': 2, 'counts': [1, 0, 0, 2, 0, 0, 0, 1]}
+    """
+    counts = [0] * _HISTOGRAM_BUCKETS
+    for latency in latencies:
+        if latency < _HISTOGRAM_FLOOR_S:
+            index = 0
+        else:
+            index = min(
+                _HISTOGRAM_BUCKETS - 1,
+                int(math.log2(latency / _HISTOGRAM_FLOOR_S)) + 1,
+            )
+        counts[index] += 1
+    while counts and counts[-1] == 0:
+        counts.pop()
+    return {"floor_s": _HISTOGRAM_FLOOR_S, "factor": 2, "counts": counts}
+
+
+def _latency_fields(
+    latencies: list[float], min_samples: int | None = None
+) -> dict[str, Any]:
+    """The per-phase latency block: samples, p50/p95/p99, histogram.
+
+    With ``min_samples``, percentiles below the floor are reported as
+    ``None`` (plus an explanatory ``latency_note``) rather than as
+    numbers a reader would mistake for measurements.
+    """
+    doc: dict[str, Any] = {"latency_samples": len(latencies)}
+    enough = min_samples is None or len(latencies) >= min_samples
+    for field, q in (
+        ("latency_p50_s", 0.50),
+        ("latency_p95_s", 0.95),
+        ("latency_p99_s", 0.99),
+    ):
+        doc[field] = _percentile(latencies, q) if enough else None
+    if not enough:
+        doc["latency_note"] = (
+            f"percentiles suppressed: {len(latencies)} sample(s) is "
+            f"below the {min_samples}-sample open-loop minimum"
+        )
+    doc["latency_histogram"] = _latency_histogram(latencies)
+    return doc
+
+
+def _fmt_latency(doc: dict[str, Any]) -> str:
+    """``p50/p95/p99`` for the human-readable phase summary line."""
+    parts = []
+    for field, label in (
+        ("latency_p50_s", "p50"),
+        ("latency_p95_s", "p95"),
+        ("latency_p99_s", "p99"),
+    ):
+        value = doc.get(field)
+        parts.append(
+            f"{label}={value * 1e3:.1f}ms" if value is not None else
+            f"{label}=?"
+        )
+    return " ".join(parts) + f" n={doc.get('latency_samples', 0)}"
+
+
+def _collect(
+    workers: list["_Client"], min_samples: int | None = None
+) -> dict[str, Any]:
+    """Aggregate worker tallies into the shared phase-document fields."""
+    served: dict[str, int] = {}
+    rejected = unavailable = errors = non_envelope = 0
+    failures: list[str] = []
+    latencies: list[float] = []
+    for w in workers:
+        for k, v in w.served.items():
+            served[k] = served.get(k, 0) + v
+        rejected += w.rejected
+        unavailable += w.unavailable_503
+        errors += w.errors
+        non_envelope += w.non_envelope_errors
+        failures.extend(w.failures)
+        latencies.extend(w.latencies)
+    doc: dict[str, Any] = {
+        "served": {k: served[k] for k in sorted(served)},
+        "rejected_429": rejected,
+        "unavailable_503": unavailable,
+        "errors": errors,
+        "non_envelope_errors": non_envelope,
+    }
+    doc.update(_latency_fields(latencies, min_samples=min_samples))
+    if failures:
+        doc["failures"] = failures[:8]
+    return doc
 
 
 def _run_phase(
@@ -266,39 +421,24 @@ def _run_phase(
         w.join()
     wall = time.perf_counter() - t0
     total = clients * requests_per_client
-    served: dict[str, int] = {}
-    rejected = 0
-    errors = 0
-    failures: list[str] = []
-    latencies: list[float] = []
-    for w in workers:
-        for k, v in w.served.items():
-            served[k] = served.get(k, 0) + v
-        rejected += w.rejected
-        errors += w.errors
-        failures.extend(w.failures)
-        latencies.extend(w.latencies)
     doc = {
         "requests": total,
         "wall_s": wall,
         "requests_per_s": total / wall if wall > 0 else None,
         "hot_ratio": hot_ratio,
-        "served": {k: served[k] for k in sorted(served)},
-        "rejected_429": rejected,
-        "errors": errors,
-        "latency_p50_s": _percentile(latencies, 0.50),
-        "latency_p95_s": _percentile(latencies, 0.95),
     }
-    if failures:
-        doc["failures"] = failures[:8]
+    doc.update(_collect(workers))
     if echo:
         rps = doc["requests_per_s"]
         echo(
             f"  {name:5s} {total:>5d} requests in {wall:7.2f}s  "
-            f"{rps:>8,.1f} req/s  (served: "
-            + ", ".join(f"{k}={v}" for k, v in sorted(served.items()))
-            + (f", rejected={rejected}" if rejected else "")
-            + (f", ERRORS={errors}" if errors else "")
+            f"{rps:>8,.1f} req/s  {_fmt_latency(doc)}  (served: "
+            + ", ".join(
+                f"{k}={v}" for k, v in sorted(doc["served"].items())
+            )
+            + (f", rejected={doc['rejected_429']}"
+               if doc["rejected_429"] else "")
+            + (f", ERRORS={doc['errors']}" if doc["errors"] else "")
             + ")"
         )
     return doc, cold_index - cold_base
@@ -395,6 +535,459 @@ def run_loadgen(
     if echo and doc["hot_vs_cold_speedup"]:
         echo(f"  hot/cold speedup: {doc['hot_vs_cold_speedup']:.1f}x")
     return doc
+
+
+# --------------------------------------------------------------- open loop
+
+
+class _Cursor:
+    """A shared, thread-safe index into the open-loop arrival schedule."""
+
+    def __init__(self, items: list):
+        self.items = items
+        self._i = 0
+        self._lock = threading.Lock()
+
+    def next(self):
+        with self._lock:
+            if self._i >= len(self.items):
+                return None
+            item = self.items[self._i]
+            self._i += 1
+            return item
+
+
+class _OpenLoopWorker(_Client):
+    """One open-loop worker: issue requests at their *scheduled* times.
+
+    Poisson arrivals are precomputed as offsets from the phase start;
+    each worker pulls the next arrival off the shared cursor, sleeps
+    until its time, and measures latency from the scheduled time — so
+    when the tier falls behind the offered rate, the queueing delay
+    lands in the latency distribution instead of silently slowing the
+    arrival process (the coordinated-omission trap a closed loop has).
+    """
+
+    def __init__(self, url: str, cursor: _Cursor, t0: float):
+        super().__init__(url, requests=[])
+        self.cursor = cursor
+        self.t0 = t0
+
+    def run(self) -> None:
+        try:
+            while True:
+                item = self.cursor.next()
+                if item is None:
+                    return
+                offset, body = item
+                target = self.t0 + offset
+                delay = target - time.perf_counter()
+                if delay > 0:
+                    time.sleep(delay)
+                self._issue("/v1/run", body, t0=target)
+        finally:
+            self._reconnect()
+
+
+def _run_open_phase(
+    url: str,
+    name: str,
+    rate: float,
+    duration_s: float,
+    hot_ratio: float,
+    hot_keys: int,
+    concurrency: int,
+    seed: int,
+    cold_base: int,
+    echo=None,
+    mid_phase: tuple[float, Any] | None = None,
+) -> tuple[dict[str, Any], int]:
+    """One open-loop phase at a fixed offered rate.
+
+    ``mid_phase=(at_s, hook)`` fires ``hook()`` that many seconds into
+    the phase from the coordinating thread — the fault run uses it to
+    kill a shard while the offered load keeps arriving.
+    """
+    rng = random.Random(seed)
+    hot = _hot_set(hot_keys)
+    schedule: list[tuple[float, dict[str, Any]]] = []
+    t = 0.0
+    cold_index = cold_base
+    while True:
+        t += rng.expovariate(rate)
+        if t >= duration_s:
+            break
+        if hot_ratio > 0 and rng.random() < hot_ratio:
+            body = hot[rng.randrange(len(hot))]
+        else:
+            body = _cold_request(cold_index)
+            cold_index += 1
+        schedule.append((t, body))
+    cursor = _Cursor(schedule)
+    t0 = time.perf_counter()
+    workers = [
+        _OpenLoopWorker(url, cursor, t0) for _ in range(concurrency)
+    ]
+    for w in workers:
+        w.start()
+    if mid_phase is not None:
+        at_s, hook = mid_phase
+        delay = t0 + at_s - time.perf_counter()
+        if delay > 0:
+            time.sleep(delay)
+        hook()
+    for w in workers:
+        w.join()
+    wall = time.perf_counter() - t0
+    doc: dict[str, Any] = {
+        "mode": "open_loop",
+        "offered_rate_per_s": rate,
+        "duration_s": duration_s,
+        "concurrency": concurrency,
+        "requests": len(schedule),
+        "wall_s": wall,
+        "requests_per_s": len(schedule) / wall if wall > 0 else None,
+        "hot_ratio": hot_ratio,
+    }
+    doc.update(_collect(workers, min_samples=MIN_OPEN_LOOP_SAMPLES))
+    if echo:
+        echo(
+            f"  {name:15s} {len(schedule):>5d} arrivals at "
+            f"{rate:,.0f}/s over {duration_s:g}s  {_fmt_latency(doc)}"
+            + (f", 503s={doc['unavailable_503']}"
+               if doc["unavailable_503"] else "")
+            + (f", ERRORS={doc['errors']}" if doc["errors"] else "")
+        )
+    return doc, cold_index - cold_base
+
+
+def _warm(url: str, hot_keys: int) -> None:
+    """Touch every hot key once so a phase measures steady state."""
+    worker = _Client(url, _hot_set(hot_keys))
+    worker.run()  # synchronously, on this thread
+
+
+def _fetch_results(url: str, requests: list[dict[str, Any]]) -> list[Any]:
+    """The served ``result`` documents for ``requests``, in order."""
+    parsed = urllib.parse.urlsplit(url)
+    conn = http.client.HTTPConnection(
+        parsed.hostname or "127.0.0.1", parsed.port or 80, timeout=120.0
+    )
+    results = []
+    try:
+        for body in requests:
+            conn.request(
+                "POST", "/v1/run", body=json.dumps(body).encode("utf-8"),
+                headers={"Content-Type": "application/json"},
+            )
+            resp = conn.getresponse()
+            raw = resp.read()
+            if resp.status != 200:
+                raise RuntimeError(
+                    f"identity fetch got {resp.status}: {raw[:200]!r}"
+                )
+            results.append(json.loads(raw)["result"])
+    finally:
+        conn.close()
+    return results
+
+
+# ------------------------------------------------------------- shard bench
+
+#: the sharded tier's documented SLOs, recorded in every bench document
+#: and enforced by :func:`check_shard_against`:
+#: 2-shard closed-loop throughput must be at least this multiple of the
+#: 1-shard row on the same host...
+SCALING_FLOOR_X = 1.5
+
+#: ...and the shard-kill run's p99 must stay within this multiple of
+#: the fault-free p99 (the Fractal bar: fault recovery *compared to
+#: fault-free conditions*).  The router detects the death passively on
+#: the first failed forward, so the visible damage is a sub-second
+#: blip of retried requests, not a minutes-long outage — but p99 is
+#: exactly where that blip lands, hence a double-digit allowance.
+FAULT_P99_BOUND_X = 15.0
+
+
+def run_shard_bench(
+    url: str | None = None,
+    shards: int = 2,
+    rate: float = 150.0,
+    duration_s: float = 8.0,
+    concurrency: int = 16,
+    hot_keys: int = 32,
+    cache_capacity: int = 20,
+    clients: int = 4,
+    requests_per_client: int = 100,
+    seed: int = 7,
+    smoke: bool = False,
+    echo=None,
+) -> dict[str, Any]:
+    """The sharded-tier bench: scaling rows, open-loop tails, fault run.
+
+    Standalone (``url=None``) it builds its own tiers and runs four
+    phases:
+
+    * ``scale_1shard`` / ``scale_2shard`` — the *same* closed-loop
+      hot-set stream (working set ``hot_keys`` keys, per-shard cache
+      capacity ``cache_capacity`` entries) against a 1-shard and an
+      N-shard tier.  The working set exceeds one shard's cache but fits
+      the tier's aggregate capacity, so the 2-shard row wins on cache
+      locality — the serving-layer translation of the paper's claim,
+      and an honest scaling number on any host (it does not require
+      spare cores, only aggregate cache).
+    * ``open_loop`` — Poisson arrivals at ``rate`` against a fresh
+      N-shard tier; the tail-latency (p50/p95/p99 + histogram) phase.
+    * ``open_loop_fault`` — the same offered load, with shard 0
+      ``kill()``-ed 30% into the phase.  The supervisor respawns it
+      (same port, ledger-warmed cache) and the router rides the gap;
+      the phase's p99 must stay within :data:`FAULT_P99_BOUND_X` of the
+      fault-free p99, with zero non-envelope errors.
+
+    It finishes with the identity check: every hot document served by
+    the (restarted, failed-over) tier must be ``==``-identical to a
+    fresh single-process :class:`~repro.service.server.SimService`'s
+    answer.
+
+    Attached (``url=...``) it drives an already-running tier with the
+    ``open_loop`` phase only — the CI leg.
+    """
+    from repro.bench import _git_revision
+
+    if smoke:
+        rate = min(rate, 60.0)
+        duration_s = min(duration_s, 2.5)
+        hot_keys = min(hot_keys, 32)
+        requests_per_client = min(requests_per_client, 25)
+        concurrency = min(concurrency, 8)
+    produced_by = "python -m repro loadgen --open-loop"
+    if smoke:
+        produced_by += " --smoke"
+    doc: dict[str, Any] = {
+        "schema": SHARD_BENCH_SCHEMA,
+        "produced_by": produced_by,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "revision": _git_revision(),
+        "shards": shards,
+        "cache_capacity_per_shard": cache_capacity,
+        "hot_keys": hot_keys,
+        "offered_rate_per_s": rate,
+        "duration_s": duration_s,
+        "concurrency": concurrency,
+        "seed": seed,
+        "scaling_floor_x": SCALING_FLOOR_X,
+        "fault_p99_bound_x": FAULT_P99_BOUND_X,
+        "phases": {},
+    }
+
+    if url is not None:
+        # attached mode: one open-loop phase against the running tier
+        doc["attached"] = True
+        if echo:
+            echo(f"open-loop load against {url}")
+        _warm(url, hot_keys)
+        phase, _ = _run_open_phase(
+            url, "open_loop", rate, duration_s,
+            hot_ratio=0.95, hot_keys=hot_keys,
+            concurrency=concurrency, seed=seed, cold_base=0, echo=echo,
+        )
+        doc["phases"]["open_loop"] = phase
+        doc["errors"] = phase["errors"]
+        doc["non_envelope_errors"] = phase["non_envelope_errors"]
+        return doc
+
+    from repro.service.server import SimService
+    from repro.service.shard import ShardedTier
+
+    def scale_phase(name: str, tier_shards: int) -> dict[str, Any]:
+        with ShardedTier(
+            shards=tier_shards, cache_capacity=cache_capacity
+        ) as tier:
+            _warm(tier.url, hot_keys)
+            phase, _ = _run_phase(
+                tier.url, name, clients, requests_per_client,
+                hot_ratio=1.0, hot_keys=hot_keys, batch=1,
+                seed=seed, cold_base=0, echo=echo,
+            )
+            phase["shards"] = tier_shards
+        return phase
+
+    if echo:
+        echo(
+            f"sharded-tier bench: working set {hot_keys} keys, "
+            f"{cache_capacity} cache entries/shard "
+            f"({shards * cache_capacity} aggregate on {shards} shards)"
+        )
+    one = scale_phase("scale_1shard", 1)
+    many = scale_phase(f"scale_{shards}shard", shards)
+    doc["phases"]["scale_1shard"] = one
+    doc["phases"][f"scale_{shards}shard"] = many
+    one_rps, many_rps = one["requests_per_s"], many["requests_per_s"]
+    doc["scaling_x"] = (
+        many_rps / one_rps if one_rps and many_rps else None
+    )
+    if echo and doc["scaling_x"]:
+        echo(
+            f"  {shards}-shard vs 1-shard throughput: "
+            f"{doc['scaling_x']:.2f}x (floor {SCALING_FLOOR_X:g}x)"
+        )
+
+    # open-loop tail latency, fault-free then with shard 0 killed
+    with ShardedTier(
+        shards=shards, cache_capacity=cache_capacity, restart=True
+    ) as tier:
+        _warm(tier.url, hot_keys)
+        fault_free, cold_used = _run_open_phase(
+            tier.url, "open_loop", rate, duration_s,
+            hot_ratio=0.95, hot_keys=hot_keys,
+            concurrency=concurrency, seed=seed + 1, cold_base=0,
+            echo=echo,
+        )
+        doc["phases"]["open_loop"] = fault_free
+
+        kill_at = duration_s * 0.3
+        victim = tier.supervisors[0]
+
+        def kill_shard() -> None:
+            if victim.proc is not None:
+                victim.proc.kill()
+
+        faulted, _ = _run_open_phase(
+            tier.url, "open_loop_fault", rate, duration_s,
+            hot_ratio=0.95, hot_keys=hot_keys,
+            concurrency=concurrency, seed=seed + 2,
+            cold_base=cold_used, echo=echo,
+            mid_phase=(kill_at, kill_shard),
+        )
+        faulted["killed_shard"] = 0
+        faulted["killed_at_s"] = kill_at
+        # let the supervisor finish the respawn before the tier closes
+        deadline = time.monotonic() + 10.0
+        while tier.restarts < 1 and time.monotonic() < deadline:
+            time.sleep(0.05)
+        faulted["shard_restarts"] = tier.restarts
+        doc["phases"]["open_loop_fault"] = faulted
+
+        router = tier.router.counters.snapshot()
+        doc["router_counters"] = router
+
+        # identity: the failed-over, restarted tier must serve the same
+        # documents as a fresh single-process service
+        hot = _hot_set(hot_keys)
+        tier_results = _fetch_results(tier.url, hot)
+        reference = SimService(cache_capacity=hot_keys)
+        try:
+            ref_results = [
+                reference.handle_run(body)["result"] for body in hot
+            ]
+        finally:
+            reference.close()
+        doc["identity_checked"] = len(hot)
+        doc["identity_ok"] = tier_results == ref_results
+
+    p99_free = fault_free.get("latency_p99_s")
+    p99_fault = faulted.get("latency_p99_s")
+    doc["fault_p99_ratio"] = (
+        p99_fault / p99_free if p99_free and p99_fault else None
+    )
+    doc["errors"] = sum(p["errors"] for p in doc["phases"].values())
+    doc["non_envelope_errors"] = sum(
+        p["non_envelope_errors"] for p in doc["phases"].values()
+    )
+    if echo:
+        if doc["fault_p99_ratio"]:
+            echo(
+                f"  shard-kill p99 vs fault-free p99: "
+                f"{doc['fault_p99_ratio']:.2f}x "
+                f"(bound {FAULT_P99_BOUND_X:g}x)"
+            )
+        echo(
+            f"  identity: {doc['identity_checked']} documents vs the "
+            f"unsharded engine path — "
+            + ("identical" if doc["identity_ok"] else "DIVERGED")
+        )
+    return doc
+
+
+def check_shard_against(
+    fresh: dict[str, Any],
+    baseline: dict[str, Any],
+    tolerance: float = 5.0,
+) -> list[str]:
+    """Guardrail for ``BENCH_service_shard.json`` (CI's ``--check``).
+
+    Same shape as :func:`check_service_against` — schema drift refuses,
+    only slow-direction drift beyond ``tolerance`` is a regression —
+    plus the tier's own SLOs, which are absolute, not relative to the
+    baseline: zero non-envelope errors, the ``scaling_floor_x``
+    throughput scaling floor, the ``fault_p99_bound_x`` tail bound
+    and the ``identity_ok`` bit (whenever the fresh run measured them).
+    """
+    fresh_schema = fresh.get("schema")
+    base_schema = baseline.get("schema")
+    if fresh_schema != base_schema:
+        raise ValueError(
+            f"cannot compare shard bench documents across schemas: fresh "
+            f"run is schema {fresh_schema!r}, baseline is schema "
+            f"{base_schema!r}.  Regenerate the baseline with the current "
+            f"code (python -m repro loadgen --open-loop --output "
+            f"<baseline.json>) and re-check."
+        )
+    problems: list[str] = []
+    if fresh.get("errors"):
+        problems.append(
+            f"{fresh['errors']} request(s) failed "
+            f"(first: {_first_failure(fresh)})"
+        )
+    if fresh.get("non_envelope_errors"):
+        problems.append(
+            f"{fresh['non_envelope_errors']} error response(s) leaked "
+            f"without the {{\"error\": ...}} envelope"
+        )
+    for name, base_phase in baseline.get("phases", {}).items():
+        fresh_phase = fresh.get("phases", {}).get(name)
+        if fresh_phase is None:
+            continue  # smoke/attached runs measure a phase subset
+        b = base_phase.get("requests_per_s")
+        got = fresh_phase.get("requests_per_s")
+        if b and got and got < b / tolerance:
+            problems.append(
+                f"phase {name!r}: {got:,.1f} req/s < baseline "
+                f"{b:,.1f} / {tolerance:g}"
+            )
+        if fresh_phase.get("mode") == "open_loop":
+            if fresh_phase.get("latency_note"):
+                problems.append(
+                    f"phase {name!r}: {fresh_phase['latency_note']}"
+                )
+            b99 = base_phase.get("latency_p99_s")
+            got99 = fresh_phase.get("latency_p99_s")
+            if b99 and got99 and got99 > b99 * tolerance:
+                problems.append(
+                    f"phase {name!r}: p99 {got99 * 1e3:,.1f}ms > baseline "
+                    f"{b99 * 1e3:,.1f}ms x {tolerance:g}"
+                )
+    floor = fresh.get("scaling_floor_x") or SCALING_FLOOR_X
+    scaling = fresh.get("scaling_x")
+    if scaling is not None and scaling < floor:
+        problems.append(
+            f"throughput scaling {scaling:.2f}x is below the "
+            f"{floor:g}x floor"
+        )
+    bound = fresh.get("fault_p99_bound_x") or FAULT_P99_BOUND_X
+    ratio = fresh.get("fault_p99_ratio")
+    if ratio is not None and ratio > bound:
+        problems.append(
+            f"shard-kill p99 is {ratio:.2f}x the fault-free p99 "
+            f"(bound {bound:g}x)"
+        )
+    if fresh.get("identity_ok") is False:
+        problems.append(
+            "served documents diverged from the unsharded engine path"
+        )
+    return problems
 
 
 def _wait_job(manager, job_id: str, timeout_s: float = 300.0) -> None:

@@ -72,6 +72,7 @@ from repro.service.scheduler import (
 __all__ = [
     "API_VERSION",
     "ROUTES",
+    "JsonApiHandler",
     "SimService",
     "ServiceServer",
     "make_server",
@@ -117,7 +118,11 @@ class SimService:
         retry_after_s: float = 1.0,
         jobs_dir: str | None = None,
         max_batch_wait_s: float = 2.0,
+        identity: dict[str, Any] | None = None,
     ):
+        #: optional shard identity (e.g. ``{"shard": 0, "ledger": ...}``)
+        #: surfaced in healthz/metrics so a router can tell shards apart
+        self.identity = identity
         self.gate = PoolGate(max_batch_wait_s=max_batch_wait_s)
         self.cache = ResultCache(cache_capacity, ledger=ledger)
         self.scheduler = Scheduler(
@@ -190,7 +195,7 @@ class SimService:
         return manager.stream(job_id)
 
     def healthz(self) -> dict[str, Any]:
-        return {
+        doc: dict[str, Any] = {
             "ok": True,
             "schema": SERVICE_SCHEMA,
             "api": API_VERSION,
@@ -199,6 +204,9 @@ class SimService:
             "programs": sorted(PROGRAMS),
             "functions": FUNCTION_HELP,
         }
+        if self.identity is not None:
+            doc["shard"] = self.identity
+        return doc
 
     def metrics(self) -> dict[str, Any]:
         """The ``GET /v1/metrics`` document (all sections, one scrape)."""
@@ -217,7 +225,7 @@ class SimService:
             jobs_section = self.job_manager.gauges()
         else:
             jobs_section = {"enabled": False, "gate": self.gate.gauges()}
-        return {
+        doc: dict[str, Any] = {
             "schema": SERVICE_SCHEMA,
             "api": API_VERSION,
             "cache": self.cache.gauges(),
@@ -227,6 +235,9 @@ class SimService:
             "http": http,
             "recovery": recovery.counters(),
         }
+        if self.identity is not None:
+            doc["shard"] = self.identity
+        return doc
 
     def close(self) -> None:
         """Stop the job runner (manifests stay; a restart re-adopts)."""
@@ -253,10 +264,12 @@ ROUTES: tuple[tuple[str, tuple[str | None, ...], str], ...] = (
 
 
 def _match(
-    method: str, segments: tuple[str, ...]
+    routes: tuple[tuple[str, tuple[str | None, ...], str], ...],
+    method: str,
+    segments: tuple[str, ...],
 ) -> tuple[str, list[str]] | None:
-    """Resolve ``(handler name, captured wildcards)`` from :data:`ROUTES`."""
-    for route_method, pattern, handler in ROUTES:
+    """Resolve ``(handler name, captured wildcards)`` from a route table."""
+    for route_method, pattern, handler in routes:
         if route_method != method or len(pattern) != len(segments):
             continue
         captured = []
@@ -270,8 +283,19 @@ def _match(
     return None
 
 
-class _Handler(BaseHTTPRequestHandler):
-    """Route the versioned (and legacy-alias) surface onto the service."""
+class JsonApiHandler(BaseHTTPRequestHandler):
+    """Shared plumbing of the ``/v1`` JSON surface.
+
+    Both front ends — the single-process service handler below and the
+    shard router's handler (:mod:`repro.service.router`) — subclass
+    this: one declarative route table (class attribute ``ROUTES``), one
+    ``/v1``-or-deprecated-alias path parser, one error mapping onto the
+    unified envelope.  Subclasses provide ``ROUTES``, the ``ep_*``
+    methods it names, and may override :meth:`_unrouted` (the router
+    turns unmatched paths into forwards instead of 404s).
+    """
+
+    ROUTES: tuple[tuple[str, tuple[str | None, ...], str], ...] = ()
 
     server_version = "repro-service/" + str(SERVICE_SCHEMA)
     protocol_version = "HTTP/1.1"
@@ -282,10 +306,6 @@ class _Handler(BaseHTTPRequestHandler):
     # StreamRequestHandler.setup() turns this into TCP_NODELAY.
     disable_nagle_algorithm = True
 
-    @property
-    def service(self) -> SimService:
-        return self.server.service  # type: ignore[attr-defined]
-
     def log_message(self, format: str, *args: Any) -> None:
         if getattr(self.server, "verbose", False):  # pragma: no cover
             super().log_message(format, *args)
@@ -294,16 +314,26 @@ class _Handler(BaseHTTPRequestHandler):
     def _send_json(
         self, status: int, doc: Any, headers: dict[str, str] | None = None
     ) -> None:
-        payload = json.dumps(doc).encode("utf-8")
+        self._send_payload(
+            status, json.dumps(doc).encode("utf-8"), headers=headers
+        )
+
+    def _send_payload(
+        self,
+        status: int,
+        payload: bytes,
+        headers: dict[str, str] | None = None,
+        content_type: str = "application/json",
+    ) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(payload)))
         for name, value in (headers or {}).items():
             self.send_header(name, value)
         self.end_headers()
         self.wfile.write(payload)
 
-    def _read_body(self) -> Any:
+    def _read_raw_body(self) -> bytes:
         length = int(self.headers.get("Content-Length") or 0)
         if length <= 0:
             raise ValueError("request body is empty")
@@ -315,9 +345,11 @@ class _Handler(BaseHTTPRequestHandler):
                 f"request body of {length} bytes exceeds the "
                 f"{MAX_BODY_BYTES}-byte limit",
             )
-        raw = self.rfile.read(length)
+        return self.rfile.read(length)
+
+    def _read_body(self) -> Any:
         try:
-            return json.loads(raw)
+            return json.loads(self._read_raw_body())
         except ValueError:
             raise ValueError("request body is not valid JSON") from None
 
@@ -331,6 +363,18 @@ class _Handler(BaseHTTPRequestHandler):
     def do_DELETE(self) -> None:
         self._dispatch("DELETE")
 
+    def _on_deprecated_request(self) -> None:
+        """Hook: a request arrived on an unprefixed legacy alias."""
+
+    def _unrouted(
+        self, method: str, segments: tuple[str, ...], path: str, headers
+    ):
+        """Hook for paths the route table does not match (default 404)."""
+        raise ApiError(
+            404, "not_found",
+            f"no such endpoint {method} {path!r}; see /v1/healthz",
+        )
+
     def _dispatch(self, method: str) -> None:
         path = self.path.split("?", 1)[0]
         segments = tuple(s for s in path.split("/") if s)
@@ -340,17 +384,17 @@ class _Handler(BaseHTTPRequestHandler):
         headers: dict[str, str] = {}
         if deprecated:
             headers["Deprecation"] = "true"
-        match = _match(method, segments)
+        match = _match(self.ROUTES, method, segments)
         try:
+            if deprecated and match is not None:
+                self._on_deprecated_request()
             if match is None:
-                raise ApiError(
-                    404, "not_found",
-                    f"no such endpoint {method} {path!r}; see /v1/healthz",
+                result = self._unrouted(method, segments, path, headers)
+            else:
+                handler_name, captured = match
+                result = getattr(self, handler_name)(
+                    *captured, headers=headers
                 )
-            if deprecated:
-                self.service.http_counters.add("deprecated_requests")
-            handler_name, captured = match
-            result = getattr(self, handler_name)(*captured, headers=headers)
         except ApiError as exc:
             if exc.retry_after_s is not None:
                 headers["Retry-After"] = f"{exc.retry_after_s:g}"
@@ -383,6 +427,21 @@ class _Handler(BaseHTTPRequestHandler):
             if result is not _STREAMED:
                 status, doc = result
                 self._send_json(status, doc, headers=headers)
+
+
+class _Handler(JsonApiHandler):
+    """The single-process front end: every route runs the service
+    in-process (the sharded tier subclasses the same base with a
+    forwarding handler instead — see :mod:`repro.service.router`)."""
+
+    ROUTES = ROUTES
+
+    @property
+    def service(self) -> SimService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def _on_deprecated_request(self) -> None:
+        self.service.http_counters.add("deprecated_requests")
 
     # ------------------------------------------------------------- routes
     def ep_healthz(self, headers) -> tuple[int, Any]:
@@ -446,11 +505,15 @@ class _Server(ThreadingHTTPServer):
 
 
 def make_server(
-    host: str, port: int, service: SimService, verbose: bool = False
+    host: str,
+    port: int,
+    service: SimService,
+    verbose: bool = False,
+    handler_cls: type[JsonApiHandler] = _Handler,
 ) -> ThreadingHTTPServer:
     """Bind a threading HTTP server serving ``service`` (``port=0`` for
     an ephemeral port — read the bound one off ``server_address``)."""
-    httpd = _Server((host, port), _Handler)
+    httpd = _Server((host, port), handler_cls)
     httpd.service = service  # type: ignore[attr-defined]
     httpd.verbose = verbose  # type: ignore[attr-defined]
     return httpd
