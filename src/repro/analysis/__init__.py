@@ -1,4 +1,5 @@
-"""Analysis toolkit: closed-form bounds, shape fitting, figure renderings."""
+"""Analysis toolkit: closed-form bounds, shape fitting, figure renderings,
+and the per-host cost prediction layer built on both."""
 
 from repro.analysis.bounds import (
     brent_bound,
@@ -6,14 +7,26 @@ from repro.analysis.bounds import (
     theorem12_bound,
 )
 from repro.analysis.fitting import (
+    PowerLawFit,
     RatioCheck,
     bounded_ratio,
     fit_loglog_slope,
+    fit_power_law,
 )
 from repro.analysis.figures import (
     render_cluster_movements,
     render_mm_assignment,
     render_unpack_layout,
+)
+from repro.analysis.predict import (
+    PROFILE_SCHEMA,
+    CalibrationProfile,
+    CostModel,
+    Prediction,
+    calibrate_profile,
+    load_profile,
+    structural_bound,
+    write_profile,
 )
 
 __all__ = [
@@ -23,6 +36,16 @@ __all__ = [
     "fit_loglog_slope",
     "bounded_ratio",
     "RatioCheck",
+    "PowerLawFit",
+    "fit_power_law",
+    "PROFILE_SCHEMA",
+    "CalibrationProfile",
+    "CostModel",
+    "Prediction",
+    "calibrate_profile",
+    "load_profile",
+    "structural_bound",
+    "write_profile",
     "render_cluster_movements",
     "render_mm_assignment",
     "render_unpack_layout",

@@ -9,16 +9,31 @@ them by measuring costs over geometric parameter sweeps and checking
   positive reads as ``Theta``;
 * **log-log slope**: for power-law claims (``cost ~ n^e``), ordinary least
   squares on ``log cost`` vs ``log n`` recovers the exponent.
+
+:class:`PowerLawFit` is the *predictive* reading of the same machinery
+(used by :mod:`repro.analysis.predict` for per-host calibration): a
+fitted ``y ~ coeff * x^exponent`` curve that remembers its residual band
+and calibrated x-range, answers point predictions with honest ``[lo,
+hi]`` error bars, and **widens** those bars geometrically when asked to
+extrapolate beyond the range it was fitted on — a prediction outside
+the calibrated range is a guess and the bars must say so.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Any, Sequence
 
 import numpy as np
 
-__all__ = ["fit_loglog_slope", "bounded_ratio", "RatioCheck"]
+__all__ = [
+    "fit_loglog_slope",
+    "bounded_ratio",
+    "RatioCheck",
+    "PowerLawFit",
+    "fit_power_law",
+]
 
 
 def fit_loglog_slope(xs: Sequence[float], ys: Sequence[float]) -> float:
@@ -60,3 +75,136 @@ def bounded_ratio(
     if lo <= 0:
         raise ValueError("measured costs must be positive")
     return RatioCheck(ratios=ratios, min_ratio=lo, max_ratio=hi, spread=hi / lo)
+
+
+#: multiplicative safety margin applied to the residual band of a fit —
+#: the calibration points themselves must land inside the band with room
+#: for run-to-run noise
+RESIDUAL_SAFETY = 1.25
+
+#: band width of a degenerate single-point "fit": with one observation
+#: there is no residual evidence at all, so the bars are this wide in
+#: each direction
+SINGLE_POINT_BAND = 4.0
+
+#: error-bar widening per *doubling* of x beyond the calibrated range
+EXTRAPOLATION_WIDENING = 1.5
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """A fitted ``y ~ coeff * x^exponent`` with honest error bars.
+
+    ``lo``/``hi`` bound the ``measured / fitted`` residual ratio over
+    the calibration points (padded by :data:`RESIDUAL_SAFETY`);
+    ``x_min``/``x_max`` remember the calibrated range.  :meth:`band`
+    widens the bars by :data:`EXTRAPOLATION_WIDENING` per doubling
+    outside that range instead of pretending an extrapolated point is as
+    trustworthy as an interpolated one.
+
+    >>> fit = fit_power_law([8, 16, 32], [64.0, 256.0, 1024.0])
+    >>> round(fit.exponent, 6)
+    2.0
+    >>> lo, hi, extrapolated = fit.band(64)
+    >>> (lo <= 4096.0 <= hi, extrapolated)
+    (True, True)
+    """
+
+    coeff: float
+    exponent: float
+    lo: float  #: lower residual-ratio bound (<= 1 in practice)
+    hi: float  #: upper residual-ratio bound (>= 1 in practice)
+    x_min: float
+    x_max: float
+    points: int
+
+    def predict(self, x: float) -> float:
+        """The point estimate at ``x``."""
+        if x <= 0:
+            raise ValueError(f"power-law domain is x > 0, got {x!r}")
+        return self.coeff * x ** self.exponent
+
+    def widening(self, x: float) -> float:
+        """The extrapolation factor at ``x`` (1.0 inside the range)."""
+        if x <= 0:
+            raise ValueError(f"power-law domain is x > 0, got {x!r}")
+        if x > self.x_max:
+            doublings = math.log2(x / self.x_max)
+        elif x < self.x_min:
+            doublings = math.log2(self.x_min / x)
+        else:
+            return 1.0
+        return EXTRAPOLATION_WIDENING ** doublings
+
+    def band(self, x: float) -> tuple[float, float, bool]:
+        """``(lo, hi, extrapolated)`` prediction interval at ``x``."""
+        point = self.predict(x)
+        widen = self.widening(x)
+        return point * self.lo / widen, point * self.hi * widen, widen != 1.0
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "coeff": self.coeff,
+            "exponent": self.exponent,
+            "lo": self.lo,
+            "hi": self.hi,
+            "x_min": self.x_min,
+            "x_max": self.x_max,
+            "points": self.points,
+        }
+
+    @classmethod
+    def from_json(cls, doc: dict[str, Any]) -> "PowerLawFit":
+        try:
+            return cls(**{
+                name: doc[name]
+                for name in (
+                    "coeff", "exponent", "lo", "hi",
+                    "x_min", "x_max", "points",
+                )
+            })
+        except (KeyError, TypeError) as exc:
+            raise ValueError(f"malformed power-law fit document: {exc}")
+
+
+def fit_power_law(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    prior_exponent: float | None = None,
+) -> PowerLawFit:
+    """Fit ``y ~ coeff * x^exponent`` with a residual error band.
+
+    Degenerate inputs degrade instead of crashing: a **single point**
+    (the planner's smallest useful calibration) pins the curve through
+    that point with ``prior_exponent`` (default 1.0) as the slope and a
+    :data:`SINGLE_POINT_BAND`-wide band — wide bars, not a guess dressed
+    up as a measurement.  Empty or non-positive data raises
+    :class:`ValueError`.
+    """
+    if len(xs) != len(ys) or not xs:
+        raise ValueError("need equal-length, non-empty sequences")
+    if any(x <= 0 for x in xs) or any(y <= 0 for y in ys):
+        raise ValueError("power-law fits need positive xs and ys")
+    if len(xs) == 1:
+        exponent = 1.0 if prior_exponent is None else prior_exponent
+        coeff = ys[0] / xs[0] ** exponent
+        return PowerLawFit(
+            coeff=coeff, exponent=exponent,
+            lo=1.0 / SINGLE_POINT_BAND, hi=SINGLE_POINT_BAND,
+            x_min=float(xs[0]), x_max=float(xs[0]), points=1,
+        )
+    exponent = fit_loglog_slope(xs, ys)
+    lx = np.log(np.asarray(xs, dtype=np.float64))
+    ly = np.log(np.asarray(ys, dtype=np.float64))
+    coeff = float(np.exp(np.mean(ly - exponent * lx)))
+    fitted = [coeff * x ** exponent for x in xs]
+    check = bounded_ratio(list(ys), fitted)
+    return PowerLawFit(
+        coeff=coeff,
+        exponent=float(exponent),
+        lo=check.min_ratio / RESIDUAL_SAFETY,
+        hi=check.max_ratio * RESIDUAL_SAFETY,
+        x_min=float(min(xs)),
+        x_max=float(max(xs)),
+        points=len(xs),
+    )

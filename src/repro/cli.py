@@ -14,9 +14,12 @@
     python -m repro serve --port 8173 --jobs 2 --checkpoint cache.ledger
     python -m repro serve --port 8173 --jobs 2 --jobs-dir jobs/
     python -m repro serve --port 8173 --shards 2 --shard-dir shards/
+    python -m repro calibrate --output CALIBRATION.json
+    python -m repro serve --port 8173 --calibration CALIBRATION.json
     python -m repro loadgen --url http://127.0.0.1:8173 --smoke
     python -m repro loadgen --job-mode --smoke
     python -m repro loadgen --open-loop --smoke
+    python -m repro loadgen --plan-mode --smoke
     python -m repro list
     python -m repro --version
 
@@ -41,12 +44,21 @@ background sweep jobs that checkpoint per cell and are resumed by a
 restarted server; ``--shards N`` runs the sharded tier instead — N
 shard processes (consistent hashing on the content key, one
 ledger-backed cache each) behind a health-probing failover router.
+``calibrate`` fits per-host cost-model curves against the closed-form
+bounds and writes a versioned calibration profile; ``serve
+--calibration PROFILE`` loads it to answer ``POST /v1/plan``,
+auto-select engines, and gate admission on predicted charged cost
+(per-tenant token buckets keyed by the ``X-Tenant`` header plus a
+global in-flight ceiling — see ``docs/planner.md``).
 ``loadgen`` drives a server with a closed-loop
 hot/cold client mix and writes ``BENCH_service_throughput.json``
 (``--job-mode`` measures batch-job interference and restart-resume
 identity; ``--open-loop`` runs the sharded-tier bench — scaling rows,
 Poisson-arrival tail-latency phases, a shard-kill fault run — and
-writes ``BENCH_service_shard.json``).  ``list``
+writes ``BENCH_service_shard.json``; ``--plan-mode`` runs the
+planner bench — prediction accuracy plus the adversarial
+cheap/enormous admission comparison — and writes
+``BENCH_service_plan.json``).  ``list``
 enumerates programs and access functions.  ``run``, ``profile``,
 ``touch``, ``bench`` and ``loadgen`` all take ``--json`` for
 machine-readable output, and ``--version`` prints the package version.
@@ -341,7 +353,58 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_calibrate(args) -> int:
+    from repro.analysis.predict import (
+        CalibrationProfile,
+        calibrate_profile,
+        write_profile,
+    )
+
+    echo = None if args.json else print
+    if echo:
+        mode = "smoke grid" if args.smoke else "full grid"
+        echo(f"calibrating the cost model on this host ({mode}, "
+             f"mu={args.mu}, f={args.f}, best of {args.repeats} repeat(s))")
+    try:
+        doc = calibrate_profile(
+            mu=args.mu,
+            f=args.f,
+            repeats=args.repeats,
+            smoke=args.smoke,
+            echo=echo,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    CalibrationProfile(doc)  # self-check: the file we write must load
+    if args.json:
+        _dump_json(doc)
+        return 0
+    write_profile(args.output, doc)
+    if echo:
+        echo(f"\nwrote {args.output} ({len(doc['models'])} engine/program "
+             f"model(s) over v={doc['v_grid']})")
+        echo(f"serve with:  python -m repro serve --calibration "
+             f"{args.output}")
+    return 0
+
+
+def _budget_args(args) -> dict:
+    out = {}
+    if args.tenant_capacity is not None:
+        out["tenant_capacity"] = args.tenant_capacity
+    if args.tenant_refill is not None:
+        out["tenant_refill"] = args.tenant_refill
+    if args.cost_ceiling is not None:
+        out["cost_ceiling"] = args.cost_ceiling
+    return out
+
+
 def cmd_serve(args) -> int:
+    if args.calibration is None and _budget_args(args):
+        raise SystemExit(
+            "--tenant-capacity/--tenant-refill/--cost-ceiling configure the "
+            "cost-model planner; pass --calibration PROFILE to enable it"
+        )
     if args.shards > 1:
         if args.checkpoint or args.resume:
             raise SystemExit(
@@ -359,9 +422,24 @@ def cmd_serve(args) -> int:
             queue_limit=args.queue_limit,
             jobs=args.jobs,
             jobs_dir=args.jobs_dir,
+            calibration=args.calibration,
+            budget_args=_budget_args(args),
         )
     from repro.service.server import serve
 
+    planner = None
+    if args.calibration is not None:
+        from repro.service.planner import planner_from_profile
+
+        budgets = _budget_args(args)
+        if "tenant_refill" in budgets:
+            budgets["tenant_refill_per_s"] = budgets.pop("tenant_refill")
+        try:
+            planner = planner_from_profile(
+                args.calibration, service_jobs=args.jobs, **budgets
+            )
+        except ValueError as exc:
+            raise SystemExit(str(exc))
     ledger = _open_ledger(args)
     try:
         return serve(
@@ -372,6 +450,7 @@ def cmd_serve(args) -> int:
             jobs=args.jobs,
             ledger=ledger,
             jobs_dir=args.jobs_dir,
+            planner=planner,
         )
     finally:
         if ledger is not None:
@@ -380,15 +459,60 @@ def cmd_serve(args) -> int:
 
 def cmd_loadgen(args) -> int:
     from repro.service.loadgen import (
+        check_plan_against,
         check_service_against,
         check_shard_against,
         run_job_bench,
         run_loadgen,
+        run_plan_bench,
         run_shard_bench,
         write_service_bench,
     )
 
     echo = None if args.json else print
+    if args.plan_mode:
+        if args.open_loop or args.job_mode:
+            raise SystemExit("--plan-mode is exclusive with "
+                             "--open-loop/--job-mode")
+        if args.url:
+            raise SystemExit(
+                "--plan-mode boots in-process servers (it compares planner "
+                "on/off admission policies); --url is not supported"
+            )
+        doc = run_plan_bench(
+            seed=args.seed,
+            smoke=args.smoke,
+            calibration=args.calibration,
+            echo=echo,
+        )
+        if args.check:
+            try:
+                baseline = json.loads(pathlib.Path(args.check).read_text())
+            except (OSError, ValueError) as exc:
+                raise SystemExit(f"cannot read baseline {args.check}: {exc}")
+            try:
+                problems = check_plan_against(doc, baseline)
+            except ValueError as exc:
+                raise SystemExit(str(exc))
+            if args.output:
+                write_service_bench(args.output, doc)
+            if problems:
+                for p in problems:
+                    print(f"REGRESSION: {p}", file=sys.stderr)
+                return 1
+            if echo:
+                echo(f"no regressions vs {args.check}")
+            return 0
+        if args.json:
+            _dump_json(doc)
+        out = args.output or "BENCH_service_plan.json"
+        write_service_bench(out, doc)
+        if echo:
+            echo(f"\nwrote {out}")
+        problems = check_plan_against(doc, doc)
+        for p in problems:
+            print(f"SLO VIOLATION: {p}", file=sys.stderr)
+        return 1 if problems else 0
     if args.open_loop:
         if args.job_mode:
             raise SystemExit("--open-loop and --job-mode are exclusive")
@@ -685,6 +809,26 @@ def build_parser() -> argparse.ArgumentParser:
                          help="emit the result document to stdout as JSON")
     p_bench.set_defaults(func=cmd_bench)
 
+    p_cal = sub.add_parser(
+        "calibrate",
+        help="fit per-host cost-model curves (bound-anchored power laws) "
+             "and write a calibration profile for the serve planner",
+    )
+    p_cal.add_argument("--output", default="CALIBRATION.json", metavar="PATH",
+                       help="profile path (default CALIBRATION.json)")
+    p_cal.add_argument("--smoke", action="store_true",
+                       help="reduced v grid (CI smoke job; wider error "
+                            "bars at large v)")
+    p_cal.add_argument("--mu", type=int, default=8,
+                       help="words per block for calibration runs")
+    p_cal.add_argument("--f", default="x^0.5",
+                       help=f"access function: {FUNCTION_HELP}")
+    p_cal.add_argument("--repeats", type=int, default=2,
+                       help="wall-clock repeats per cell (best-of)")
+    p_cal.add_argument("--json", action="store_true",
+                       help="emit the profile to stdout instead of --output")
+    p_cal.set_defaults(func=cmd_calibrate)
+
     p_serve = sub.add_parser(
         "serve",
         help="serve the engines over HTTP (cache, coalescing, backpressure)",
@@ -722,6 +866,25 @@ def build_parser() -> argparse.ArgumentParser:
                          help="shard state directory (ledgers, port/pid "
                               "files; default shards/) — reuse it across "
                               "restarts for warm shard caches")
+    p_serve.add_argument("--calibration", default=None, metavar="PROFILE",
+                         help="enable the cost-model planner: load this "
+                              "calibration profile (from `python -m repro "
+                              "calibrate`), answer POST /v1/plan, auto-"
+                              "select engines, and gate admission on "
+                              "predicted charged cost")
+    p_serve.add_argument("--tenant-capacity", type=float, default=None,
+                         metavar="WORDS",
+                         help="per-tenant token-bucket capacity in "
+                              "predicted charged words (default 20e6; "
+                              "needs --calibration)")
+    p_serve.add_argument("--tenant-refill", type=float, default=None,
+                         metavar="WORDS_PER_S",
+                         help="per-tenant budget refill rate in words/s "
+                              "(default 10e6; needs --calibration)")
+    p_serve.add_argument("--cost-ceiling", type=float, default=None,
+                         metavar="WORDS",
+                         help="global ceiling on summed in-flight predicted "
+                              "cost (default 50e6; needs --calibration)")
     p_serve.set_defaults(func=cmd_serve)
 
     p_load = sub.add_parser(
@@ -761,6 +924,17 @@ def build_parser() -> argparse.ArgumentParser:
                              "the identity check (writes "
                              "BENCH_service_shard.json); with --url, one "
                              "open-loop phase against the running tier")
+    p_load.add_argument("--plan-mode", action="store_true",
+                        help="run the planner/admission bench instead: "
+                             "prediction accuracy of POST /v1/plan vs "
+                             "measured charged cost, then an adversarial "
+                             "cheap/enormous mix under flat queue_limit vs "
+                             "cost-aware admission (writes "
+                             "BENCH_service_plan.json)")
+    p_load.add_argument("--calibration", default=None, metavar="PROFILE",
+                        help="with --plan-mode: reuse this calibration "
+                             "profile instead of calibrating a smoke "
+                             "profile in-process")
     p_load.add_argument("--shards", type=int, default=2,
                         help="shard count for --open-loop standalone mode")
     p_load.add_argument("--rate", type=float, default=150.0,

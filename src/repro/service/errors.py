@@ -9,6 +9,10 @@ Every non-2xx response body has exactly one shape::
 ``message`` is for humans and may change wording freely), and
 ``retry_after_s`` is non-null exactly when retrying the identical
 request later can succeed (it mirrors the ``Retry-After`` header).
+Specific codes may *add* keys next to the base three — today only
+``budget_exceeded``, which carries ``predicted_cost``,
+``budget_remaining`` and ``scope`` (see ``docs/planner.md``) — but the
+base three are always present.
 
 Status-to-code mapping used by the server:
 
@@ -17,11 +21,17 @@ status    code                  raised by
 ========  ====================  =============================================
 400       ``bad_request``       request validation (:class:`ValueError`)
 400       ``jobs_disabled``     jobs endpoint without a ``--jobs-dir``
+400       ``planner_disabled``  ``POST /v1/plan`` without ``--calibration``
 404       ``not_found``         unknown endpoint or unknown job id
 409       ``job_not_finished``  ``GET .../result`` before the job is done
 409       ``job_finished``      ``DELETE`` on an already-terminal job
 413       ``payload_too_large`` request body over the byte limit
-429       ``queue_full``        admission backpressure (has ``retry_after_s``)
+429       ``queue_full``        slot-count backpressure (has
+                                ``retry_after_s``)
+429       ``budget_exceeded``   cost-aware admission: tenant budget or the
+                                global in-flight predicted-cost ceiling (has
+                                ``retry_after_s`` plus ``predicted_cost``,
+                                ``budget_remaining``, ``scope``)
 500       ``internal``          anything else
 500       ``job_failed``        ``GET .../result`` of a failed job
 503       ``shard_unavailable`` the sharded tier's router when no shard in a
@@ -42,16 +52,20 @@ __all__ = ["ApiError", "error_envelope"]
 
 
 def error_envelope(
-    code: str, message: str, retry_after_s: float | None = None
+    code: str,
+    message: str,
+    retry_after_s: float | None = None,
+    **extra: Any,
 ) -> dict[str, Any]:
-    """The one true error body (exactly three keys, always)."""
-    return {
-        "error": {
-            "code": code,
-            "message": message,
-            "retry_after_s": retry_after_s,
-        }
+    """The one true error body (the three base keys, always; specific
+    codes may add documented ``extra`` keys beside them)."""
+    body: dict[str, Any] = {
+        "code": code,
+        "message": message,
+        "retry_after_s": retry_after_s,
     }
+    body.update(extra)
+    return {"error": body}
 
 
 class ApiError(Exception):

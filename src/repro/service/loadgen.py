@@ -49,6 +49,18 @@ time-to-complete, and — after stopping the job runner mid-job and
 re-adopting on a fresh service over the same jobs directory — whether
 the resumed job's result document is identical to an uninterrupted
 run's.
+
+:func:`run_plan_bench` is the planner driver (``loadgen --plan-mode``,
+writing ``BENCH_service_plan.json``): it checks ``POST /v1/plan``
+prediction accuracy against measured charged cost over the bench
+sort/FFT matrix (interior *and* extrapolated guest widths), then runs
+the adversarial cheap/enormous mix — a lane of cheap simulations
+sharing the service with clients submitting enormous ones — under flat
+``queue_limit`` admission and under cost-aware admission.  The
+documented SLO (:data:`PLAN_P99_BOUND_X`): cost-aware admission keeps
+the cheap lane's p99 within 3x the uniform-load p99 by shedding the
+enormous requests at the door, while flat admission lets them occupy
+the queue slots and demonstrably does not.
 """
 
 from __future__ import annotations
@@ -68,12 +80,16 @@ from typing import Any
 __all__ = [
     "SERVICE_BENCH_SCHEMA",
     "SHARD_BENCH_SCHEMA",
+    "PLAN_BENCH_SCHEMA",
     "MIN_OPEN_LOOP_SAMPLES",
+    "PLAN_P99_BOUND_X",
     "run_loadgen",
     "run_job_bench",
     "run_shard_bench",
+    "run_plan_bench",
     "check_service_against",
     "check_shard_against",
+    "check_plan_against",
     "write_service_bench",
 ]
 
@@ -84,6 +100,10 @@ SERVICE_BENCH_SCHEMA = 2
 #: sharded-tier bench document schema (``BENCH_service_shard.json``):
 #: scaling rows + open-loop tail-latency phases + fault-injection run
 SHARD_BENCH_SCHEMA = 1
+
+#: planner bench document schema (``BENCH_service_plan.json``):
+#: prediction-accuracy rows + the adversarial admission comparison
+PLAN_BENCH_SCHEMA = 1
 
 #: engines in the request mix (every family; ``direct`` keeps the guest
 #: reference in the traffic)
@@ -265,6 +285,68 @@ class _Client(threading.Thread):
                     self._issue("/v1/batch", {"requests": chunk})
         finally:
             self._reconnect()
+
+
+class _OneShotClient(_Client):
+    """A bulk-lane client: every request gets exactly one attempt.
+
+    The plan bench's enormous requests must *not* ride the 429 retry
+    loop — under cost-aware admission the whole point is that they are
+    shed, and a retrying client would just re-offer them.  A 429 is
+    tallied as ``shed_429`` and the client moves on.
+    """
+
+    def __init__(self, url: str, requests: list[dict[str, Any]]):
+        super().__init__(url, requests, batch=1)
+        self.shed_429 = 0
+
+    def run(self) -> None:
+        try:
+            for request in self.requests:
+                self._issue_once(request)
+        finally:
+            self._reconnect()
+
+    def _issue_once(self, body: dict[str, Any]) -> None:
+        payload = json.dumps(body).encode("utf-8")
+        t0 = time.perf_counter()
+        try:
+            conn = self._connect()
+            conn.request(
+                "POST", "/v1/run", body=payload,
+                headers={"Content-Type": "application/json"},
+            )
+            resp = conn.getresponse()
+            raw = resp.read()
+            status = resp.status
+        except (http.client.HTTPException, OSError) as exc:
+            self._reconnect()
+            self.errors += 1
+            if len(self.failures) < 8:
+                self.failures.append(f"transport: {exc!r}")
+            return
+        try:
+            doc = json.loads(raw) if raw else {}
+        except ValueError:
+            doc = {}
+        if status == 200:
+            self.latencies.append(time.perf_counter() - t0)
+            self._tally(doc)
+            return
+        if status == 429:
+            self.shed_429 += 1
+            self.rejected += 1
+            return
+        envelope = doc.get("error")
+        if not isinstance(envelope, dict):
+            envelope = {"code": "unknown",
+                        "message": raw.decode("utf-8", "replace")}
+        self.errors += 1
+        if len(self.failures) < 8:
+            self.failures.append(
+                f"{status} {envelope.get('code', '?')}: "
+                f"{envelope.get('message', '')}"
+            )
 
 
 def _percentile(values: list[float], q: float) -> float | None:
@@ -1146,6 +1228,407 @@ def run_job_bench(
             f"(results identical: {doc['results_identical']})"
         )
     return doc
+
+
+# -------------------------------------------------------------- plan bench
+
+#: the planner's documented admission SLO, recorded in every plan-bench
+#: document and enforced by :func:`check_plan_against`: under the
+#: adversarial cheap/enormous mix, cost-aware admission must keep the
+#: cheap lane's p99 within this multiple of the uniform-load p99 —
+#: and flat ``queue_limit`` admission must demonstrably exceed it,
+#: otherwise the mix was not adversarial enough to mean anything.
+PLAN_P99_BOUND_X = 3.0
+
+#: global in-flight predicted-cost ceiling for the cost-aware phase —
+#: far below one enormous request's predicted charged words, far above
+#: a cheap request's, so admission separates the lanes by cost alone
+_PLAN_COST_CEILING = 1e6
+
+#: the prediction-accuracy matrix: every simulation engine over the
+#: bench programs, at an interior guest width and an extrapolated one
+#: (beyond any calibration grid — the bars must widen, not the model
+#: silently pretend).  ``direct`` is excluded: it charges zero words,
+#: so its words band is the trivial [0, 0].
+_PLAN_MATRIX_ENGINES = ("vec", "hmm", "bt", "brent")
+_PLAN_MATRIX_PROGRAMS = ("sort", "fft-rec")
+_PLAN_INTERIOR_V = 32
+_PLAN_EXTRAPOLATED_V = 128
+
+
+def _plan_cheap_request(index: int) -> dict[str, Any]:
+    """One cheap-lane request: a small vec sort, always a cold key."""
+    return {
+        "engine": "vec", "program": "sort", "v": 32, "mu": 8,
+        "f": f"x^0.{200001 + index}", "trace": "counters",
+    }
+
+
+def _plan_enormous_request(index: int, v: int) -> dict[str, Any]:
+    """One bulk-lane request: a bt sort wide enough to hold a queue
+    slot for hundreds of milliseconds, always a cold key."""
+    return {
+        "engine": "bt", "program": "sort", "v": v, "mu": 8,
+        "f": f"x^0.{300001 + index}", "trace": "counters",
+    }
+
+
+def _measured_charged_words(engine: str, program: str, v: int) -> float:
+    """Actually run the cell and read its charged words off the meter."""
+    from repro.engines import ENGINES, build_program, resolve_access_function
+
+    result = ENGINES[engine].run(
+        build_program(program, v, 8),
+        resolve_access_function("x^0.5"),
+        trace="counters",
+    )
+    return float(
+        result.counters.get("words_touched", 0)
+        + result.counters.get("words_moved", 0)
+    )
+
+
+def _post_plan(conn: http.client.HTTPConnection, body: dict[str, Any]) -> dict[str, Any]:
+    conn.request(
+        "POST", "/v1/plan", body=json.dumps(body).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    resp = conn.getresponse()
+    raw = resp.read()
+    if resp.status != 200:
+        raise RuntimeError(f"/v1/plan got {resp.status}: {raw[:200]!r}")
+    return json.loads(raw)
+
+
+def _run_mix_phase(
+    url: str,
+    name: str,
+    cheap_streams: list[list[dict[str, Any]]],
+    bulk_streams: list[list[dict[str, Any]]],
+    echo=None,
+) -> dict[str, Any]:
+    """One adversarial phase: cheap closed-loop clients beside one-shot
+    bulk clients; the bulk lane starts first so the enormous requests
+    are already at the door when the cheap lane arrives."""
+    cheap = [_Client(url, stream) for stream in cheap_streams]
+    bulk = [_OneShotClient(url, stream) for stream in bulk_streams]
+    t0 = time.perf_counter()
+    for w in bulk:
+        w.start()
+    if bulk:
+        time.sleep(0.05)
+    for w in cheap:
+        w.start()
+    for w in bulk:
+        w.join()
+    for w in cheap:
+        w.join()
+    wall = time.perf_counter() - t0
+    doc: dict[str, Any] = {"wall_s": wall, "cheap": _collect(cheap)}
+    if bulk:
+        bulk_doc = _collect(bulk)
+        bulk_doc["shed_429"] = sum(w.shed_429 for w in bulk)
+        doc["bulk"] = bulk_doc
+    if echo:
+        line = f"  {name:22s} cheap {_fmt_latency(doc['cheap'])}"
+        if bulk:
+            served = sum(doc["bulk"]["served"].values())
+            line += (f"  bulk served={served} "
+                     f"shed={doc['bulk']['shed_429']}")
+        if doc["cheap"]["errors"] or (bulk and doc["bulk"]["errors"]):
+            line += "  ERRORS"
+        echo(line)
+    return doc
+
+
+def run_plan_bench(
+    seed: int = 7,
+    smoke: bool = False,
+    calibration: str | None = None,
+    echo=None,
+) -> dict[str, Any]:
+    """The planner bench (``loadgen --plan-mode``): two sections.
+
+    1. **Prediction accuracy** — ``POST /v1/plan`` over the engine x
+       program matrix at an interior and an extrapolated guest width;
+       each prediction's ``[charged_words_lo, charged_words_hi]`` band
+       is then checked against the actually-measured charged words.
+    2. **Adversarial admission** — the same cheap request stream under
+       three servers: uniform load (cost-aware server, cheap lane
+       only), the cheap/enormous mix under flat ``queue_limit``
+       admission, and the same mix under cost-aware admission with a
+       global predicted-cost ceiling below one enormous request.  Flat
+       admission lets the enormous requests occupy the queue slots
+       (the cheap lane rides 429 backoffs); cost-aware admission sheds
+       them at the door before they ever hold a slot.
+    """
+    from repro.analysis.predict import (
+        CalibrationProfile,
+        CostModel,
+        calibrate_profile,
+        load_profile,
+    )
+    from repro.bench import _git_revision
+    from repro.service.planner import Planner
+    from repro.service.server import ServiceServer, SimService
+
+    if calibration is not None:
+        profile = load_profile(calibration)
+        cal_source = calibration
+    else:
+        if echo:
+            echo("calibrating a smoke profile in-process "
+                 "(pass --calibration PROFILE to reuse a saved one)")
+        profile = CalibrationProfile(
+            calibrate_profile(smoke=True, repeats=1)
+        )
+        cal_source = "in-process smoke calibration"
+    model = CostModel(profile)
+
+    def make_planner() -> Planner:
+        # budgets are stateful; every server gets a fresh planner
+        return Planner(model, cost_ceiling=_PLAN_COST_CEILING)
+
+    # enough cheap samples that nearest-rank p99 sits below the max —
+    # one OS-noise outlier must not decide the phase comparison
+    cheap_clients = 3
+    cheap_per_client = 34 if smoke else 67
+    # as many bulk clients as queue slots: under flat admission the
+    # enormous requests hold every slot for the whole bulk window, so
+    # the cheap lane's lockout is deterministic, not a thread race
+    bulk_clients = 4
+    bulk_per_client = 3 if smoke else 2
+    enormous_v = 512 if smoke else 1024
+    queue_limit = 4
+
+    doc: dict[str, Any] = {
+        "schema": PLAN_BENCH_SCHEMA,
+        "produced_by": "python -m repro loadgen --plan-mode"
+        + (" --smoke" if smoke else ""),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "revision": _git_revision(),
+        "seed": seed,
+        "calibration": {
+            "source": cal_source,
+            "v_grid": profile.doc.get("v_grid"),
+            "mu": profile.doc.get("mu"),
+            "f": profile.doc.get("f"),
+        },
+        "queue_limit": queue_limit,
+        "cost_ceiling": _PLAN_COST_CEILING,
+        "cheap_clients": cheap_clients,
+        "cheap_per_client": cheap_per_client,
+        "bulk_clients": bulk_clients,
+        "bulk_per_client": bulk_per_client,
+        "enormous_v": enormous_v,
+        "p99_bound_x": PLAN_P99_BOUND_X,
+    }
+
+    # --- section 1: prediction accuracy + the uniform-load baseline
+    if echo:
+        echo("prediction accuracy (POST /v1/plan vs measured):")
+    rows: list[dict[str, Any]] = []
+    cheap_base = 0
+    with ServiceServer(
+        SimService(queue_limit=queue_limit, planner=make_planner())
+    ) as server:
+        parsed = urllib.parse.urlsplit(server.url)
+        conn = http.client.HTTPConnection(
+            parsed.hostname or "127.0.0.1", parsed.port or 80, timeout=120.0
+        )
+        try:
+            for engine in _PLAN_MATRIX_ENGINES:
+                for program in _PLAN_MATRIX_PROGRAMS:
+                    for v in (_PLAN_INTERIOR_V, _PLAN_EXTRAPOLATED_V):
+                        plan = _post_plan(conn, {
+                            "engine": engine, "program": program,
+                            "v": v, "mu": 8, "f": "x^0.5",
+                        })
+                        pred = plan["prediction"]
+                        measured = _measured_charged_words(
+                            engine, program, v
+                        )
+                        row = {
+                            "engine": engine,
+                            "program": program,
+                            "v": v,
+                            "predicted": pred["charged_words"],
+                            "lo": pred["charged_words_lo"],
+                            "hi": pred["charged_words_hi"],
+                            "measured": measured,
+                            "extrapolated": pred["extrapolated"],
+                            "within_band": (
+                                pred["charged_words_lo"] <= measured
+                                <= pred["charged_words_hi"]
+                            ),
+                        }
+                        rows.append(row)
+                        if echo:
+                            tag = ("ok" if row["within_band"]
+                                   else "OUT OF BAND")
+                            extra = (" (extrapolated)"
+                                     if row["extrapolated"] else "")
+                            echo(
+                                f"  {engine:7s} {program:8s} v={v:<5d}"
+                                f" predicted={row['predicted']:>12,.0f}"
+                                f" measured={measured:>12,.0f}"
+                                f"  {tag}{extra}"
+                            )
+        finally:
+            conn.close()
+        doc["prediction"] = {
+            "rows": rows,
+            "all_within_band": all(r["within_band"] for r in rows),
+        }
+
+        if echo:
+            echo("admission phases (cheap p99 is the number):")
+        cheap_streams = []
+        for _ in range(cheap_clients):
+            stream = [
+                _plan_cheap_request(cheap_base + i)
+                for i in range(cheap_per_client)
+            ]
+            cheap_base += cheap_per_client
+            cheap_streams.append(stream)
+        uniform = _run_mix_phase(
+            server.url, "uniform", cheap_streams, [], echo=echo
+        )
+
+    def fresh_cheap_streams() -> list[list[dict[str, Any]]]:
+        nonlocal cheap_base
+        streams = []
+        for _ in range(cheap_clients):
+            streams.append([
+                _plan_cheap_request(cheap_base + i)
+                for i in range(cheap_per_client)
+            ])
+            cheap_base += cheap_per_client
+        return streams
+
+    bulk_base = 0
+
+    def fresh_bulk_streams() -> list[list[dict[str, Any]]]:
+        nonlocal bulk_base
+        streams = []
+        for _ in range(bulk_clients):
+            streams.append([
+                _plan_enormous_request(bulk_base + i, enormous_v)
+                for i in range(bulk_per_client)
+            ])
+            bulk_base += bulk_per_client
+        return streams
+
+    # --- section 2: the adversarial mix, flat vs cost-aware admission
+    with ServiceServer(SimService(queue_limit=queue_limit)) as server:
+        flat = _run_mix_phase(
+            server.url, "adversarial_flat",
+            fresh_cheap_streams(), fresh_bulk_streams(), echo=echo,
+        )
+
+    with ServiceServer(
+        SimService(queue_limit=queue_limit, planner=make_planner())
+    ) as server:
+        costaware = _run_mix_phase(
+            server.url, "adversarial_costaware",
+            fresh_cheap_streams(), fresh_bulk_streams(), echo=echo,
+        )
+
+    doc["phases"] = {
+        "uniform": uniform,
+        "adversarial_flat": flat,
+        "adversarial_costaware": costaware,
+    }
+    uniform_p99 = uniform["cheap"].get("latency_p99_s")
+    flat_p99 = flat["cheap"].get("latency_p99_s")
+    costaware_p99 = costaware["cheap"].get("latency_p99_s")
+    doc["cheap_p99_uniform_s"] = uniform_p99
+    doc["cheap_p99_flat_s"] = flat_p99
+    doc["cheap_p99_costaware_s"] = costaware_p99
+    doc["flat_over_uniform"] = (
+        flat_p99 / uniform_p99 if uniform_p99 and flat_p99 else None
+    )
+    doc["costaware_over_uniform"] = (
+        costaware_p99 / uniform_p99
+        if uniform_p99 and costaware_p99 else None
+    )
+    doc["shed_429"] = costaware["bulk"]["shed_429"]
+    doc["errors"] = sum(
+        phase[lane]["errors"]
+        for phase in doc["phases"].values()
+        for lane in ("cheap", "bulk")
+        if lane in phase
+    )
+    if echo and doc["flat_over_uniform"] and doc["costaware_over_uniform"]:
+        echo(
+            f"  cheap p99 vs uniform: flat "
+            f"{doc['flat_over_uniform']:.1f}x, cost-aware "
+            f"{doc['costaware_over_uniform']:.1f}x (bound "
+            f"{PLAN_P99_BOUND_X:g}x); cost-aware shed "
+            f"{doc['shed_429']} enormous request(s)"
+        )
+    return doc
+
+
+def check_plan_against(
+    fresh: dict[str, Any], baseline: dict[str, Any]
+) -> list[str]:
+    """Enforce the plan bench's documented guarantees.
+
+    Refuses (raises :class:`ValueError`) on schema drift, like the
+    other ``check_*_against`` gates.  The checks are self-SLOs of the
+    fresh document — every prediction within its own error band, the
+    cost-aware phase actually shedding, and the p99 contrast — so
+    ``check_plan_against(doc, doc)`` is the standalone-mode check.
+    """
+    fresh_schema = fresh.get("schema")
+    base_schema = baseline.get("schema")
+    if fresh_schema != base_schema:
+        raise ValueError(
+            f"cannot compare plan bench documents across schemas: fresh "
+            f"run is schema {fresh_schema!r}, baseline is schema "
+            f"{base_schema!r}.  Regenerate the baseline with the current "
+            f"code (python -m repro loadgen --plan-mode --output "
+            f"<baseline.json>) and re-check."
+        )
+    problems: list[str] = []
+    if fresh.get("errors"):
+        problems.append(f"{fresh['errors']} request(s) failed")
+    rows = fresh.get("prediction", {}).get("rows", [])
+    if not rows:
+        problems.append("no prediction-accuracy rows recorded")
+    for row in rows:
+        if not row.get("within_band"):
+            problems.append(
+                f"prediction out of band: {row['engine']}/{row['program']}"
+                f" v={row['v']}: measured {row['measured']:,.0f} outside "
+                f"[{row['lo']:,.0f}, {row['hi']:,.0f}]"
+            )
+    if not fresh.get("shed_429"):
+        problems.append(
+            "cost-aware admission shed no enormous request (shed_429=0) "
+            "— the cost gate never fired"
+        )
+    bound = fresh.get("p99_bound_x") or PLAN_P99_BOUND_X
+    costaware_x = fresh.get("costaware_over_uniform")
+    flat_x = fresh.get("flat_over_uniform")
+    if costaware_x is None or flat_x is None:
+        problems.append("cheap-lane p99 ratios missing from the document")
+    else:
+        if costaware_x > bound:
+            problems.append(
+                f"cost-aware admission: cheap p99 is {costaware_x:.2f}x "
+                f"the uniform-load p99 (documented bound: {bound:g}x)"
+            )
+        if flat_x <= bound:
+            problems.append(
+                f"flat queue_limit admission kept cheap p99 at "
+                f"{flat_x:.2f}x uniform (<= {bound:g}x) — the adversarial "
+                f"mix failed to demonstrate the contrast"
+            )
+    return problems
 
 
 def check_service_against(

@@ -185,15 +185,21 @@ class ShardClient:
         method: str,
         path: str,
         body: bytes | None = None,
+        headers: dict[str, str] | None = None,
     ) -> tuple[int, dict[str, str], bytes]:
         """One forwarded request; raises ``OSError`` on transport failure.
 
         A request on a pooled (possibly stale) keep-alive connection
         gets one retry on a fresh connection before the failure
         propagates — a shard restart must not surface as an error for
-        requests that never reached the old process.
+        requests that never reached the old process.  ``headers`` are
+        extra request headers (the router forwards ``X-Tenant`` so the
+        shard charges the right cost budget).
         """
-        headers = {"Content-Type": "application/json"} if body else {}
+        send_headers = dict(headers or {})
+        if body:
+            send_headers.setdefault("Content-Type", "application/json")
+        headers = send_headers
         last_exc: Exception | None = None
         for attempt in range(2):
             conn = self._checkout() if attempt == 0 else (
@@ -236,11 +242,17 @@ class ShardClient:
 class Router:
     """Routing state shared by every handler thread (HTTP-agnostic)."""
 
-    def __init__(self, shards: list[ShardClient]):
+    def __init__(self, shards: list[ShardClient], planner=None):
         if not shards:
             raise ValueError("a router needs at least one shard")
         self.shards = shards
         self.ring = HashRing(len(shards))
+        #: optional :class:`~repro.service.planner.Planner` used only to
+        #: resolve unset/``"auto"`` engines *at the front door*, so the
+        #: routing key and the shard's cache key agree (shards always
+        #: see a concrete engine).  Admission budgets live on the
+        #: shards, each gating its own slice of the key space.
+        self.planner = planner
         self.counters = Counters()
         self._lock = threading.Lock()
         self._probe_stop = threading.Event()
@@ -308,7 +320,12 @@ class Router:
         )
 
     def forward_by_key(
-        self, key: str, method: str, path: str, body: bytes | None
+        self,
+        key: str,
+        method: str,
+        path: str,
+        body: bytes | None,
+        headers: dict[str, str] | None = None,
     ) -> tuple[int, dict[str, str], bytes]:
         """Forward to ``key``'s owner, walking the failover chain.
 
@@ -326,7 +343,7 @@ class Router:
                 # rides the re-hashed arc on a failover shard
                 self.counters.add("failovers")
             try:
-                result = shard.request(method, path, body)
+                result = shard.request(method, path, body, headers=headers)
             except OSError:
                 self.mark_dead(shard, "forward")
                 continue
@@ -335,12 +352,16 @@ class Router:
         raise self._unavailable(f"key {key[:12]}…")
 
     def forward_pinned(
-        self, method: str, path: str, body: bytes | None
+        self,
+        method: str,
+        path: str,
+        body: bytes | None,
+        headers: dict[str, str] | None = None,
     ) -> tuple[int, dict[str, str], bytes]:
         """Forward to shard 0 (the jobs surface is process-local)."""
         shard = self.shards[0]
         try:
-            result = shard.request(method, path, body)
+            result = shard.request(method, path, body, headers=headers)
         except OSError:
             self.mark_dead(shard, "forward")
             raise self._unavailable(path) from None
@@ -368,6 +389,7 @@ class Router:
                     metrics = json.loads(payload)
                     doc["cache"] = metrics.get("cache", {})
                     doc["requests"] = metrics.get("requests", {})
+                    doc["planner"] = metrics.get("planner", {})
             except (OSError, ValueError):
                 pass  # alive flag still reflects the prober's view
         return doc
@@ -386,18 +408,51 @@ class Router:
         router.update(self.counters.snapshot())
         shards: dict[str, Any] = {}
         rollup = {"hits": 0, "misses": 0, "stores": 0, "preloaded": 0}
+        planner_rollup: dict[str, Any] = {
+            "enabled": False,
+            "shed_tenant": 0,
+            "shed_global": 0,
+            "tenants": {},
+        }
+        tenant_rollup: dict[str, dict[str, float]] = planner_rollup["tenants"]
         for shard in self.shards:
             doc = self.shard_doc(shard)
             shards[str(shard.index)] = doc
             for field in rollup:
                 rollup[field] += doc.get("cache", {}).get(field, 0)
-        return {
+            shard_planner = doc.get("planner", {})
+            if shard_planner.get("enabled"):
+                # each shard gates its own key-space slice; the tier-wide
+                # view of one tenant's budget is the sum over shards
+                planner_rollup["enabled"] = True
+                for counter in ("shed_tenant", "shed_global"):
+                    planner_rollup[counter] += shard_planner.get(counter, 0)
+                for tenant, budget in shard_planner.get(
+                    "tenants", {}
+                ).items():
+                    agg = tenant_rollup.setdefault(
+                        tenant,
+                        {
+                            "capacity": 0.0,
+                            "remaining": 0.0,
+                            "spent_total": 0.0,
+                            "rejections": 0,
+                        },
+                    )
+                    for field in agg:
+                        agg[field] += budget.get(field, 0)
+        doc = {
             "schema": SERVICE_SCHEMA,
             "api": API_VERSION,
             "router": router,
             "shards": shards,
             "cache": rollup,
         }
+        # keep the planner-less metrics envelope unchanged: the section
+        # appears only when some shard (or the router) actually plans
+        if planner_rollup["enabled"] or self.planner is not None:
+            doc["planner"] = planner_rollup
+        return doc
 
     def healthz(self) -> dict[str, Any]:
         """Healthz is shard-transparent: a live shard's document plus a
@@ -432,6 +487,7 @@ class RouterHandler(JsonApiHandler):
         ("GET", ("metrics",), "ep_metrics"),
         ("POST", ("run",), "ep_run"),
         ("POST", ("batch",), "ep_batch"),
+        ("POST", ("plan",), "ep_plan"),
         ("POST", ("jobs",), "ep_jobs"),
         ("GET", ("jobs",), "ep_jobs"),
         ("GET", ("jobs", None), "ep_jobs"),
@@ -446,6 +502,32 @@ class RouterHandler(JsonApiHandler):
 
     def _on_deprecated_request(self) -> None:
         self.router.counters.add("deprecated_requests")
+
+    def _forward_headers(self) -> dict[str, str]:
+        """Request headers the router relays shard-ward (tenant identity)."""
+        tenant = (self.headers.get("X-Tenant") or "").strip()
+        return {"X-Tenant": tenant} if tenant else {}
+
+    def _resolve_engine(self, body: Any) -> tuple[Any, bytes]:
+        """Resolve an unset/``"auto"`` engine at the front door.
+
+        The chosen engine is written *into the forwarded body*, so the
+        ring key computed here and the cache key the shard derives are
+        one and the same.  Without a router planner the body passes
+        through untouched (the shard's own planner may still choose,
+        shifting only which shard's cache holds the result).
+        """
+        if (
+            self.router.planner is not None
+            and isinstance(body, dict)
+            and ("engine" not in body or body.get("engine") == "auto")
+        ):
+            probe = {k: v for k, v in body.items() if k != "engine"}
+            decision = self.router.planner.plan(
+                SimRequest.from_json(probe), engine_unset=True
+            )
+            body = dict(probe, engine=decision.engine)
+        return body, json.dumps(body).encode("utf-8")
 
     def _relay(
         self,
@@ -474,11 +556,29 @@ class RouterHandler(JsonApiHandler):
             body = json.loads(raw)
         except ValueError:
             raise ValueError("request body is not valid JSON") from None
+        body, raw = self._resolve_engine(body)
         # the router validates and hashes exactly like a shard would, so
         # a malformed request 400s here without consuming shard capacity
         key = SimRequest.from_json(body).key()
         result = self.router.forward_by_key(
-            key, "POST", f"/{API_VERSION}/run", raw
+            key, "POST", f"/{API_VERSION}/run", raw,
+            headers=self._forward_headers(),
+        )
+        return self._relay(result, headers)
+
+    def ep_plan(self, headers):
+        raw = self._read_raw_body()
+        try:
+            body = json.loads(raw)
+        except ValueError:
+            raise ValueError("request body is not valid JSON") from None
+        body, raw = self._resolve_engine(body)
+        # the owner shard answers: its planner holds the cost budgets
+        # for exactly this request's slice of the key space
+        key = SimRequest.from_json(body).key()
+        result = self.router.forward_by_key(
+            key, "POST", f"/{API_VERSION}/plan", raw,
+            headers=self._forward_headers(),
         )
         return self._relay(result, headers)
 
@@ -491,7 +591,8 @@ class RouterHandler(JsonApiHandler):
         requests = body["requests"]
         if not isinstance(requests, list) or not requests:
             raise ValueError('"requests" must be a non-empty list')
-        parsed = [SimRequest.from_json(doc) for doc in requests]
+        resolved = [self._resolve_engine(doc)[0] for doc in requests]
+        parsed = [SimRequest.from_json(doc) for doc in resolved]
         # split by owner, forward sub-batches, stitch in request order —
         # a batch spanning shards still answers as one document
         groups: dict[int, list[int]] = {}
@@ -499,12 +600,14 @@ class RouterHandler(JsonApiHandler):
             owner = self.router.ring.owner(request.key())
             groups.setdefault(owner, []).append(position)
         results: list[Any] = [None] * len(parsed)
+        forward_headers = self._forward_headers()
         for owner, positions in groups.items():
-            sub = {"requests": [requests[p] for p in positions]}
+            sub = {"requests": [resolved[p] for p in positions]}
             key = parsed[positions[0]].key()
             status, _, payload = self.router.forward_by_key(
                 key, "POST", f"/{API_VERSION}/batch",
                 json.dumps(sub).encode("utf-8"),
+                headers=forward_headers,
             )
             if status != 200:
                 # a shard-side rejection (429 under load) fails the

@@ -252,6 +252,7 @@ class Scheduler:
         queue_limit: int = DEFAULT_QUEUE_LIMIT,
         retry_after_s: float = DEFAULT_RETRY_AFTER_S,
         gate: "PoolGate | None" = None,
+        planner=None,
     ):
         if queue_limit < 1:
             raise ValueError(f"queue_limit must be >= 1, got {queue_limit}")
@@ -260,12 +261,22 @@ class Scheduler:
         self.queue_limit = queue_limit
         self.retry_after_s = retry_after_s
         self.gate = gate
+        #: optional :class:`~repro.service.planner.Planner` — when set,
+        #: cost-aware admission (per-tenant budgets + global predicted-
+        #: cost ceiling) becomes the primary gate; ``queue_limit`` stays
+        #: on as a slot-count backstop
+        self.planner = planner
         self.counters = Counters()
         self._lock = threading.Lock()
         self._inflight: dict[str, _Flight] = {}
 
     # ------------------------------------------------------------- serving
-    def submit(self, request: SimRequest) -> tuple[str, Any, str]:
+    def submit(
+        self,
+        request: SimRequest,
+        tenant: str = "default",
+        decision=None,
+    ) -> tuple[str, Any, str]:
         """Serve one request; returns ``(key, document, served)``.
 
         ``served`` says which path produced the response: ``"cached"``
@@ -273,7 +284,16 @@ class Scheduler:
         ``"coalesced"`` (rode another request's computation) or
         ``"computed"`` (this request led a fresh engine invocation).
         Raises :class:`QueueFull` when admission would exceed
-        ``queue_limit`` distinct in-flight computations.
+        ``queue_limit`` distinct in-flight computations, or its subclass
+        ``BudgetExceeded`` when a configured planner sheds the request
+        (tenant budget or global predicted-cost ceiling).
+
+        Cache hits and coalesced followers charge no budget — cost-aware
+        admission, like slot admission, applies to *work*, not traffic.
+        ``decision`` is the server's already-computed
+        :class:`~repro.service.planner.PlanDecision` (so planning runs
+        once per request); left ``None`` with a planner set, the
+        scheduler plans here.
         """
         key = request.key()
         with self._lock:
@@ -290,6 +310,16 @@ class Scheduler:
                         f"({self.queue_limit} computation(s) in flight)",
                         self.retry_after_s,
                     )
+                if self.planner is not None:
+                    if decision is None:
+                        decision = self.planner.plan(request)
+                    # raises BudgetExceeded *before* the flight exists,
+                    # so a shed request never occupies a slot
+                    try:
+                        self.planner.admit(tenant, decision)
+                    except QueueFull:
+                        self.counters.add("rejected")
+                        raise
                 flight = self._inflight[key] = _Flight()
                 self.counters.add("admitted")
                 leader = True
@@ -306,6 +336,7 @@ class Scheduler:
 
         if self.gate is not None:
             self.gate.interactive_begin()
+        started = time.perf_counter()
         try:
             doc = self._compute(request)
         except BaseException as exc:
@@ -313,13 +344,20 @@ class Scheduler:
             self.counters.add("errors")
             raise
         else:
-            self.cache.put(key, TASK_KIND, doc)
+            if decision is not None and decision.cache == "bypass":
+                self.counters.add("cache_bypassed")
+            else:
+                self.cache.put(key, TASK_KIND, doc)
             flight.result = doc
             self.counters.add("served_computed")
             return key, doc, "computed"
         finally:
             if self.gate is not None:
                 self.gate.interactive_end()
+            if self.planner is not None and decision is not None:
+                self.planner.complete(
+                    decision, time.perf_counter() - started
+                )
             with self._lock:
                 self._inflight.pop(key, None)
             flight.done.set()

@@ -11,6 +11,11 @@ The surface is versioned under ``/v1`` (all JSON):
   sequentially on this connection's handler thread (each one still
   coalesces with, and is cached for, every other connection), response
   is ``{"results": [...]}`` in request order.
+* ``POST /v1/plan`` — same body as ``/v1/run``; returns the planner's
+  cost prediction (charged words, wall time, error bars), the chosen
+  engine/config, and whether admission would accept it right now —
+  without running anything.  Requires a calibration profile
+  (``--calibration``); see ``docs/planner.md``.
 * ``POST /v1/jobs`` — enqueue a named sweep as a background *job* (body
   is one :class:`~repro.service.jobs.JobSpec` document plus an optional
   ``priority``); returns ``202`` with the job's status document.
@@ -40,7 +45,11 @@ Failure mapping — every error status carries the same envelope,
 engine/program/function is ``400 bad_request``; an unknown path is
 ``404 not_found``; an oversized body is ``413 payload_too_large`` (the
 connection closes without reading the body); a full admission queue is
-``429 queue_full`` with a ``Retry-After`` header; job-lifecycle
+``429 queue_full`` with a ``Retry-After`` header; a cost-aware shed
+(tenant budget or global predicted-cost ceiling, planner-enabled
+servers only) is ``429 budget_exceeded`` with ``predicted_cost`` /
+``budget_remaining`` / ``scope`` beside the base envelope keys (the
+``X-Tenant`` request header names the tenant); job-lifecycle
 conflicts are ``409``; anything else is ``500``.  Worker deaths and
 task timeouts are *not* failures — the scheduler retries them via the
 resilience machinery, and their traces appear in ``/v1/metrics`` under
@@ -54,12 +63,15 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 
+from dataclasses import replace
+
 from repro.engines import ENGINES, FUNCTION_HELP, PROGRAMS
 from repro.obs.counters import Counters
 from repro.resilience import recovery
 from repro.service.cache import DEFAULT_CAPACITY, ResultCache
 from repro.service.errors import ApiError, error_envelope
 from repro.service.jobs import JobManager
+from repro.service.planner import DEFAULT_TENANT, BudgetExceeded, Planner
 from repro.service.scheduler import (
     DEFAULT_QUEUE_LIMIT,
     SERVICE_SCHEMA,
@@ -119,18 +131,21 @@ class SimService:
         jobs_dir: str | None = None,
         max_batch_wait_s: float = 2.0,
         identity: dict[str, Any] | None = None,
+        planner: Planner | None = None,
     ):
         #: optional shard identity (e.g. ``{"shard": 0, "ledger": ...}``)
         #: surfaced in healthz/metrics so a router can tell shards apart
         self.identity = identity
         self.gate = PoolGate(max_batch_wait_s=max_batch_wait_s)
         self.cache = ResultCache(cache_capacity, ledger=ledger)
+        self.planner = planner
         self.scheduler = Scheduler(
             self.cache,
             parallel=jobs,
             queue_limit=queue_limit,
             retry_after_s=retry_after_s,
             gate=self.gate,
+            planner=planner,
         )
         self.http_counters = Counters()
         self.job_manager: JobManager | None = None
@@ -149,13 +164,41 @@ class SimService:
         return self.job_manager
 
     # ------------------------------------------------------------ handlers
-    def handle_run(self, body: Any) -> dict[str, Any]:
-        """Serve one request document; raises ``ValueError``/``QueueFull``."""
+    def _resolve(self, body: Any):
+        """Validate one request document, letting the planner fill the
+        engine when it is unset (absent or the explicit ``"auto"``).
+
+        Returns ``(request, decision)`` — ``decision`` is ``None``
+        exactly when no planner is configured.  Without a planner,
+        ``"auto"`` and an absent engine both resolve to the service
+        default (``vec``), matching pre-planner behaviour.
+        """
+        engine_unset = isinstance(body, dict) and (
+            "engine" not in body or body.get("engine") == "auto"
+        )
+        if isinstance(body, dict) and body.get("engine") == "auto":
+            body = {k: v for k, v in body.items() if k != "engine"}
         request = SimRequest.from_json(body)
-        key, doc, served = self.scheduler.submit(request)
+        if self.planner is None:
+            return request, None
+        decision = self.planner.plan(request, engine_unset=engine_unset)
+        if decision.engine != request.engine:
+            request = replace(request, engine=decision.engine)
+        return request, decision
+
+    def handle_run(
+        self, body: Any, tenant: str = DEFAULT_TENANT
+    ) -> dict[str, Any]:
+        """Serve one request document; raises ``ValueError``/``QueueFull``."""
+        request, decision = self._resolve(body)
+        key, doc, served = self.scheduler.submit(
+            request, tenant=tenant, decision=decision
+        )
         return {"key": key, "served": served, "result": doc}
 
-    def handle_batch(self, body: Any) -> dict[str, Any]:
+    def handle_batch(
+        self, body: Any, tenant: str = DEFAULT_TENANT
+    ) -> dict[str, Any]:
         """Serve a batch document: ``{"requests": [...]}`` -> results."""
         if not isinstance(body, dict) or "requests" not in body:
             raise ValueError(
@@ -164,13 +207,38 @@ class SimService:
         requests = body["requests"]
         if not isinstance(requests, list) or not requests:
             raise ValueError('"requests" must be a non-empty list')
-        # validate everything first: a 400 must not half-execute a batch
-        parsed = [SimRequest.from_json(doc) for doc in requests]
+        # validate (and plan) everything first: a 400 must not
+        # half-execute a batch
+        resolved = [self._resolve(doc) for doc in requests]
         results = []
-        for request in parsed:
-            key, doc, served = self.scheduler.submit(request)
+        for request, decision in resolved:
+            key, doc, served = self.scheduler.submit(
+                request, tenant=tenant, decision=decision
+            )
             results.append({"key": key, "served": served, "result": doc})
         return {"results": results}
+
+    def handle_plan(
+        self, body: Any, tenant: str = DEFAULT_TENANT
+    ) -> dict[str, Any]:
+        """``POST /v1/plan``: predict and decide without running anything."""
+        if self.planner is None:
+            raise ApiError(
+                400, "planner_disabled",
+                "this server has no calibration profile; run "
+                "`python -m repro calibrate` and restart with "
+                "--calibration to enable the planner",
+            )
+        request, decision = self._resolve(body)
+        plan_doc = decision.to_json()
+        prediction = plan_doc.pop("prediction")
+        return {
+            "request": request.to_json(),
+            "key": request.key(),
+            "plan": plan_doc,
+            "prediction": prediction,
+            "admission": self.planner.probe(tenant, decision),
+        }
 
     def handle_jobs_submit(self, body: Any) -> dict[str, Any]:
         """Validate, persist and enqueue one job; returns its status doc."""
@@ -225,11 +293,17 @@ class SimService:
             jobs_section = self.job_manager.gauges()
         else:
             jobs_section = {"enabled": False, "gate": self.gate.gauges()}
+        if self.planner is not None:
+            planner_section: dict[str, Any] = {"enabled": True}
+            planner_section.update(self.planner.gauges())
+        else:
+            planner_section = {"enabled": False}
         doc: dict[str, Any] = {
             "schema": SERVICE_SCHEMA,
             "api": API_VERSION,
             "cache": self.cache.gauges(),
             "queue": self.scheduler.gauges(),
+            "planner": planner_section,
             "requests": requests,
             "jobs": jobs_section,
             "http": http,
@@ -254,6 +328,7 @@ ROUTES: tuple[tuple[str, tuple[str | None, ...], str], ...] = (
     ("GET", ("metrics",), "ep_metrics"),
     ("POST", ("run",), "ep_run"),
     ("POST", ("batch",), "ep_batch"),
+    ("POST", ("plan",), "ep_plan"),
     ("POST", ("jobs",), "ep_jobs_submit"),
     ("GET", ("jobs",), "ep_jobs_list"),
     ("GET", ("jobs", None), "ep_job_status"),
@@ -404,6 +479,20 @@ class JsonApiHandler(BaseHTTPRequestHandler):
                 headers["Connection"] = "close"
                 self.close_connection = True
             self._send_json(exc.status, exc.to_json(), headers=headers)
+        except BudgetExceeded as exc:
+            headers["Retry-After"] = f"{exc.retry_after_s:g}"
+            self._send_json(
+                429,
+                error_envelope(
+                    "budget_exceeded",
+                    str(exc),
+                    retry_after_s=exc.retry_after_s,
+                    predicted_cost=exc.predicted_cost,
+                    budget_remaining=exc.budget_remaining,
+                    scope=exc.scope,
+                ),
+                headers=headers,
+            )
         except QueueFull as exc:
             headers["Retry-After"] = f"{exc.retry_after_s:g}"
             self._send_json(
@@ -443,6 +532,10 @@ class _Handler(JsonApiHandler):
     def _on_deprecated_request(self) -> None:
         self.service.http_counters.add("deprecated_requests")
 
+    def _tenant(self) -> str:
+        """The request's tenant (``X-Tenant`` header, default tenant)."""
+        return (self.headers.get("X-Tenant") or "").strip() or DEFAULT_TENANT
+
     # ------------------------------------------------------------- routes
     def ep_healthz(self, headers) -> tuple[int, Any]:
         return 200, self.service.healthz()
@@ -451,10 +544,19 @@ class _Handler(JsonApiHandler):
         return 200, self.service.metrics()
 
     def ep_run(self, headers) -> tuple[int, Any]:
-        return 200, self.service.handle_run(self._read_body())
+        return 200, self.service.handle_run(
+            self._read_body(), tenant=self._tenant()
+        )
 
     def ep_batch(self, headers) -> tuple[int, Any]:
-        return 200, self.service.handle_batch(self._read_body())
+        return 200, self.service.handle_batch(
+            self._read_body(), tenant=self._tenant()
+        )
+
+    def ep_plan(self, headers) -> tuple[int, Any]:
+        return 200, self.service.handle_plan(
+            self._read_body(), tenant=self._tenant()
+        )
 
     def ep_jobs_submit(self, headers) -> tuple[int, Any]:
         return 202, self.service.handle_jobs_submit(self._read_body())
@@ -564,6 +666,7 @@ def serve(
     jobs: int = 1,
     ledger=None,
     jobs_dir: str | None = None,
+    planner: Planner | None = None,
     echo=print,
 ) -> int:
     """Blocking CLI entry: serve until interrupted (Ctrl-C -> clean exit)."""
@@ -573,6 +676,7 @@ def serve(
         jobs=jobs,
         ledger=ledger,
         jobs_dir=jobs_dir,
+        planner=planner,
     )
     httpd = make_server(host, port, service)
     bound_host, bound_port = httpd.server_address[:2]
@@ -582,13 +686,14 @@ def serve(
             f"(cache {cache_capacity}, queue {queue_limit}, jobs {jobs}"
             + (", persistent cache" if ledger is not None else "")
             + (f", jobs dir {jobs_dir}" if jobs_dir is not None else "")
+            + (", planner on" if planner is not None else "")
             + ")"
         )
         echo(
             "endpoints (under /v1; unprefixed aliases are deprecated): "
-            "POST /v1/run  POST /v1/batch  POST /v1/jobs  GET /v1/jobs[/<id>"
-            "[/events|/result]]  DELETE /v1/jobs/<id>  GET /v1/healthz  "
-            "GET /v1/metrics"
+            "POST /v1/run  POST /v1/batch  POST /v1/plan  POST /v1/jobs  "
+            "GET /v1/jobs[/<id>[/events|/result]]  DELETE /v1/jobs/<id>  "
+            "GET /v1/healthz  GET /v1/metrics"
         )
     try:
         httpd.serve_forever(poll_interval=0.2)

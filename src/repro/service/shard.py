@@ -43,6 +43,12 @@ import time
 from repro.resilience import faults
 from repro.resilience.ledger import SweepLedger
 from repro.service.cache import DEFAULT_CAPACITY
+from repro.service.planner import (
+    DEFAULT_COST_CEILING,
+    DEFAULT_TENANT_CAPACITY,
+    DEFAULT_TENANT_REFILL_PER_S,
+    planner_from_profile,
+)
 from repro.service.router import (
     Router,
     ShardClient,
@@ -156,6 +162,15 @@ def main(argv: list[str] | None = None) -> int:
                         default=DEFAULT_QUEUE_LIMIT)
     parser.add_argument("--jobs", type=int, default=1)
     parser.add_argument("--jobs-dir", default=None)
+    parser.add_argument("--calibration", default=None,
+                        help="calibration profile path (enables the "
+                        "cost-aware planner on this shard)")
+    parser.add_argument("--tenant-capacity", type=float,
+                        default=DEFAULT_TENANT_CAPACITY)
+    parser.add_argument("--tenant-refill", type=float,
+                        default=DEFAULT_TENANT_REFILL_PER_S)
+    parser.add_argument("--cost-ceiling", type=float,
+                        default=DEFAULT_COST_CEILING)
     args = parser.parse_args(argv)
 
     os.makedirs(args.dir, exist_ok=True)
@@ -164,12 +179,22 @@ def main(argv: list[str] | None = None) -> int:
         ledger = SweepLedger.resume(paths["ledger"])
     else:
         ledger = SweepLedger.create(paths["ledger"])
+    planner = None
+    if args.calibration is not None:
+        planner = planner_from_profile(
+            args.calibration,
+            tenant_capacity=args.tenant_capacity,
+            tenant_refill_per_s=args.tenant_refill,
+            cost_ceiling=args.cost_ceiling,
+            service_jobs=args.jobs,
+        )
     service = SimService(
         cache_capacity=args.cache_capacity,
         queue_limit=args.queue_limit,
         jobs=args.jobs,
         ledger=ledger,
         jobs_dir=args.jobs_dir,
+        planner=planner,
         identity={
             "index": args.index,
             "pid": os.getpid(),
@@ -204,6 +229,8 @@ class ShardSupervisor:
         queue_limit: int = DEFAULT_QUEUE_LIMIT,
         jobs: int = 1,
         jobs_dir: str | None = None,
+        calibration: str | None = None,
+        budget_args: dict[str, float] | None = None,
         env: dict[str, str] | None = None,
     ):
         self.index = index
@@ -213,6 +240,10 @@ class ShardSupervisor:
         self.queue_limit = queue_limit
         self.jobs = jobs
         self.jobs_dir = jobs_dir
+        self.calibration = calibration
+        #: optional overrides: tenant_capacity / tenant_refill /
+        #: cost_ceiling, forwarded to the child as CLI flags
+        self.budget_args = dict(budget_args or {})
         self.env = dict(env or {})
         self.port = 0  # pinned after the first successful handshake
         self.proc: subprocess.Popen | None = None
@@ -243,6 +274,12 @@ class ShardSupervisor:
         ]
         if self.jobs_dir is not None:
             cmd += ["--jobs-dir", self.jobs_dir]
+        if self.calibration is not None:
+            cmd += ["--calibration", self.calibration]
+            for name in ("tenant_capacity", "tenant_refill", "cost_ceiling"):
+                if name in self.budget_args:
+                    flag = "--" + name.replace("_", "-")
+                    cmd += [flag, str(self.budget_args[name])]
         env = dict(os.environ)
         env.update(self.env)
         self.proc = subprocess.Popen(cmd, env=env)
@@ -302,6 +339,8 @@ class ShardedTier:
         queue_limit: int = DEFAULT_QUEUE_LIMIT,
         jobs: int = 1,
         jobs_dir: str | None = None,
+        calibration: str | None = None,
+        budget_args: dict[str, float] | None = None,
         restart: bool = True,
         per_shard_env: dict[int, dict[str, str]] | None = None,
     ):
@@ -324,6 +363,8 @@ class ShardedTier:
                 # jobs are pinned to shard 0 by the router; the other
                 # shards never see a /v1/jobs request
                 jobs_dir=jobs_dir if index == 0 else None,
+                calibration=calibration,
+                budget_args=budget_args,
                 env=per_shard_env.get(index),
             )
             for index in range(shards)
@@ -337,10 +378,19 @@ class ShardedTier:
             for supervisor in started:
                 supervisor.stop()
             raise
-        self.router = Router([
-            ShardClient(s.index, s.host, s.port)
-            for s in self.supervisors
-        ])
+        # the router's planner only resolves auto engines at the front
+        # door (key consistency); budgets live on the shards
+        router_planner = (
+            planner_from_profile(calibration)
+            if calibration is not None else None
+        )
+        self.router = Router(
+            [
+                ShardClient(s.index, s.host, s.port)
+                for s in self.supervisors
+            ],
+            planner=router_planner,
+        )
         self.httpd = make_router_server(host, port, self.router)
         self._thread = threading.Thread(
             target=self.httpd.serve_forever,
@@ -399,6 +449,8 @@ def serve_sharded(
     queue_limit: int = DEFAULT_QUEUE_LIMIT,
     jobs: int = 1,
     jobs_dir: str | None = None,
+    calibration: str | None = None,
+    budget_args: dict[str, float] | None = None,
     echo=print,
 ) -> int:
     """Blocking CLI entry for ``serve --shards N``."""
@@ -411,6 +463,8 @@ def serve_sharded(
         queue_limit=queue_limit,
         jobs=jobs,
         jobs_dir=jobs_dir,
+        calibration=calibration,
+        budget_args=budget_args,
     )
     if echo:
         ports = ", ".join(str(s.port) for s in tier.supervisors)
@@ -418,7 +472,9 @@ def serve_sharded(
             f"repro sharded service on {tier.url}  "
             f"({shards} shard(s) on ports {ports}, state in "
             f"{shard_dir}/, cache {cache_capacity}/shard, "
-            f"queue {queue_limit})"
+            f"queue {queue_limit}"
+            + (", planner on" if calibration is not None else "")
+            + ")"
         )
         echo(
             "routing: consistent hashing on the request content hash; "

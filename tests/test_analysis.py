@@ -18,7 +18,14 @@ from repro.analysis.figures import (
     render_mm_assignment,
     render_unpack_layout,
 )
-from repro.analysis.fitting import bounded_ratio, fit_loglog_slope
+from repro.analysis.fitting import (
+    EXTRAPOLATION_WIDENING,
+    SINGLE_POINT_BAND,
+    PowerLawFit,
+    bounded_ratio,
+    fit_loglog_slope,
+    fit_power_law,
+)
 from repro.algorithms.matmul import mm_assignment_rounds
 from repro.dbsp.machine import DBSPMachine
 from repro.functions import ConstantAccess, LogarithmicAccess, PolynomialAccess
@@ -66,6 +73,78 @@ class TestFitting:
             bounded_ratio([1, 2], [1])
         with pytest.raises(ValueError):
             bounded_ratio([0.0], [1.0])
+
+
+class TestPowerLawFit:
+    def test_recovers_exponent_and_covers_points(self):
+        xs = [8, 16, 32, 64]
+        ys = [3.0 * x**1.5 for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert fit.exponent == pytest.approx(1.5, abs=1e-9)
+        assert fit.coeff == pytest.approx(3.0, rel=1e-9)
+        for x, y in zip(xs, ys):
+            lo, hi, extrapolated = fit.band(x)
+            assert lo <= y <= hi and not extrapolated
+
+    def test_noisy_points_stay_inside_their_own_band(self):
+        rng = np.random.default_rng(3)
+        xs = [2**k for k in range(3, 10)]
+        ys = [x**2 * rng.uniform(0.8, 1.2) for x in xs]
+        fit = fit_power_law(xs, ys)
+        for x, y in zip(xs, ys):
+            lo, hi, _ = fit.band(x)
+            assert lo <= y <= hi
+
+    def test_single_point_degenerates_to_wide_prior(self):
+        fit = fit_power_law([16], [160.0])
+        assert fit.points == 1
+        assert fit.exponent == 1.0  # default prior slope
+        assert fit.predict(16) == pytest.approx(160.0)
+        lo, hi, extrapolated = fit.band(16)
+        assert not extrapolated
+        assert lo == pytest.approx(160.0 / SINGLE_POINT_BAND)
+        assert hi == pytest.approx(160.0 * SINGLE_POINT_BAND)
+
+    def test_single_point_honours_prior_exponent(self):
+        fit = fit_power_law([16], [160.0], prior_exponent=0.0)
+        assert fit.exponent == 0.0
+        assert fit.predict(1024) == pytest.approx(160.0)
+
+    def test_extrapolation_widens_per_doubling(self):
+        fit = fit_power_law([8, 16, 32], [8.0, 16.0, 32.0])
+        assert fit.widening(32) == 1.0
+        assert fit.widening(64) == pytest.approx(EXTRAPOLATION_WIDENING)
+        assert fit.widening(128) == pytest.approx(
+            EXTRAPOLATION_WIDENING**2
+        )
+        # widening applies below the calibrated range too
+        assert fit.widening(4) == pytest.approx(EXTRAPOLATION_WIDENING)
+        lo_in, hi_in, _ = fit.band(32)
+        lo_out, hi_out, extrapolated = fit.band(128)
+        assert extrapolated
+        assert hi_out / fit.predict(128) > hi_in / fit.predict(32)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_power_law([], [])
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2], [1.0])
+        with pytest.raises(ValueError):
+            fit_power_law([1, -2], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2], [1.0, 0.0])
+        fit = fit_power_law([8, 16], [8.0, 16.0])
+        with pytest.raises(ValueError):
+            fit.predict(0)
+        with pytest.raises(ValueError):
+            fit.widening(-4)
+
+    def test_json_round_trip(self):
+        fit = fit_power_law([8, 16, 32], [5.0, 11.0, 19.0])
+        clone = PowerLawFit.from_json(fit.to_json())
+        assert clone == fit
+        with pytest.raises(ValueError):
+            PowerLawFit.from_json({"coeff": 1.0})
 
 
 class TestBounds:
