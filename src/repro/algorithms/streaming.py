@@ -1,0 +1,188 @@
+"""Pseudo-streaming workloads emitted as task DAGs.
+
+Bulk-synchronous pseudo-streaming in the sense of Buurlage et al.
+(PAPERS.md): the data set is larger than the machine's aggregate fast
+memory (``n = epochs * partitions * chunk`` words, with ``chunk`` sized
+to fill one ``mu``-word processor context), so it is streamed through in
+*epochs* — each epoch touches every partition once, and a partition's
+working set flows from one epoch to the next.  That per-partition flow
+is exactly the submachine locality the paper's translation exploits: a
+scheduler that keeps a partition's epoch chain on one processor (and
+neighboring partitions on nearby processors) turns the stream into
+fine-label, cheap communication; a scheduler that scatters it pays
+coarse-label prices for the same volumes.
+
+Three generators, each returning a validated
+:class:`~repro.dag.spec.DagSpec`:
+
+* :func:`stream_scan` — per-partition running scan with a light carry
+  chain between neighboring partitions inside each epoch;
+* :func:`stream_stencil` — 1-d stencil: each epoch reads the partition
+  itself (heavy) plus one-word halos from both neighbors (light);
+* :func:`stream_reduce` — per-partition streams folded by a binary
+  combining tree after the last epoch.
+
+Task ids are zero-padded so lexicographic order equals grid order and
+every downstream tie-break is stable.
+
+>>> spec = stream_scan(epochs=2, partitions=2, chunk=4)
+>>> [t.id for t in spec.tasks][:2]
+['e00p000', 'e00p001']
+>>> spec.total_volume() >= 8
+True
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.dag.spec import DagSpec, EdgeSpec, TaskSpec
+
+__all__ = [
+    "stream_scan",
+    "stream_stencil",
+    "stream_reduce",
+    "STREAMING_WORKLOADS",
+    "streaming_spec",
+]
+
+
+def _tid(e: int, p: int) -> str:
+    return f"e{e:02d}p{p:03d}"
+
+
+def _check(epochs: int, partitions: int, chunk: int) -> None:
+    if epochs < 1 or partitions < 1 or chunk < 1:
+        raise ValueError(
+            f"epochs, partitions and chunk must all be >= 1, got "
+            f"epochs={epochs}, partitions={partitions}, chunk={chunk}"
+        )
+    if epochs > 99 or partitions > 999:
+        raise ValueError(
+            f"streaming grids are capped at 99 epochs x 999 partitions, "
+            f"got epochs={epochs}, partitions={partitions}"
+        )
+
+
+def _grid_tasks(epochs: int, partitions: int, chunk: int) -> list[TaskSpec]:
+    return [
+        TaskSpec(
+            id=_tid(e, p),
+            work=chunk,
+            memory=chunk,
+            payload=e * partitions + p + 1,
+        )
+        for e in range(epochs)
+        for p in range(partitions)
+    ]
+
+
+def stream_scan(
+    epochs: int = 4, partitions: int = 8, chunk: int = 8
+) -> DagSpec:
+    """Epoch-partitioned running scan.
+
+    Heavy residency edges carry each partition's ``chunk``-word state to
+    the next epoch; a light two-word carry links neighboring partitions
+    inside an epoch (the scan's running total crossing the boundary).
+    """
+    _check(epochs, partitions, chunk)
+    edges: list[EdgeSpec] = []
+    for e in range(epochs):
+        for p in range(partitions):
+            if p + 1 < partitions:
+                edges.append(
+                    EdgeSpec(src=_tid(e, p), dst=_tid(e, p + 1), volume=2)
+                )
+            if e + 1 < epochs:
+                edges.append(
+                    EdgeSpec(src=_tid(e, p), dst=_tid(e + 1, p), volume=chunk)
+                )
+    return DagSpec(
+        name=f"stream-scan[e{epochs},p{partitions},c{chunk}]",
+        tasks=tuple(_grid_tasks(epochs, partitions, chunk)),
+        edges=tuple(edges),
+    )
+
+
+def stream_stencil(
+    epochs: int = 4, partitions: int = 8, chunk: int = 8
+) -> DagSpec:
+    """Epoch-partitioned 1-d stencil with one-word halo exchanges."""
+    _check(epochs, partitions, chunk)
+    edges: list[EdgeSpec] = []
+    for e in range(epochs - 1):
+        for p in range(partitions):
+            edges.append(
+                EdgeSpec(src=_tid(e, p), dst=_tid(e + 1, p), volume=chunk)
+            )
+            if p > 0:
+                edges.append(
+                    EdgeSpec(src=_tid(e, p), dst=_tid(e + 1, p - 1), volume=1)
+                )
+            if p + 1 < partitions:
+                edges.append(
+                    EdgeSpec(src=_tid(e, p), dst=_tid(e + 1, p + 1), volume=1)
+                )
+    return DagSpec(
+        name=f"stream-stencil[e{epochs},p{partitions},c{chunk}]",
+        tasks=tuple(_grid_tasks(epochs, partitions, chunk)),
+        edges=tuple(edges),
+    )
+
+
+def stream_reduce(
+    epochs: int = 4, partitions: int = 8, chunk: int = 8
+) -> DagSpec:
+    """Per-partition streams folded by a combining tree at the end."""
+    _check(epochs, partitions, chunk)
+    tasks = _grid_tasks(epochs, partitions, chunk)
+    edges: list[EdgeSpec] = []
+    for e in range(epochs - 1):
+        for p in range(partitions):
+            edges.append(
+                EdgeSpec(src=_tid(e, p), dst=_tid(e + 1, p), volume=chunk)
+            )
+    # binary combining tree over the last epoch's partials
+    frontier = [_tid(epochs - 1, p) for p in range(partitions)]
+    level = 0
+    while len(frontier) > 1:
+        merged: list[str] = []
+        for i in range(0, len(frontier) - 1, 2):
+            rid = f"r{level:02d}n{i // 2:03d}"
+            tasks.append(TaskSpec(id=rid, work=2, memory=2, payload=0))
+            edges.append(EdgeSpec(src=frontier[i], dst=rid, volume=1))
+            edges.append(EdgeSpec(src=frontier[i + 1], dst=rid, volume=1))
+            merged.append(rid)
+        if len(frontier) % 2:
+            merged.append(frontier[-1])
+        frontier = merged
+        level += 1
+    return DagSpec(
+        name=f"stream-reduce[e{epochs},p{partitions},c{chunk}]",
+        tasks=tuple(tasks),
+        edges=tuple(edges),
+    )
+
+
+#: streaming workload registry: name -> (builder, description)
+STREAMING_WORKLOADS: dict[str, tuple[Callable[..., DagSpec], str]] = {
+    "stream-scan": (stream_scan, "epoch-partitioned running scan"),
+    "stream-stencil": (stream_stencil, "epoch-partitioned 1-d stencil"),
+    "stream-reduce": (stream_reduce, "epoch streams + combining tree"),
+}
+
+
+def streaming_spec(name: str, **params: Any) -> DagSpec:
+    """Build a named streaming workload (``ValueError`` on unknown names).
+
+    >>> streaming_spec("stream-scan", epochs=2, partitions=2).name
+    'stream-scan[e2,p2,c8]'
+    """
+    if name not in STREAMING_WORKLOADS:
+        raise ValueError(
+            f"unknown streaming workload {name!r}; "
+            f"try: {', '.join(sorted(STREAMING_WORKLOADS))}"
+        )
+    builder, _ = STREAMING_WORKLOADS[name]
+    return builder(**params)

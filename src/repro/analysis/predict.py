@@ -385,6 +385,26 @@ class CostModel:
             wall_lo = min(wall_lo, wall)
         return wall, wall_lo, wall_hi
 
+    def predict_bound(
+        self,
+        engine: str,
+        program: str,
+        v: int,
+        mu: int,
+        f: str,
+        bound: float,
+    ) -> Prediction:
+        """An honest untrusted prediction from a caller-supplied bound.
+
+        For program families outside the bundled registry (the DAG
+        front end compiles a program per spec, so no calibration pair
+        can exist): the caller computes its own structural bound and
+        the model anchors it exactly like an uncalibrated pair —
+        ``source="bounds_only"``, bars :data:`UNTRUSTED_BAND` wide,
+        never trusted.
+        """
+        return self._bounds_only(engine, program, v, mu, f, float(bound))
+
     def _bounds_only(
         self,
         engine: str,

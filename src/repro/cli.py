@@ -279,12 +279,74 @@ def cmd_report(args) -> int:
     return 0
 
 
+def _bench_dag(args) -> int:
+    """The ``bench --dag`` matrix: charged scheduling costs, not wall."""
+    from repro.dag.bench import (
+        check_dag_against,
+        run_dag_bench,
+        write_dag_bench,
+    )
+
+    for flag in ("distribute", "checkpoint", "resume", "only"):
+        if getattr(args, flag, None):
+            raise SystemExit(
+                f"--{flag} applies to the wall-clock matrix; the --dag "
+                f"matrix is charged-cost only (fast and deterministic)"
+            )
+    echo = None if args.json else print
+    if echo:
+        mode = "smoke engines" if args.smoke else "all engines"
+        echo(f"benchmarking DAG scheduling heuristics ({mode}, "
+             f"charged costs — deterministic)")
+    doc = run_dag_bench(smoke=args.smoke, echo=echo)
+    if args.check:
+        try:
+            baseline = json.loads(pathlib.Path(args.check).read_text())
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"cannot read baseline {args.check}: {exc}")
+        try:
+            problems = check_dag_against(doc, baseline)
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+        if args.output:
+            write_dag_bench(args.output, doc)
+        if problems:
+            for p in problems:
+                print(f"REGRESSION: {p}", file=sys.stderr)
+            return 1
+        if echo:
+            echo(f"no regressions vs {args.check} (exact charged-cost "
+                 f"comparison)")
+        return 0
+    if args.json:
+        _dump_json(doc)
+    out = args.output or "BENCH_sim_dag.json"
+    write_dag_bench(out, doc)
+    if echo:
+        echo(f"\nwrote {out}")
+        echo(f"{'workload':28s} {'greedy msgs':>12s} {'locality msgs':>14s}")
+        for name, wl in doc["workloads"].items():
+            g = wl["heuristics"].get("greedy", {})
+            loc = wl["heuristics"].get("locality", {})
+            echo(f"{name:28s} {g.get('messages', 0):>12d} "
+                 f"{loc.get('messages', 0):>14d}")
+    problems = check_dag_against(doc, doc)
+    for p in problems:
+        print(f"GUARDRAIL: {p}", file=sys.stderr)
+    return 1 if problems else 0
+
+
 def cmd_bench(args) -> int:
     from repro.bench import WORKLOADS, check_against, run_bench, write_bench
 
+    if args.dag:
+        return _bench_dag(args)
     workloads = WORKLOADS
     if args.only:
-        workloads = tuple(w for w in WORKLOADS if args.only in w.name)
+        workloads = tuple(
+            w for w in WORKLOADS
+            if args.only in w.name or args.only in w.program
+        )
         if not workloads:
             raise SystemExit(
                 f"--only {args.only!r} matches no workload; have: "
@@ -647,6 +709,183 @@ def cmd_loadgen(args) -> int:
     return 0
 
 
+def _dag_spec(args):
+    """Resolve the DAG under test: a named workload or a spec file."""
+    from repro.algorithms.streaming import STREAMING_WORKLOADS, streaming_spec
+    from repro.dag.spec import DagSpec
+
+    if args.spec:
+        if args.workload:
+            raise SystemExit(
+                "pass either a named workload or --spec FILE, not both"
+            )
+        try:
+            doc = json.loads(pathlib.Path(args.spec).read_text())
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"cannot read spec {args.spec}: {exc}")
+        try:
+            return DagSpec.from_json(doc)
+        except ValueError as exc:
+            raise SystemExit(f"invalid spec {args.spec}: {exc}")
+    if not args.workload:
+        raise SystemExit(
+            f"name a streaming workload ({', '.join(sorted(STREAMING_WORKLOADS))}) "
+            f"or pass --spec FILE"
+        )
+    params = {}
+    for name in ("epochs", "partitions", "chunk"):
+        value = getattr(args, name, None)
+        if value is not None:
+            params[name] = value
+    try:
+        return streaming_spec(args.workload, **params)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+
+
+def cmd_dag(args) -> int:
+    from repro.dag.compile import compile_schedule, reference_values
+    from repro.dag.scheduler import HEURISTICS, schedule
+
+    spec = _dag_spec(args)
+    try:
+        f = resolve_access_function(args.f)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+
+    if args.action == "schedule":
+        try:
+            sched = schedule(spec, args.v, heuristic=args.heuristic)
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+        if args.json:
+            doc = sched.to_json()
+            doc["cross_volume"] = sched.cross_volume(spec)
+            doc["tasks"] = len(spec.tasks)
+            doc["total_work"] = spec.total_work()
+            doc["total_volume"] = spec.total_volume()
+            _dump_json(doc)
+            return 0
+        print(f"dag: {spec.name}  ({len(spec.tasks)} tasks, "
+              f"{len(spec.edges)} edges, work {spec.total_work()}, "
+              f"volume {spec.total_volume()})")
+        print(f"schedule: {args.heuristic} onto v={args.v}  "
+              f"({sched.n_steps} steps, cross-processor volume "
+              f"{sched.cross_volume(spec)})")
+        by_proc: dict[int, list[str]] = {}
+        for task, proc, step in sched.assignment:
+            by_proc.setdefault(proc, []).append(f"{task}@{step}")
+        for proc in sorted(by_proc):
+            tasks = by_proc[proc]
+            shown = ", ".join(tasks[:8]) + (
+                f", ... ({len(tasks)} total)" if len(tasks) > 8 else ""
+            )
+            print(f"  p{proc}: {shown}")
+        return 0
+
+    if args.action == "compare":
+        engine = "direct" if args.engine == "all" else args.engine
+        if engine not in ENGINES:
+            raise SystemExit(
+                f"unknown engine {engine!r}; try: "
+                f"{', '.join(sorted(ENGINES))}"
+            )
+        rows = []
+        for heuristic in sorted(HEURISTICS):
+            try:
+                sched = schedule(spec, args.v, heuristic=heuristic)
+            except ValueError as exc:
+                raise SystemExit(str(exc))
+            program = compile_schedule(spec, sched, mu=args.mu)
+            res = ENGINES[engine].run(program, f, trace="counters")
+            rows.append({
+                "heuristic": heuristic,
+                "n_steps": sched.n_steps,
+                "cross_volume": sched.cross_volume(spec),
+                "supersteps": len(program),
+                "messages": res.counters.get("messages", 0),
+                "communication": res.breakdown.get("communication", 0.0),
+                "time": res.time,
+            })
+        if args.json:
+            _dump_json({
+                "dag": spec.name, "v": args.v, "mu": args.mu,
+                "f": f.name, "engine": engine, "heuristics": rows,
+            })
+            return 0
+        print(f"dag: {spec.name}  (engine {engine}, v={args.v}, "
+              f"mu={args.mu}, f={f.name})")
+        print(f"{'heuristic':10s} {'steps':>6s} {'x-volume':>9s} "
+              f"{'messages':>9s} {'comm':>14s} {'T':>14s}")
+        for row in rows:
+            print(f"{row['heuristic']:10s} {row['n_steps']:>6d} "
+                  f"{row['cross_volume']:>9d} {row['messages']:>9d} "
+                  f"{row['communication']:>14.1f} {row['time']:>14.1f}")
+        return 0
+
+    # action == "run": schedule, compile, execute like `repro run`
+    try:
+        sched = schedule(spec, args.v, heuristic=args.heuristic)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    program = compile_schedule(spec, sched, mu=args.mu)
+    if args.engine == "direct":
+        engines: list[str] = []
+    elif args.engine == "all":
+        engines = ["hmm", "vec", "bt", "brent"]
+    elif args.engine in ENGINES:
+        engines = [args.engine]
+    else:
+        raise SystemExit(
+            f"unknown engine {args.engine!r}; try: "
+            f"{', '.join(sorted(ENGINES))} or all"
+        )
+    direct = ENGINES["direct"].run(program, f)
+    results = []
+    for engine in engines:
+        res = ENGINES[engine].run(program, f, **_engine_opts(engine, args))
+        res.baseline_time = direct.time
+        res.slowdown = res.time / direct.time if direct.time > 0 else None
+        results.append(res)
+    expected = reference_values(spec)
+    computed: dict[str, int] = {}
+    for ctx in direct.contexts:
+        computed.update(ctx["values"])
+    values_ok = computed == dict(expected)
+    if args.json:
+        _dump_json({
+            "dag": spec.name,
+            "heuristic": args.heuristic,
+            "program": program.name,
+            "v": args.v,
+            "mu": args.mu,
+            "f": f.name,
+            "supersteps": len(program),
+            "n_steps": sched.n_steps,
+            "cross_volume": sched.cross_volume(spec),
+            "values_ok": values_ok,
+            "direct": direct.to_json(include_trace=False),
+            "engines": {
+                res.engine: res.to_json(include_trace=False)
+                for res in results
+            },
+        })
+        return 0 if values_ok else 1
+    print(f"dag: {spec.name}  scheduled {args.heuristic} onto v={args.v} "
+          f"({sched.n_steps} steps -> {len(program)} supersteps)")
+    print(f"access/bandwidth function: {f.name}")
+    check = "values match the sequential reference" if values_ok else \
+        "VALUES DIVERGE from the sequential reference"
+    print(f"{check}\n")
+    print(f"{'direct D-BSP':14s} T = {direct.time:14.1f}")
+    for res in results:
+        slowdown = (f"{res.slowdown:10.1f}" if res.slowdown is not None
+                    else f"{'n/a':>10s}")
+        print(f"{res.engine:14s} T = {res.time:14.1f}  "
+              f"slowdown = {slowdown}  ({_engine_extra(res)})")
+    return 0 if values_ok else 1
+
+
 def cmd_touch(args) -> int:
     if args.sweep:
         from repro.parallel.sweep import touch_sweep
@@ -807,7 +1046,55 @@ def build_parser() -> argparse.ArgumentParser:
                               "only missing ones run")
     p_bench.add_argument("--json", action="store_true",
                          help="emit the result document to stdout as JSON")
+    p_bench.add_argument("--dag", action="store_true",
+                         help="run the DAG scheduling matrix instead "
+                              "(charged costs, deterministic; writes "
+                              "BENCH_sim_dag.json; --check compares "
+                              "exactly and enforces the locality-beats-"
+                              "greedy guardrail)")
     p_bench.set_defaults(func=cmd_bench)
+
+    p_dag = sub.add_parser(
+        "dag",
+        help="schedule a task DAG onto D-BSP and run it through engines",
+    )
+    p_dag.add_argument("action", choices=["run", "schedule", "compare"],
+                       help="run: schedule+compile+execute; schedule: "
+                            "print the placement; compare: both "
+                            "heuristics side by side on one engine")
+    p_dag.add_argument("workload", nargs="?", default=None,
+                       help="named streaming workload (stream-scan, "
+                            "stream-stencil, stream-reduce); omit with "
+                            "--spec")
+    p_dag.add_argument("--spec", default=None, metavar="FILE",
+                       help="JSON DAG spec file instead of a named "
+                            "workload")
+    p_dag.add_argument("--epochs", type=int, default=None,
+                       help="streaming epochs (named workloads)")
+    p_dag.add_argument("--partitions", type=int, default=None,
+                       help="data partitions per epoch (named workloads)")
+    p_dag.add_argument("--chunk", type=int, default=None,
+                       help="words per partition (named workloads)")
+    p_dag.add_argument("--heuristic", default="locality",
+                       choices=["greedy", "locality"],
+                       help="scheduling heuristic (run/schedule)")
+    p_dag.add_argument("--engine", default="all",
+                       help="engine for run (direct|hmm|vec|bt|brent|all) "
+                            "or compare (single engine, default direct)")
+    p_dag.add_argument("--v", type=int, default=8,
+                       help="number of D-BSP processors (power of two)")
+    p_dag.add_argument("--mu", type=int, default=8,
+                       help="context size in words")
+    p_dag.add_argument("--f", default="x^0.5",
+                       help=f"access function: {FUNCTION_HELP}")
+    p_dag.add_argument("--v-host", type=int, default=None,
+                       help="host width for the brent engine (default v/4)")
+    p_dag.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for the hmm/brent engines "
+                            "(charged costs are identical for any value)")
+    p_dag.add_argument("--json", action="store_true",
+                       help="emit a JSON document instead of text")
+    p_dag.set_defaults(func=cmd_dag)
 
     p_cal = sub.add_parser(
         "calibrate",

@@ -1,0 +1,35 @@
+"""Task-DAG front end: spec -> schedule -> superstep Program.
+
+The subsystem turns a validated task DAG (:mod:`repro.dag.spec`) into an
+ordinary :class:`~repro.dbsp.program.Program` in three stages:
+
+1. :func:`repro.dag.scheduler.schedule` maps every task to a
+   ``(processor, step)`` slot under the BSP cost model, using one of the
+   registered heuristics (greedy ETF list scheduling, or the
+   locality-aware clustering pass that places communicating task groups
+   in the same D-BSP submachine subtree);
+2. :func:`repro.dag.compile.compile_schedule` lowers the scheduled DAG
+   into labeled supersteps — compute steps at the finest label,
+   communication rounds grouped per cluster level and chunked to the
+   ``mu`` message budget;
+3. the result runs unmodified on every engine in
+   :data:`repro.engines.ENGINES`, with the usual equivalence contract
+   (identical final contexts everywhere; ``vec`` == ``hmm`` charged
+   results bit for bit).
+"""
+
+from repro.dag.compile import compile_schedule, dag_program
+from repro.dag.scheduler import HEURISTICS, Schedule, schedule
+from repro.dag.spec import DAG_SCHEMA, DagSpec, EdgeSpec, TaskSpec
+
+__all__ = [
+    "DAG_SCHEMA",
+    "DagSpec",
+    "EdgeSpec",
+    "TaskSpec",
+    "HEURISTICS",
+    "Schedule",
+    "schedule",
+    "compile_schedule",
+    "dag_program",
+]

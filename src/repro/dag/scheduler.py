@@ -1,0 +1,358 @@
+"""DAG scheduling onto a D-BSP machine under the BSP cost model.
+
+Two heuristics in the style of Papp, Anegg and Papp, "DAG Scheduling in
+the BSP Model" (PAPERS.md):
+
+* ``greedy`` — ETF-style list scheduling: tasks are released in
+  bottom-level priority order and each is placed on the processor with
+  the earliest estimated finish time, where a cross-processor dependency
+  pays its edge volume as communication latency and every superstep
+  boundary pays a synchronization charge.  This is the classical
+  baseline: it balances load well but scatters communicating tasks.
+* ``locality`` — a clustering pass: tasks are first contracted along
+  their heaviest edges into at most ``v`` clusters (bounded by a
+  work-capacity target so no processor is overloaded), then the cluster
+  graph is mapped onto the D-BSP cluster tree by recursive bisection —
+  at every level the halves are chosen to minimize the volume crossing
+  the cut, so heavily communicating clusters end up in the same
+  submachine subtree and their messages travel at fine (cheap) labels.
+
+Both heuristics are fully deterministic: every choice breaks ties by
+task id, cluster representative, or processor index, so identical specs
+produce byte-identical schedules (the property tests enforce this).
+
+The machine-facing output is a :class:`Schedule`: a ``(processor,
+step)`` slot per task, with the step indices compacted and every data
+dependency satisfied — same-processor edges may share a step, cross-
+processor edges must cross a step boundary (the message is delivered at
+the next superstep).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from repro.dbsp.cluster import log2_exact
+from repro.dag.spec import DagSpec
+
+__all__ = ["Schedule", "schedule", "HEURISTICS", "SYNC_CHARGE"]
+
+#: estimated cost of one superstep boundary in the list scheduler's
+#: finish-time estimates (the BSP latency term L, in work units)
+SYNC_CHARGE = 4
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """A scheduled DAG: every task pinned to a ``(processor, step)`` slot.
+
+    ``assignment`` is sorted by task id; ``to_json`` of two equal
+    schedules is byte-identical, which is the reproducibility contract.
+    """
+
+    spec_name: str
+    heuristic: str
+    v: int
+    assignment: tuple[tuple[str, int, int], ...]  # (task, proc, step)
+
+    @property
+    def n_steps(self) -> int:
+        return 1 + max(step for _, _, step in self.assignment)
+
+    def proc_of(self) -> dict[str, int]:
+        return {task: proc for task, proc, _ in self.assignment}
+
+    def step_of(self) -> dict[str, int]:
+        return {task: step for task, _, step in self.assignment}
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "spec": self.spec_name,
+            "heuristic": self.heuristic,
+            "v": self.v,
+            "steps": self.n_steps,
+            "assignment": [
+                {"task": t, "proc": p, "step": s}
+                for t, p, s in self.assignment
+            ],
+        }
+
+    def canonical_json(self) -> str:
+        return json.dumps(
+            self.to_json(), sort_keys=True, separators=(",", ":")
+        )
+
+    def cross_volume(self, spec: DagSpec) -> int:
+        """Words that must cross processors under this placement."""
+        proc = self.proc_of()
+        return sum(
+            e.volume for e in spec.edges if proc[e.src] != proc[e.dst]
+        )
+
+
+def _finalize(
+    spec: DagSpec, heuristic: str, v: int, proc: Mapping[str, int]
+) -> Schedule:
+    """Derive dependency-correct, compacted step indices for a placement.
+
+    Tasks are walked in the spec's deterministic topological order; a
+    task lands at the earliest step consistent with its predecessors
+    (same processor: same step or later; cross-processor: strictly
+    later, since the message rides a superstep boundary).
+    """
+    preds = spec.predecessors()
+    step: dict[str, int] = {}
+    for tid in spec.topological_order():
+        earliest = 0
+        for edge in preds[tid]:
+            if proc[edge.src] == proc[tid]:
+                earliest = max(earliest, step[edge.src])
+            else:
+                earliest = max(earliest, step[edge.src] + 1)
+        step[tid] = earliest
+    # compact step indices (placements can leave gaps)
+    used = sorted(set(step.values()))
+    remap = {s: i for i, s in enumerate(used)}
+    assignment = tuple(
+        (tid, proc[tid], remap[step[tid]])
+        for tid in sorted(t.id for t in spec.tasks)
+    )
+    return Schedule(
+        spec_name=spec.name,
+        heuristic=heuristic,
+        v=v,
+        assignment=assignment,
+    )
+
+
+# ------------------------------------------------------------------ greedy
+def _bottom_levels(spec: DagSpec) -> dict[str, int]:
+    """Critical-path-to-exit weights: work plus heaviest downstream path."""
+    succs = spec.successors()
+    tasks = spec.task_map()
+    levels: dict[str, int] = {}
+    for tid in reversed(spec.topological_order()):
+        below = max(
+            (e.volume + levels[e.dst] for e in succs[tid]), default=0
+        )
+        levels[tid] = tasks[tid].work + below
+    return levels
+
+
+def greedy_schedule(spec: DagSpec, v: int) -> Schedule:
+    """ETF-style list scheduling with deterministic tie-breaks."""
+    tasks = spec.task_map()
+    preds = spec.predecessors()
+    succs = spec.successors()
+    levels = _bottom_levels(spec)
+    indeg = {t.id: len(preds[t.id]) for t in spec.tasks}
+
+    ready = sorted(
+        (tid for tid, d in indeg.items() if d == 0),
+        key=lambda tid: (-levels[tid], tid),
+    )
+    avail = [0] * v  # estimated time each processor frees up
+    finish: dict[str, int] = {}
+    proc: dict[str, int] = {}
+    while ready:
+        tid = ready.pop(0)
+        best_p, best_eft = 0, None
+        for p in range(v):
+            start = avail[p]
+            for edge in preds[tid]:
+                arrive = finish[edge.src]
+                if proc[edge.src] != p:
+                    arrive += edge.volume + SYNC_CHARGE
+                start = max(start, arrive)
+            eft = start + tasks[tid].work
+            if best_eft is None or eft < best_eft:
+                best_p, best_eft = p, eft
+        proc[tid] = best_p
+        finish[tid] = best_eft
+        avail[best_p] = best_eft
+        opened = []
+        for edge in succs[tid]:
+            indeg[edge.dst] -= 1
+            if indeg[edge.dst] == 0:
+                opened.append(edge.dst)
+        if opened:
+            ready = sorted(
+                ready + opened, key=lambda t: (-levels[t], t)
+            )
+    return _finalize(spec, "greedy", v, proc)
+
+
+# ---------------------------------------------------------------- locality
+def _contract_clusters(spec: DagSpec, v: int) -> list[list[str]]:
+    """Merge tasks along their heaviest edges into at most ``v`` clusters.
+
+    Union-find with a work-capacity bound (total work / v, rounded up)
+    during the volume-ordered sweep, then unconditional merges of the
+    most-communicating cluster pairs until the count fits the machine.
+    Every ordering decision ties off by task/representative id.
+    """
+    tasks = spec.task_map()
+    parent = {t.id: t.id for t in spec.tasks}
+
+    def find(x: str) -> str:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    work = {t.id: t.work for t in spec.tasks}
+    capacity = max(
+        (spec.total_work() + v - 1) // v, max(t.work for t in spec.tasks)
+    )
+
+    def union(a: str, b: str) -> None:
+        # representative = lexicographically smaller root, for determinism
+        ra, rb = sorted((find(a), find(b)))
+        parent[rb] = ra
+        work[ra] += work[rb]
+
+    for edge in sorted(
+        spec.edges, key=lambda e: (-e.volume, e.src, e.dst)
+    ):
+        ra, rb = find(edge.src), find(edge.dst)
+        if ra != rb and work[ra] + work[rb] <= capacity:
+            union(edge.src, edge.dst)
+
+    def cluster_count() -> int:
+        return len({find(t.id) for t in spec.tasks})
+
+    while cluster_count() > v:
+        # heaviest-connected cluster pair; ties by representative ids
+        volume: dict[tuple[str, str], int] = {}
+        for edge in spec.edges:
+            ra, rb = find(edge.src), find(edge.dst)
+            if ra != rb:
+                key = (min(ra, rb), max(ra, rb))
+                volume[key] = volume.get(key, 0) + edge.volume
+        if volume:
+            (ra, rb), _ = max(
+                volume.items(), key=lambda kv: (kv[1], kv[0])
+            )
+        else:
+            # disconnected clusters: fold the two smallest together
+            roots = sorted(
+                {find(t.id) for t in spec.tasks},
+                key=lambda r: (work[r], r),
+            )
+            ra, rb = roots[0], roots[1]
+        union(ra, rb)
+
+    groups: dict[str, list[str]] = {}
+    for tid in sorted(tasks):
+        groups.setdefault(find(tid), []).append(tid)
+    return [groups[root] for root in sorted(groups)]
+
+
+def _bisect_map(
+    clusters: list[list[str]],
+    affinity: Callable[[str, str], int],
+    lo: int,
+    size: int,
+    out: dict[str, int],
+) -> None:
+    """Recursively place clusters into the pid range ``[lo, lo+size)``.
+
+    At each level the clusters are split into two halves so that volume
+    crossing the cut is minimized greedily: clusters are considered in
+    decreasing total-affinity order and each goes to the half it talks
+    to most, subject to each half's capacity.  Heavily communicating
+    clusters therefore share ever-finer submachine subtrees.
+    """
+    if size == 1 or len(clusters) <= 1:
+        for group in clusters:
+            for tid in group:
+                out[tid] = lo
+        return
+    half = size // 2
+    cap = [
+        (len(clusters) + 1) // 2,
+        len(clusters) - (len(clusters) + 1) // 2,
+    ]
+    # total external affinity per cluster, heaviest placed first
+    total = {
+        i: sum(
+            affinity(a, b)
+            for j, other in enumerate(clusters)
+            if j != i
+            for a in group
+            for b in other
+        )
+        for i, group in enumerate(clusters)
+    }
+    order = sorted(
+        range(len(clusters)), key=lambda i: (-total[i], clusters[i][0])
+    )
+    side: dict[int, int] = {}
+    counts = [0, 0]
+    for i in order:
+        pull = [0, 0]
+        for j, s in side.items():
+            pull[s] += sum(
+                affinity(a, b) for a in clusters[i] for b in clusters[j]
+            )
+        if counts[0] >= cap[0]:
+            choice = 1
+        elif counts[1] >= cap[1]:
+            choice = 0
+        elif pull[0] != pull[1]:
+            choice = 0 if pull[0] > pull[1] else 1
+        else:
+            choice = 0 if counts[0] <= counts[1] else 1
+        side[i] = choice
+        counts[choice] += 1
+    left = [clusters[i] for i in sorted(side) if side[i] == 0]
+    right = [clusters[i] for i in sorted(side) if side[i] == 1]
+    _bisect_map(left, affinity, lo, half, out)
+    _bisect_map(right, affinity, lo + half, size - half, out)
+
+
+def locality_schedule(spec: DagSpec, v: int) -> Schedule:
+    """Cluster along heavy edges, then bisect onto the D-BSP subtree."""
+    log2_exact(v)  # validate the machine width early
+    clusters = _contract_clusters(spec, v)
+    pair_volume: dict[tuple[str, str], int] = {}
+    for e in spec.edges:
+        key = (min(e.src, e.dst), max(e.src, e.dst))
+        pair_volume[key] = pair_volume.get(key, 0) + e.volume
+
+    def affinity(a: str, b: str) -> int:
+        return pair_volume.get((min(a, b), max(a, b)), 0)
+
+    proc: dict[str, int] = {}
+    _bisect_map(clusters, affinity, 0, v, proc)
+    return _finalize(spec, "locality", v, proc)
+
+
+#: heuristic registry: name -> schedule(spec, v)
+HEURISTICS: dict[str, Callable[[DagSpec, int], Schedule]] = {
+    "greedy": greedy_schedule,
+    "locality": locality_schedule,
+}
+
+
+def schedule(spec: DagSpec, v: int, heuristic: str = "locality") -> Schedule:
+    """Schedule ``spec`` onto ``v`` processors with the named heuristic.
+
+    >>> from repro.dag.spec import DagSpec
+    >>> spec = DagSpec.from_json({
+    ...     "schema": 1, "name": "chain",
+    ...     "tasks": [{"id": "a"}, {"id": "b"}],
+    ...     "edges": [{"src": "a", "dst": "b", "volume": 4}],
+    ... })
+    >>> schedule(spec, v=4).to_json()["heuristic"]
+    'locality'
+    """
+    if heuristic not in HEURISTICS:
+        raise ValueError(
+            f"unknown heuristic {heuristic!r}; "
+            f"try: {', '.join(sorted(HEURISTICS))}"
+        )
+    log2_exact(v)  # v must be a power of two
+    return HEURISTICS[heuristic](spec, v)

@@ -1,0 +1,223 @@
+"""DAG requests on the ``/v1`` service surface.
+
+A ``POST /v1/run`` body with ``"kind": "dag"`` is parsed into a
+:class:`DagRunRequest` instead of a
+:class:`~repro.service.scheduler.SimRequest`.  The two request types are
+duck-compatible everywhere downstream — same ``key()`` content-hash
+discipline (so caching, single-flight coalescing, shard routing and
+ledger persistence work unchanged), same ``args`` worker-task payload
+convention (the ``run-dag`` task in :mod:`repro.parallel.workers`), same
+validation-then-400 error mapping.
+
+The spec travels as its canonical JSON string: two requests naming the
+same workload — or inlining specs that differ only in task/edge order —
+hash to the same key and share one cached result.  Bodies may inline a
+full spec document (``"spec": {...}``) or name a generator
+(``"workload": "stream-scan", "params": {...}``); both normalize to the
+canonical form before hashing.
+
+For planner-enabled tiers the request exposes :meth:`structural_bound`,
+the hook :meth:`~repro.service.planner.Planner.plan` uses to produce an
+honest *untrusted* prediction (wide error bars) for program families the
+calibration profile has never seen.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any
+
+from repro.dag.scheduler import HEURISTICS
+from repro.dag.spec import DagSpec
+from repro.dbsp.cluster import log2_exact
+from repro.engines import ENGINES, resolve_access_function
+from repro.resilience.ledger import cell_key
+from repro.service.scheduler import SERVICE_SCHEMA, TRACE_LEVELS
+
+__all__ = ["DAG_TASK_KIND", "DagRunRequest"]
+
+#: worker-task kind DAG computations run as (and their ledger kind)
+DAG_TASK_KIND = "run-dag"
+
+_FIELDS = (
+    "kind", "engine", "heuristic", "spec", "workload", "params",
+    "v", "mu", "f", "trace",
+)
+
+_PARAM_FIELDS = ("epochs", "partitions", "chunk")
+
+
+@dataclass(frozen=True)
+class DagRunRequest:
+    """One validated DAG request (``{"kind": "dag", ...}``).
+
+    ``spec_json`` is the spec's canonical JSON string — hashable,
+    picklable, and the content identity of the workload.
+    """
+
+    spec_json: str
+    spec_name: str
+    heuristic: str = "locality"
+    engine: str = "vec"
+    v: int = 8
+    mu: int = 8
+    f: str = "x^0.5"
+    trace: str = "counters"
+
+    #: worker-task kind the scheduler dispatches (duck-typed against
+    #: ``SimRequest.task_kind``)
+    task_kind = DAG_TASK_KIND
+
+    @property
+    def program(self) -> str:
+        """The planner/report-facing program name of this request."""
+        return f"dag:{self.spec_name}/{self.heuristic}"
+
+    @classmethod
+    def from_json(cls, doc: Any) -> "DagRunRequest":
+        """Build and validate a request from a decoded JSON body."""
+        if not isinstance(doc, dict):
+            raise ValueError(
+                f"request body must be a JSON object, got {type(doc).__name__}"
+            )
+        if doc.get("kind") != "dag":
+            raise ValueError(
+                f'a DAG request needs "kind": "dag", got {doc.get("kind")!r}'
+            )
+        unknown = sorted(set(doc) - set(_FIELDS))
+        if unknown:
+            raise ValueError(
+                f"unknown request field(s) {', '.join(unknown)}; "
+                f"expected a subset of: {', '.join(_FIELDS)}"
+            )
+        has_spec = "spec" in doc
+        has_workload = "workload" in doc
+        if has_spec == has_workload:
+            raise ValueError(
+                'a DAG request needs exactly one of "spec" (an inline DAG '
+                'document) or "workload" (a named streaming generator)'
+            )
+        if has_spec:
+            if "params" in doc:
+                raise ValueError(
+                    '"params" only applies to named workloads; inline the '
+                    "sizes in the spec itself"
+                )
+            spec = DagSpec.from_json(doc["spec"])
+        else:
+            spec = _expand_workload(doc["workload"], doc.get("params", {}))
+        request = cls(
+            spec_json=spec.canonical_json(),
+            spec_name=spec.name,
+            heuristic=doc.get("heuristic", "locality"),
+            engine=doc.get("engine", "vec"),
+            v=doc.get("v", 8),
+            mu=doc.get("mu", 8),
+            f=doc.get("f", "x^0.5"),
+            trace=doc.get("trace", "counters"),
+        )
+        request.validate()
+        return request
+
+    def validate(self) -> None:
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; "
+                f"try: {', '.join(sorted(ENGINES))}"
+            )
+        if self.heuristic not in HEURISTICS:
+            raise ValueError(
+                f"unknown heuristic {self.heuristic!r}; "
+                f"try: {', '.join(sorted(HEURISTICS))}"
+            )
+        if (
+            not isinstance(self.v, int)
+            or isinstance(self.v, bool)
+            or self.v < 1
+        ):
+            raise ValueError(f"v must be a positive integer, got {self.v!r}")
+        try:
+            log2_exact(self.v)
+        except ValueError:
+            raise ValueError(
+                f"v must be a power of two (the D-BSP machine width), "
+                f"got {self.v}"
+            ) from None
+        if (
+            not isinstance(self.mu, int)
+            or isinstance(self.mu, bool)
+            or self.mu < 1
+        ):
+            raise ValueError(f"mu must be a positive integer, got {self.mu!r}")
+        if self.trace not in TRACE_LEVELS:
+            raise ValueError(
+                f"unknown trace level {self.trace!r}; "
+                f"expected one of: {', '.join(TRACE_LEVELS)}"
+            )
+        resolve_access_function(self.f)  # raises on a bad spec
+
+    def spec(self) -> DagSpec:
+        return DagSpec.from_json(json.loads(self.spec_json))
+
+    @property
+    def args(self) -> tuple:
+        """The ``run-dag`` worker-task argument tuple."""
+        return (
+            self.engine, self.heuristic, self.spec_json,
+            self.v, self.mu, self.f, self.trace,
+        )
+
+    def key(self) -> str:
+        """Content-addressed identity of this request's result."""
+        return cell_key(
+            DAG_TASK_KIND, list(self.args), {"schema": SERVICE_SCHEMA}
+        )
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "kind": "dag",
+            "engine": self.engine,
+            "heuristic": self.heuristic,
+            "spec": json.loads(self.spec_json),
+            "v": self.v,
+            "mu": self.mu,
+            "f": self.f,
+            "trace": self.trace,
+        }
+
+    def structural_bound(self, engine: str) -> float:
+        """A closed-form model-time bound for the planner's honest
+        untrusted prediction: total task work plus every communicated
+        word priced at the whole machine's access cost (the coarsest —
+        most pessimistic — cluster level)."""
+        spec = self.spec()
+        g = resolve_access_function(self.f)
+        return float(
+            spec.total_work() + spec.total_volume() * g(self.mu * self.v)
+        )
+
+
+def _expand_workload(name: Any, params: Any) -> DagSpec:
+    from repro.algorithms.streaming import streaming_spec
+
+    if not isinstance(name, str):
+        raise ValueError(
+            f'"workload" must be a string, got {type(name).__name__}'
+        )
+    if not isinstance(params, dict):
+        raise ValueError(
+            f'"params" must be a JSON object, got {type(params).__name__}'
+        )
+    unknown = sorted(set(params) - set(_PARAM_FIELDS))
+    if unknown:
+        raise ValueError(
+            f"unknown workload param(s) {', '.join(unknown)}; "
+            f"expected a subset of: {', '.join(_PARAM_FIELDS)}"
+        )
+    for field, value in params.items():
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise ValueError(
+                f"workload param {field!r} must be an integer, got {value!r}"
+            )
+    return streaming_spec(name, **params)

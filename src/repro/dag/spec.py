@@ -1,0 +1,306 @@
+"""Validated, frozen task-DAG specifications.
+
+A :class:`DagSpec` is the user-facing program model of the DAG front
+end: nodes are compute tasks carrying a local-work estimate and a
+working-set size in words, edges are data dependencies carrying a
+communication volume in words.  Specs are immutable, fully validated at
+construction (unique ids, no dangling endpoints, no cycles — with
+actionable error messages naming the offending task or cycle), and
+round-trip through a versioned JSON document (:data:`DAG_SCHEMA`) with
+the same malformed-doc refusal discipline as ``CALIBRATION.json``.
+
+The canonical JSON form (tasks sorted by id, edges sorted by endpoint,
+compact separators) is the content-hash identity used by the service
+cache: two specs with the same canonical form are the same workload.
+
+>>> spec = DagSpec.from_json({
+...     "schema": 1, "name": "pair",
+...     "tasks": [{"id": "a", "work": 2}, {"id": "b"}],
+...     "edges": [{"src": "a", "dst": "b", "volume": 3}],
+... })
+>>> spec.topological_order()
+('a', 'b')
+>>> DagSpec.from_json(spec.to_json()) == spec
+True
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+__all__ = ["DAG_SCHEMA", "TaskSpec", "EdgeSpec", "DagSpec"]
+
+#: DAG-spec document schema; bumping it invalidates stored documents and
+#: every service cache key derived from them
+DAG_SCHEMA = 1
+
+
+@dataclass(frozen=True, slots=True)
+class TaskSpec:
+    """One compute task: local work, working-set estimate, seed value.
+
+    ``work`` is charged as local computation time when the task runs;
+    ``memory`` is the task's working set in words (used by the
+    scheduler's capacity heuristics, not charged directly); ``payload``
+    seeds the task's integer value, to which the values of its
+    predecessors are added — the deterministic arithmetic every engine
+    must reproduce word for word.
+    """
+
+    id: str
+    work: int = 1
+    memory: int = 1
+    payload: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.id or not isinstance(self.id, str):
+            raise ValueError(
+                f"task id must be a non-empty string, got {self.id!r}"
+            )
+        if not isinstance(self.work, int) or self.work < 1:
+            raise ValueError(
+                f"task {self.id!r}: work must be an integer >= 1, "
+                f"got {self.work!r}"
+            )
+        if not isinstance(self.memory, int) or self.memory < 0:
+            raise ValueError(
+                f"task {self.id!r}: memory must be an integer >= 0, "
+                f"got {self.memory!r}"
+            )
+        if not isinstance(self.payload, int) or isinstance(self.payload, bool):
+            raise ValueError(
+                f"task {self.id!r}: payload must be an integer, "
+                f"got {self.payload!r}"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class EdgeSpec:
+    """One data dependency: ``volume`` words flow from ``src`` to ``dst``."""
+
+    src: str
+    dst: str
+    volume: int = 1
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.volume, int) or self.volume < 1:
+            raise ValueError(
+                f"edge {self.src!r} -> {self.dst!r}: volume must be an "
+                f"integer >= 1, got {self.volume!r}"
+            )
+
+
+_TASK_FIELDS = {"id", "work", "memory", "payload"}
+_EDGE_FIELDS = {"src", "dst", "volume"}
+_DOC_FIELDS = {"schema", "name", "tasks", "edges"}
+
+
+@dataclass(frozen=True)
+class DagSpec:
+    """A validated task DAG: named, frozen, canonically serializable."""
+
+    name: str
+    tasks: tuple[TaskSpec, ...]
+    edges: tuple[EdgeSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ValueError(
+                f"DAG name must be a non-empty string, got {self.name!r}"
+            )
+        if not self.tasks:
+            raise ValueError(f"DAG {self.name!r} has no tasks")
+        seen: set[str] = set()
+        for task in self.tasks:
+            if task.id in seen:
+                raise ValueError(
+                    f"DAG {self.name!r}: duplicate task id {task.id!r} — "
+                    f"task ids must be unique"
+                )
+            seen.add(task.id)
+        pairs: set[tuple[str, str]] = set()
+        for edge in self.edges:
+            for endpoint, role in ((edge.src, "src"), (edge.dst, "dst")):
+                if endpoint not in seen:
+                    raise ValueError(
+                        f"DAG {self.name!r}: edge "
+                        f"{edge.src!r} -> {edge.dst!r} has dangling {role} "
+                        f"{endpoint!r} — no task with that id exists"
+                    )
+            if edge.src == edge.dst:
+                raise ValueError(
+                    f"DAG {self.name!r}: self-edge on task {edge.src!r} — "
+                    f"a task cannot depend on itself"
+                )
+            if (edge.src, edge.dst) in pairs:
+                raise ValueError(
+                    f"DAG {self.name!r}: duplicate edge "
+                    f"{edge.src!r} -> {edge.dst!r} — merge the volumes "
+                    f"into one edge"
+                )
+            pairs.add((edge.src, edge.dst))
+        # Kahn's algorithm with a sorted frontier: validates acyclicity
+        # and fixes the deterministic topological order in one pass.
+        order = self._kahn_order()
+        object.__setattr__(self, "_topo", order)
+
+    # ------------------------------------------------------------ queries
+    def _kahn_order(self) -> tuple[str, ...]:
+        indeg = {task.id: 0 for task in self.tasks}
+        succs: dict[str, list[str]] = {task.id: [] for task in self.tasks}
+        for edge in self.edges:
+            indeg[edge.dst] += 1
+            succs[edge.src].append(edge.dst)
+        frontier = sorted(tid for tid, d in indeg.items() if d == 0)
+        order: list[str] = []
+        while frontier:
+            tid = frontier.pop(0)
+            order.append(tid)
+            opened = []
+            for succ in succs[tid]:
+                indeg[succ] -= 1
+                if indeg[succ] == 0:
+                    opened.append(succ)
+            if opened:
+                frontier = sorted(frontier + opened)
+        if len(order) < len(self.tasks):
+            stuck = sorted(tid for tid, d in indeg.items() if d > 0)
+            raise ValueError(
+                f"DAG {self.name!r} has a cycle through "
+                f"{', '.join(repr(t) for t in stuck[:6])}"
+                f"{' ...' if len(stuck) > 6 else ''} — "
+                f"task dependencies must be acyclic"
+            )
+        return tuple(order)
+
+    def topological_order(self) -> tuple[str, ...]:
+        """Deterministic topological order (Kahn, sorted tie-break)."""
+        return self._topo  # type: ignore[attr-defined]
+
+    def task_map(self) -> dict[str, TaskSpec]:
+        return {task.id: task for task in self.tasks}
+
+    def predecessors(self) -> dict[str, tuple[EdgeSpec, ...]]:
+        """In-edges per task id (spec order preserved)."""
+        preds: dict[str, list[EdgeSpec]] = {t.id: [] for t in self.tasks}
+        for edge in self.edges:
+            preds[edge.dst].append(edge)
+        return {tid: tuple(es) for tid, es in preds.items()}
+
+    def successors(self) -> dict[str, tuple[EdgeSpec, ...]]:
+        """Out-edges per task id (spec order preserved)."""
+        succs: dict[str, list[EdgeSpec]] = {t.id: [] for t in self.tasks}
+        for edge in self.edges:
+            succs[edge.src].append(edge)
+        return {tid: tuple(es) for tid, es in succs.items()}
+
+    def total_work(self) -> int:
+        return sum(task.work for task in self.tasks)
+
+    def total_volume(self) -> int:
+        return sum(edge.volume for edge in self.edges)
+
+    # --------------------------------------------------------------- JSON
+    def to_json(self) -> dict[str, Any]:
+        """Versioned document; tasks/edges in canonical sorted order."""
+        return {
+            "schema": DAG_SCHEMA,
+            "name": self.name,
+            "tasks": [
+                {
+                    "id": t.id,
+                    "work": t.work,
+                    "memory": t.memory,
+                    "payload": t.payload,
+                }
+                for t in sorted(self.tasks, key=lambda t: t.id)
+            ],
+            "edges": [
+                {"src": e.src, "dst": e.dst, "volume": e.volume}
+                for e in sorted(self.edges, key=lambda e: (e.src, e.dst))
+            ],
+        }
+
+    def canonical_json(self) -> str:
+        """Content-hash identity: compact, sorted, schema-stamped."""
+        return json.dumps(
+            self.to_json(), sort_keys=True, separators=(",", ":")
+        )
+
+    @classmethod
+    def from_json(cls, doc: Any) -> "DagSpec":
+        """Rebuild a spec from its document; refuse anything malformed."""
+        if not isinstance(doc, Mapping):
+            raise ValueError(
+                f"DAG spec must be a JSON object, got {type(doc).__name__}"
+            )
+        schema = doc.get("schema")
+        if schema != DAG_SCHEMA:
+            raise ValueError(
+                f"DAG spec is schema {schema!r}, this build reads schema "
+                f"{DAG_SCHEMA}.  Re-emit the spec with a current build."
+            )
+        unknown = set(doc) - _DOC_FIELDS
+        if unknown:
+            raise ValueError(
+                f"DAG spec has unknown fields "
+                f"{', '.join(sorted(repr(f) for f in unknown))}; "
+                f"expected {', '.join(sorted(_DOC_FIELDS))}"
+            )
+        tasks_doc = doc.get("tasks")
+        edges_doc = doc.get("edges", [])
+        if not isinstance(tasks_doc, list) or not isinstance(edges_doc, list):
+            raise ValueError(
+                "DAG spec 'tasks' and 'edges' must be JSON arrays"
+            )
+        tasks = tuple(cls._task_from(item) for item in tasks_doc)
+        edges = tuple(cls._edge_from(item) for item in edges_doc)
+        return cls(name=doc.get("name", ""), tasks=tasks, edges=edges)
+
+    @staticmethod
+    def _task_from(item: Any) -> TaskSpec:
+        if not isinstance(item, Mapping):
+            raise ValueError(
+                f"each task must be a JSON object, got {type(item).__name__}"
+            )
+        unknown = set(item) - _TASK_FIELDS
+        if unknown:
+            raise ValueError(
+                f"task {item.get('id')!r} has unknown fields "
+                f"{', '.join(sorted(repr(f) for f in unknown))}; "
+                f"expected {', '.join(sorted(_TASK_FIELDS))}"
+            )
+        if "id" not in item:
+            raise ValueError(f"task {dict(item)!r} is missing its 'id'")
+        return TaskSpec(
+            id=item["id"],
+            work=item.get("work", 1),
+            memory=item.get("memory", 1),
+            payload=item.get("payload", 0),
+        )
+
+    @staticmethod
+    def _edge_from(item: Any) -> EdgeSpec:
+        if not isinstance(item, Mapping):
+            raise ValueError(
+                f"each edge must be a JSON object, got {type(item).__name__}"
+            )
+        unknown = set(item) - _EDGE_FIELDS
+        if unknown:
+            raise ValueError(
+                f"edge {item.get('src')!r} -> {item.get('dst')!r} has "
+                f"unknown fields "
+                f"{', '.join(sorted(repr(f) for f in unknown))}; "
+                f"expected {', '.join(sorted(_EDGE_FIELDS))}"
+            )
+        missing = {"src", "dst"} - set(item)
+        if missing:
+            raise ValueError(
+                f"edge {dict(item)!r} is missing "
+                f"{', '.join(sorted(repr(f) for f in missing))}"
+            )
+        return EdgeSpec(
+            src=item["src"], dst=item["dst"], volume=item.get("volume", 1)
+        )

@@ -32,6 +32,10 @@ Task registry
     One (engine, program, f, v) run returning the result document, with
     recorded spans when ``trace="full"`` (the parent tags them per
     worker via :func:`repro.obs.trace.tag_spans`).
+``run-dag``
+    One DAG request: re-parse the canonical spec, schedule it with the
+    requested heuristic, compile to a superstep program and run it on
+    the requested engine — same result-document shape as ``run-cell``.
 """
 
 from __future__ import annotations
@@ -260,10 +264,32 @@ def _run_cell(args: tuple) -> dict[str, Any]:
     return doc
 
 
+def _run_dag(args: tuple) -> dict[str, Any]:
+    """One DAG request: schedule, compile, run — a pure function of the
+    canonical spec string, so the served document is identical wherever
+    it computes (inline, pool worker, any shard)."""
+    import json
+
+    from repro.dag.compile import dag_program
+    from repro.dag.spec import DagSpec
+    from repro.engines import ENGINES, resolve_access_function
+
+    engine, heuristic, spec_json, v, mu, f_spec, trace = args
+    spec = DagSpec.from_json(json.loads(spec_json))
+    program = dag_program(spec, v=v, mu=mu, heuristic=heuristic)
+    f = resolve_access_function(f_spec)
+    # parallel=1: the cell is already a worker task; never nest pools
+    res = ENGINES[engine].run(program, f, trace=trace, parallel=1)
+    doc = res.to_json(include_trace=False)
+    doc["spans"] = res.trace
+    return doc
+
+
 TASKS: dict[str, Callable[[tuple], Any]] = {
     "hmm-segment": _hmm_segment,
     "brent-hosts": _brent_host,
     "bench-workload": _bench_workload,
     "touch-cost": _touch_cost,
     "run-cell": _run_cell,
+    "run-dag": _run_dag,
 }

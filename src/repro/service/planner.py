@@ -267,9 +267,21 @@ class Planner:
         if engine_unset:
             engine = self._choose_engine(request)
             chosen = True
-        prediction = self.model.predict(
-            engine, request.program, request.v, request.mu, request.f
-        )
+        bound_fn = getattr(request, "structural_bound", None)
+        if bound_fn is not None:
+            # request families the calibration matrix cannot cover
+            # (DAG-compiled programs: the spec space is unbounded)
+            # supply their own closed-form bound; the planner answers
+            # with an honest *untrusted* prediction — wide bars, but a
+            # real point estimate, so budgets and ceilings still apply
+            prediction = self.model.predict_bound(
+                engine, request.program, request.v, request.mu, request.f,
+                bound_fn(engine),
+            )
+        else:
+            prediction = self.model.predict(
+                engine, request.program, request.v, request.mu, request.f
+            )
         self.counters.add("planned")
         if chosen:
             self.counters.add("auto_engine")

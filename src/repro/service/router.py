@@ -51,7 +51,7 @@ from typing import Any
 
 from repro.obs.counters import Counters
 from repro.service.errors import ApiError
-from repro.service.scheduler import SERVICE_SCHEMA, SimRequest
+from repro.service.scheduler import SERVICE_SCHEMA, parse_run_request
 from repro.service.server import _STREAMED, API_VERSION, JsonApiHandler
 
 __all__ = [
@@ -390,6 +390,7 @@ class Router:
                     doc["cache"] = metrics.get("cache", {})
                     doc["requests"] = metrics.get("requests", {})
                     doc["planner"] = metrics.get("planner", {})
+                    doc["kernel"] = metrics.get("kernel", {})
             except (OSError, ValueError):
                 pass  # alive flag still reflects the prober's view
         return doc
@@ -415,11 +416,25 @@ class Router:
             "tenants": {},
         }
         tenant_rollup: dict[str, dict[str, float]] = planner_rollup["tenants"]
+        kernel_rollup: dict[str, int] | None = None
         for shard in self.shards:
             doc = self.shard_doc(shard)
             shards[str(shard.index)] = doc
             for field in rollup:
                 rollup[field] += doc.get("cache", {}).get(field, 0)
+            shard_cache = doc.get("kernel", {}).get("plan_cache")
+            if shard_cache is not None:
+                # per-process caches: the tier-wide view is the sum
+                if kernel_rollup is None:
+                    kernel_rollup = {
+                        "size": 0,
+                        "max": 0,
+                        "hits": 0,
+                        "misses": 0,
+                        "evictions": 0,
+                    }
+                for field in kernel_rollup:
+                    kernel_rollup[field] += shard_cache.get(field, 0)
             shard_planner = doc.get("planner", {})
             if shard_planner.get("enabled"):
                 # each shard gates its own key-space slice; the tier-wide
@@ -452,6 +467,10 @@ class Router:
         # appears only when some shard (or the router) actually plans
         if planner_rollup["enabled"] or self.planner is not None:
             doc["planner"] = planner_rollup
+        # same conditional pattern: present only when some shard reports
+        # its vec-kernel plan cache
+        if kernel_rollup is not None:
+            doc["kernel"] = {"plan_cache": kernel_rollup}
         return doc
 
     def healthz(self) -> dict[str, Any]:
@@ -524,7 +543,7 @@ class RouterHandler(JsonApiHandler):
         ):
             probe = {k: v for k, v in body.items() if k != "engine"}
             decision = self.router.planner.plan(
-                SimRequest.from_json(probe), engine_unset=True
+                parse_run_request(probe), engine_unset=True
             )
             body = dict(probe, engine=decision.engine)
         return body, json.dumps(body).encode("utf-8")
@@ -559,7 +578,7 @@ class RouterHandler(JsonApiHandler):
         body, raw = self._resolve_engine(body)
         # the router validates and hashes exactly like a shard would, so
         # a malformed request 400s here without consuming shard capacity
-        key = SimRequest.from_json(body).key()
+        key = parse_run_request(body).key()
         result = self.router.forward_by_key(
             key, "POST", f"/{API_VERSION}/run", raw,
             headers=self._forward_headers(),
@@ -575,7 +594,7 @@ class RouterHandler(JsonApiHandler):
         body, raw = self._resolve_engine(body)
         # the owner shard answers: its planner holds the cost budgets
         # for exactly this request's slice of the key space
-        key = SimRequest.from_json(body).key()
+        key = parse_run_request(body).key()
         result = self.router.forward_by_key(
             key, "POST", f"/{API_VERSION}/plan", raw,
             headers=self._forward_headers(),
@@ -592,7 +611,7 @@ class RouterHandler(JsonApiHandler):
         if not isinstance(requests, list) or not requests:
             raise ValueError('"requests" must be a non-empty list')
         resolved = [self._resolve_engine(doc)[0] for doc in requests]
-        parsed = [SimRequest.from_json(doc) for doc in resolved]
+        parsed = [parse_run_request(doc) for doc in resolved]
         # split by owner, forward sub-batches, stitch in request order —
         # a batch spanning shards still answers as one document
         groups: dict[int, list[int]] = {}

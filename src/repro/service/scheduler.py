@@ -57,6 +57,7 @@ __all__ = [
     "PoolGate",
     "SimRequest",
     "Scheduler",
+    "parse_run_request",
 ]
 
 #: version of the request/response contract; part of every cache key, so
@@ -169,6 +170,12 @@ class SimRequest:
     trace: str = "counters"
 
     _FIELDS = ("engine", "program", "v", "mu", "f", "trace")
+
+    #: worker-task kind this request's computation runs as; request
+    #: types carrying a different kind (the DAG front end's
+    #: ``run-dag``) duck-type the same surface and flow through the
+    #: scheduler unchanged
+    task_kind = TASK_KIND
 
     @classmethod
     def from_json(cls, doc: Any) -> "SimRequest":
@@ -347,7 +354,7 @@ class Scheduler:
             if decision is not None and decision.cache == "bypass":
                 self.counters.add("cache_bypassed")
             else:
-                self.cache.put(key, TASK_KIND, doc)
+                self.cache.put(key, request.task_kind, doc)
             flight.result = doc
             self.counters.add("served_computed")
             return key, doc, "computed"
@@ -373,13 +380,12 @@ class Scheduler:
         served document does not depend on where it ran.
         """
         cfg = self.parallel
+        kind = request.task_kind
         if cfg.enabled:
             pool = shared_pool(cfg.jobs)
             try:
                 docs = list(
-                    pool.run_ordered(
-                        TASK_KIND, [request.args], policy=cfg.retry
-                    )
+                    pool.run_ordered(kind, [request.args], policy=cfg.retry)
                 )
                 return _normalize(docs[0])
             except PoolUnavailable as exc:
@@ -391,7 +397,7 @@ class Scheduler:
                 )
         from repro.parallel import workers
 
-        return _normalize(workers.TASKS[TASK_KIND](request.args))
+        return _normalize(workers.TASKS[kind](request.args))
 
     # ------------------------------------------------------------- metrics
     def gauges(self) -> dict[str, Any]:
@@ -403,6 +409,29 @@ class Scheduler:
             "limit": self.queue_limit,
             "jobs": self.parallel.jobs,
         }
+
+
+def parse_run_request(doc: Any):
+    """Parse one ``/v1/run`` body into its request type.
+
+    The ``kind`` field dispatches: absent or ``"sim"`` is a
+    :class:`SimRequest`, ``"dag"`` is a
+    :class:`~repro.dag.service.DagRunRequest` (imported lazily — the
+    service tier does not pay for the DAG front end until a DAG request
+    arrives).  Anything else is a 400-mapped :class:`ValueError`.
+    """
+    if isinstance(doc, dict) and "kind" in doc:
+        kind = doc["kind"]
+        if kind == "dag":
+            from repro.dag.service import DagRunRequest
+
+            return DagRunRequest.from_json(doc)
+        if kind != "sim":
+            raise ValueError(
+                f"unknown request kind {kind!r}; expected 'sim' or 'dag'"
+            )
+        doc = {k: v for k, v in doc.items() if k != "kind"}
+    return SimRequest.from_json(doc)
 
 
 def _normalize(doc: dict[str, Any]) -> dict[str, Any]:

@@ -78,7 +78,7 @@ from repro.service.scheduler import (
     PoolGate,
     QueueFull,
     Scheduler,
-    SimRequest,
+    parse_run_request,
 )
 
 __all__ = [
@@ -178,7 +178,7 @@ class SimService:
         )
         if isinstance(body, dict) and body.get("engine") == "auto":
             body = {k: v for k, v in body.items() if k != "engine"}
-        request = SimRequest.from_json(body)
+        request = parse_run_request(body)
         if self.planner is None:
             return request, None
         decision = self.planner.plan(request, engine_unset=engine_unset)
@@ -298,6 +298,8 @@ class SimService:
             planner_section.update(self.planner.gauges())
         else:
             planner_section = {"enabled": False}
+        from repro.sim.hmm_vec import plan_cache_info
+
         doc: dict[str, Any] = {
             "schema": SERVICE_SCHEMA,
             "api": API_VERSION,
@@ -308,6 +310,7 @@ class SimService:
             "jobs": jobs_section,
             "http": http,
             "recovery": recovery.counters(),
+            "kernel": {"plan_cache": plan_cache_info()},
         }
         if self.identity is not None:
             doc["shard"] = self.identity

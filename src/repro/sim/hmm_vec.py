@@ -50,6 +50,9 @@ __all__ = ["ChargePlan", "execute_vec", "plan_cache_info"]
 
 _PLAN_CACHE: "OrderedDict[tuple, ChargePlan]" = OrderedDict()
 _PLAN_CACHE_MAX = 8
+_PLAN_CACHE_HITS = 0
+_PLAN_CACHE_MISSES = 0
+_PLAN_CACHE_EVICTIONS = 0
 
 
 class ChargePlan:
@@ -239,6 +242,7 @@ def _build_plan(v, mu, steps, block_cost, word_cost, table) -> ChargePlan:
 
 
 def _plan_for(run) -> ChargePlan:
+    global _PLAN_CACHE_HITS, _PLAN_CACHE_MISSES, _PLAN_CACHE_EVICTIONS
     sim = run.sim
     steps = run.steps
     sig = (
@@ -249,8 +253,10 @@ def _plan_for(run) -> ChargePlan:
     )
     plan = _PLAN_CACHE.get(sig)
     if plan is not None:
+        _PLAN_CACHE_HITS += 1
         _PLAN_CACHE.move_to_end(sig)
         return plan
+    _PLAN_CACHE_MISSES += 1
     plan = _build_plan(
         run.v,
         run.mu,
@@ -262,12 +268,20 @@ def _plan_for(run) -> ChargePlan:
     _PLAN_CACHE[sig] = plan
     while len(_PLAN_CACHE) > _PLAN_CACHE_MAX:
         _PLAN_CACHE.popitem(last=False)
+        _PLAN_CACHE_EVICTIONS += 1
     return plan
 
 
 def plan_cache_info() -> dict:
-    """Introspection hook for tests: cached plan count and keys."""
-    return {"size": len(_PLAN_CACHE), "max": _PLAN_CACHE_MAX}
+    """Introspection hook for tests and ``/v1/metrics``: cached plan
+    count plus lifetime hit/miss/eviction counters (process-wide)."""
+    return {
+        "size": len(_PLAN_CACHE),
+        "max": _PLAN_CACHE_MAX,
+        "hits": _PLAN_CACHE_HITS,
+        "misses": _PLAN_CACHE_MISSES,
+        "evictions": _PLAN_CACHE_EVICTIONS,
+    }
 
 
 # --------------------------------------------------------------- bodies

@@ -244,3 +244,124 @@ class TestServiceCommands:
         ]) == 1
         err = capsys.readouterr().err
         assert "floor" in err
+
+
+class TestBenchOnlyFilter:
+    def test_only_matches_workload_names(self):
+        from repro.bench import WORKLOADS
+
+        matched = [w for w in WORKLOADS if "sort/" in w.name]
+        assert matched  # the matrix still carries the sort rows
+
+    def test_only_matches_the_program_field_too(self, capsys, monkeypatch):
+        # "fft" appears only in the program/name of the fft rows; an
+        # engine name like "vec" appears in names only — but a program
+        # like "fft-rec" must select rows whose *program* is fft-rec
+        # even if a future rename drops it from the row name
+        import repro.bench as bench_mod
+        from repro.bench import Workload
+
+        rows = (
+            Workload("spectral/hmm", "hmm", "fft-rec"),
+            Workload("sort/direct", "direct", "sort"),
+        )
+        monkeypatch.setattr(bench_mod, "WORKLOADS", rows)
+        captured: dict = {}
+
+        def fake_run_bench(**kw):
+            captured["workloads"] = kw["workloads"]
+            return {"schema": 3, "workloads": {}}
+
+        monkeypatch.setattr(bench_mod, "run_bench", fake_run_bench)
+        monkeypatch.setattr(bench_mod, "write_bench", lambda *_: None)
+        assert main(["bench", "--only", "fft-rec", "--smoke"]) == 0
+        names = [w.name for w in captured["workloads"]]
+        assert names == ["spectral/hmm"]
+
+    def test_only_without_match_fails_cleanly(self):
+        with pytest.raises(SystemExit, match="matches no workload"):
+            main(["bench", "--only", "zzz-nothing"])
+
+
+class TestDagCommand:
+    def test_dag_run_checks_values(self, capsys):
+        assert main([
+            "dag", "run", "stream-scan", "--epochs", "2",
+            "--partitions", "4", "--chunk", "2", "--v", "4",
+            "--engine", "direct",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "values match the sequential reference" in out
+
+    def test_dag_run_json(self, capsys):
+        assert main([
+            "dag", "run", "stream-reduce", "--epochs", "2",
+            "--partitions", "4", "--chunk", "2", "--v", "4",
+            "--engine", "vec", "--json",
+        ]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["values_ok"] is True
+        assert doc["heuristic"] == "locality"
+        assert "vec" in doc["engines"]
+
+    def test_dag_schedule_prints_placement(self, capsys):
+        assert main([
+            "dag", "schedule", "stream-scan", "--epochs", "2",
+            "--partitions", "4", "--chunk", "2", "--v", "4",
+            "--heuristic", "greedy",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "greedy onto v=4" in out and "p0:" in out
+
+    def test_dag_compare_both_heuristics(self, capsys):
+        assert main([
+            "dag", "compare", "stream-stencil", "--epochs", "3",
+            "--partitions", "8", "--chunk", "2", "--v", "4", "--json",
+        ]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        heuristics = {row["heuristic"]: row for row in doc["heuristics"]}
+        assert set(heuristics) == {"greedy", "locality"}
+        assert (heuristics["locality"]["messages"]
+                < heuristics["greedy"]["messages"])
+
+    def test_dag_spec_file(self, capsys, tmp_path):
+        spec = {
+            "schema": 1, "name": "pair",
+            "tasks": [{"id": "a", "payload": 2}, {"id": "b"}],
+            "edges": [{"src": "a", "dst": "b"}],
+        }
+        path = tmp_path / "pair.json"
+        path.write_text(json.dumps(spec))
+        assert main([
+            "dag", "run", "--spec", str(path), "--v", "2",
+            "--engine", "direct",
+        ]) == 0
+
+    def test_dag_refusals_are_actionable(self, tmp_path):
+        with pytest.raises(SystemExit, match="stream-scan"):
+            main(["dag", "run"])
+        with pytest.raises(SystemExit, match="not both"):
+            main(["dag", "run", "stream-scan", "--spec", "x.json"])
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema": 1, "name": "loop",
+                                   "tasks": [{"id": "a"}],
+                                   "edges": [{"src": "a", "dst": "a"}]}))
+        with pytest.raises(SystemExit, match="self-edge"):
+            main(["dag", "run", "--spec", str(bad), "--v", "2"])
+
+    def test_bench_dag_smoke_writes_and_checks(self, tmp_path, capsys):
+        out_path = tmp_path / "BENCH_dag.json"
+        assert main([
+            "bench", "--dag", "--smoke", "--output", str(out_path),
+        ]) == 0
+        doc = json.loads(out_path.read_text())
+        assert sum(
+            1 for w in doc["workloads"].values() if w["locality_wins"]
+        ) >= 2
+        assert main([
+            "bench", "--dag", "--smoke", "--check", str(out_path),
+        ]) == 0
+
+    def test_bench_dag_refuses_wall_matrix_flags(self):
+        with pytest.raises(SystemExit, match="wall-clock matrix"):
+            main(["bench", "--dag", "--distribute"])

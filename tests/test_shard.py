@@ -305,7 +305,9 @@ class TestRouter:
                 _post(tier.url, "/v1/run", _body(i))  # cache hit
             status, doc, _ = _get(tier.url, "/v1/metrics")
             assert status == 200
-            assert set(doc) == {"schema", "api", "router", "shards", "cache"}
+            assert set(doc) == {
+                "schema", "api", "router", "shards", "cache", "kernel",
+            }
             assert doc["schema"] == SERVICE_SCHEMA and doc["api"] == "v1"
             for counter in ("forwards", "failovers", "shard_deaths",
                             "rehash_events", "unavailable"):
